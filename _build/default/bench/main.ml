@@ -1,0 +1,904 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus the ablations called out in DESIGN.md.
+
+     dune exec bench/main.exe              -- all sections
+     dune exec bench/main.exe -- table2    -- a single section
+     sections: table1 table2 table3 table4 figure5 perverted ablation wall *)
+
+open Pthreads
+module Sigset = Vm.Sigset
+module Cost_model = Vm.Cost_model
+
+let sep title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let opt_f = function Some v -> Printf.sprintf "%8.1f" v | None -> "       -"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: performance metrics                                        *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  sep "Table 2: Performance Metrics  [us, virtual time]";
+  Printf.printf "%-34s | %s %s %s | %s %s %s\n" ""
+    "  Sun1+ " " ours'93" " SIM 1+ " " IPX'93 " " SIM IPX" " Lynx   ";
+  Printf.printf "%-34s | %s %s %s | %s %s %s\n" "Performance Metric"
+    "  (pub) " "  (pub) " " (meas) " "  (pub) " " (meas) " "  (pub) ";
+  Printf.printf "%s\n" (String.make 95 '-');
+  List.iter
+    (fun (r : Metrics.row) ->
+      let meas_1plus = r.measure Cost_model.sparc_1plus in
+      let meas_ipx = r.measure Cost_model.sparc_ipx in
+      Printf.printf "%-34s | %s %s %8.1f | %s %8.1f %s\n%!" r.metric
+        (opt_f r.sun_1plus) (opt_f r.paper_1plus) meas_1plus
+        (opt_f r.paper_ipx) meas_ipx (opt_f r.lynx_ipx))
+    Metrics.rows;
+  Printf.printf
+    "\n(pub) = numbers published in the paper; (meas) = this reproduction on\n\
+     the simulated SPARC substrate.  Shape, not absolute equality, is the\n\
+     claim under test: library kernel << UNIX kernel, thread switch <<\n\
+     process switch, internal signals << external signals.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: cancellation action matrix (behavioural)                   *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  sep "Table 1: Action taken upon Cancellation Request";
+  let disabled_row () =
+    let survived = ref false in
+    ignore
+      (Pthread.run (fun proc ->
+           let victim =
+             Pthread.create proc (fun () ->
+                 ignore (Cancel.set_state proc Types.Cancel_disabled);
+                 Pthread.busy proc ~ns:100_000;
+                 survived := true;
+                 ignore (Cancel.set_state proc Types.Cancel_enabled);
+                 Cancel.test proc;
+                 0)
+           in
+           Pthread.delay proc ~ns:20_000;
+           Cancel.cancel proc victim;
+           ignore (Pthread.join proc victim);
+           0));
+    if !survived then "SIGCANCEL pends on thread until cancellation is enabled"
+    else "BUG: acted while disabled"
+  in
+  let enabled_row ~typ =
+    let progressed = ref 0 in
+    let status = ref "?" in
+    ignore
+      (Pthread.run (fun proc ->
+           let victim =
+             (* lower priority, so main preempts it to deliver the cancel *)
+             Pthread.create proc
+               ~attr:(Attr.with_prio 3 Attr.default)
+               (fun () ->
+                 (match typ with
+                 | `Async -> ignore (Cancel.set_type proc Types.Cancel_asynchronous)
+                 | `Controlled -> ());
+                 for _ = 1 to 20 do
+                   Pthread.busy proc ~ns:5_000;
+                   incr progressed
+                 done;
+                 Cancel.test proc;
+                 (* only reached if never canceled *)
+                 incr progressed;
+                 0)
+           in
+           Pthread.delay proc ~ns:30_000;
+           Cancel.cancel proc victim;
+           (match Pthread.join proc victim with
+           | Types.Canceled ->
+               status :=
+                 if !progressed < 20 then "cancellation is acted upon immediately"
+                 else "SIGCANCEL pends on thread until interruption point is reached"
+           | _ -> status := "BUG: not canceled");
+           0));
+    !status
+  in
+  Printf.printf "%-10s %-13s -> %s\n" "disabled" "any" (disabled_row ());
+  Printf.printf "%-10s %-13s -> %s\n" "enabled" "controlled"
+    (enabled_row ~typ:`Controlled);
+  Printf.printf "%-10s %-13s -> %s\n" "enabled" "asynchronous"
+    (enabled_row ~typ:`Async)
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: inheritance vs ceiling properties                          *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  sep "Table 3: Properties of Synchronization Protocols";
+  let pair_cost protocol =
+    let r = ref nan in
+    ignore
+      (Pthread.run (fun proc ->
+           let m =
+             match protocol with
+             | `None -> Mutex.create proc ()
+             | `Inherit -> Mutex.create proc ~protocol:Types.Inherit_protocol ()
+             | `Ceiling ->
+                 Mutex.create proc ~protocol:Types.Ceiling_protocol ~ceiling:20 ()
+           in
+           let t0 = Pthread.now proc in
+           for _ = 1 to 1000 do
+             Mutex.lock proc m;
+             Mutex.unlock proc m
+           done;
+           r := Vm.Clock.us_of_ns (Pthread.now proc - t0) /. 1000.0;
+           0));
+    !r
+  in
+  Printf.printf
+    "uncontended lock+unlock   none: %.2f us   inherit: %.2f us   ceiling: %.2f us\n"
+    (pair_cost `None) (pair_cost `Inherit) (pair_cost `Ceiling);
+  (* Bound on inversion.  The high-priority thread needs every mutex; each
+     of k low-priority threads holds one with a 500 us critical section.
+     Under inheritance the lows may suspend inside their sections (a brief
+     sleep staggers them so all k sections are outstanding when the high
+     thread arrives), and each blocks it in turn: the bound is the *sum*.
+     Under the ceiling protocol a thread must not block while holding (SRP
+     discipline), so at most one section can be outstanding: the bound is a
+     *single* section.  Blocking is measured from the high thread's
+     creation to the completion of its last lock. *)
+  let blocking protocol k =
+    let blocked = ref 0 and t0 = ref 0 in
+    (* main runs above the ceiling so it can observe and create threads
+       while a ceiling-boosted section executes *)
+    ignore
+      (Pthread.run ~main_prio:30 (fun proc ->
+           let mk i =
+             match protocol with
+             | `Inherit ->
+                 Mutex.create proc
+                   ~name:(Printf.sprintf "m%d" i)
+                   ~protocol:Types.Inherit_protocol ()
+             | `Ceiling ->
+                 Mutex.create proc
+                   ~name:(Printf.sprintf "m%d" i)
+                   ~protocol:Types.Ceiling_protocol ~ceiling:25 ()
+           in
+           let ms = List.init k mk in
+           let lows =
+             List.map
+               (fun m ->
+                 Pthread.create_unit proc
+                   ~attr:(Attr.with_prio 3 Attr.default)
+                   (fun () ->
+                     Mutex.lock proc m;
+                     (match protocol with
+                     | `Inherit -> Pthread.delay proc ~ns:50_000
+                     | `Ceiling -> () (* SRP: no blocking while holding *));
+                     Pthread.busy proc ~ns:1_000_000;
+                     Mutex.unlock proc m))
+               ms
+           in
+           Pthread.delay proc ~ns:(150_000 * k);
+           t0 := Pthread.now proc;
+           let hi =
+             Pthread.create_unit proc
+               ~attr:(Attr.with_prio 25 Attr.default)
+               (fun () ->
+                 List.iter
+                   (fun m ->
+                     Mutex.lock proc m;
+                     Mutex.unlock proc m)
+                   ms;
+                 blocked := Pthread.now proc - !t0)
+           in
+           List.iter (fun t -> ignore (Pthread.join proc t)) (hi :: lows);
+           0));
+    float_of_int !blocked /. 1e3
+  in
+  List.iter
+    (fun k ->
+      Printf.printf
+        "blocking of high-prio thread, %d sections of 1000us: inherit %8.1f us   ceiling %8.1f us\n"
+        k (blocking `Inherit k) (blocking `Ceiling k))
+    [ 1; 2; 3; 4 ];
+  print_endline
+    "(Table 3 'bound on inversion': inheritance = sum of lower-priority\n\
+     critical sections; ceiling = tighter, a single critical section)"
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: mixing inheritance and ceiling                              *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  sep "Table 4: Mixing Inheritance and Ceiling Protocol";
+  let scenario mode =
+    let log = ref [] in
+    ignore
+      (Pthread.run ~ceiling_mode:mode ~main_prio:0 (fun proc ->
+           let inht =
+             Mutex.create proc ~name:"inht" ~protocol:Types.Inherit_protocol ()
+           in
+           let ceil =
+             Mutex.create proc ~name:"ceil" ~protocol:Types.Ceiling_protocol
+               ~ceiling:1 ()
+           in
+           let snap () =
+             log := Pthread.get_priority proc (Pthread.self proc) :: !log
+           in
+           Mutex.lock proc inht;
+           snap ();
+           Mutex.lock proc ceil;
+           snap ();
+           let hi =
+             Pthread.create_unit proc
+               ~attr:(Attr.with_prio 2 Attr.default)
+               (fun () ->
+                 Mutex.lock proc inht;
+                 Mutex.unlock proc inht)
+           in
+           Pthread.yield proc;
+           snap ();
+           Mutex.unlock proc ceil;
+           snap ();
+           Mutex.unlock proc inht;
+           snap ();
+           ignore (Pthread.join proc hi);
+           0));
+    List.rev !log
+  in
+  let pi = scenario Types.Recompute in
+  let pc = scenario Types.Stack_pop in
+  Printf.printf "%-3s %-14s %-4s %-4s %s\n" "#" "Action" "Pi" "Pc" "Comment";
+  let actions =
+    [
+      ("lock(inht)", "no contention for inht");
+      ("lock(ceil)", "ceil has prio ceiling 1");
+      ("(contention)", "prio-2 thread contends for inht; inherit prio 2");
+      ("unlock(ceil)", "protocol divergence");
+      ("unlock(inht)", "");
+    ]
+  in
+  List.iteri
+    (fun i (action, comment) ->
+      Printf.printf "%-3d %-14s %-4d %-4d %s\n" (i + 1) action (List.nth pi i)
+        (List.nth pc i) comment)
+    actions;
+  print_endline
+    "(paper: Pi 0 1 2 2 0 / Pc 0 1 2 0 0 -- the stack-based ceiling unlock\n\
+     restores the pre-lock level and loses the inherited boost)"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: priority inversion traces                                  *)
+(* ------------------------------------------------------------------ *)
+
+let figure5 () =
+  sep "Figure 5: Dealing with Priority Inversion";
+  let case title protocol =
+    let proc =
+      Pthread.make_proc ~trace:true (fun proc ->
+          let m =
+            match protocol with
+            | `None -> Mutex.create proc ~name:"m" ()
+            | `Inherit ->
+                Mutex.create proc ~name:"m" ~protocol:Types.Inherit_protocol ()
+            | `Ceiling ->
+                Mutex.create proc ~name:"m" ~protocol:Types.Ceiling_protocol
+                  ~ceiling:20 ()
+          in
+          let mk name prio body =
+            Pthread.create_unit proc
+              ~attr:(Attr.with_prio prio (Attr.with_name name Attr.default))
+              body
+          in
+          let p1 =
+            mk "P1" 5 (fun () ->
+                Mutex.lock proc m;
+                Pthread.busy proc ~ns:1_000_000;
+                Mutex.unlock proc m;
+                Pthread.busy proc ~ns:200_000)
+          in
+          Pthread.delay proc ~ns:300_000;
+          let p3 =
+            mk "P3" 20 (fun () ->
+                Pthread.busy proc ~ns:100_000;
+                Mutex.lock proc m;
+                Pthread.busy proc ~ns:300_000;
+                Mutex.unlock proc m)
+          in
+          let p2 = mk "P2" 10 (fun () -> Pthread.busy proc ~ns:2_000_000) in
+          List.iter (fun t -> ignore (Pthread.join proc t)) [ p1; p3; p2 ];
+          0)
+    in
+    Pthread.start proc;
+    Printf.printf "\n%s\n" title;
+    print_string (Pthread.gantt proc ~bucket_ns:50_000)
+  in
+  case "(a) no protocol -- P2 runs while P3 waits: inversion" `None;
+  case "(b) priority inheritance -- P1 runs boosted until unlock" `Inherit;
+  case "(c) priority ceiling (SRP) -- P1 not preemptable inside the section"
+    `Ceiling
+
+(* ------------------------------------------------------------------ *)
+(* Perverted scheduling evaluation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let perverted () =
+  sep "Perverted Scheduling: error detection (racy counter, 20 seeds each)";
+  let racy proc =
+    let shared = ref 0 in
+    let body () =
+      for _ = 1 to 10 do
+        let v = !shared in
+        Pthread.checkpoint proc;
+        shared := v + 1
+      done
+    in
+    let a = Pthread.create_unit proc body in
+    let b = Pthread.create_unit proc body in
+    ignore (Pthread.join proc a);
+    ignore (Pthread.join proc b);
+    if !shared <> 20 then 1 else 0
+  in
+  let detect policy =
+    let hits = ref 0 and switches = ref 0 in
+    for seed = 1 to 20 do
+      let status, stats = Pthread.run ~perverted:policy ~seed racy in
+      (match status with
+      | Some (Types.Exited 1) -> incr hits
+      | _ -> ());
+      switches := !switches + stats.Engine.switches
+    done;
+    (!hits, !switches / 20)
+  in
+  List.iter
+    (fun (name, policy) ->
+      let hits, sw = detect policy in
+      Printf.printf
+        "%-24s lost-update detected in %2d/20 seeds   (%4d switches/run)\n" name
+        hits sw)
+    [
+      ("FIFO (baseline)", Types.No_perversion);
+      ("mutex switch", Types.Mutex_switch);
+      ("round-robin ordered", Types.Rr_ordered_switch);
+      ("random switch", Types.Random_switch);
+    ];
+  print_endline
+    "(lock-free code: only the kernel-exit reordering policies perturb it)";
+  (* The mutex-switch policy targets exactly lock-based races: a
+     check-then-act bug whose stale check happens before the lock. *)
+  Printf.printf "\n%s\n" "reservation overrun (check outside the lock), 20 seeds each:";
+  let reservation proc =
+    let m = Mutex.create proc () in
+    let count = ref 0 in
+    let limit = 1 in
+    let body () =
+      if !count < limit then begin
+        (* the check is stale by the time the lock is granted *)
+        Mutex.lock proc m;
+        Pthread.checkpoint proc;
+        count := !count + 1;
+        Mutex.unlock proc m
+      end
+    in
+    let a = Pthread.create_unit proc body in
+    let b = Pthread.create_unit proc body in
+    ignore (Pthread.join proc a);
+    ignore (Pthread.join proc b);
+    if !count > limit then 1 else 0
+  in
+  let detect_res policy =
+    let hits = ref 0 in
+    for seed = 1 to 20 do
+      match Pthread.run ~perverted:policy ~seed reservation with
+      | Some (Types.Exited 1), _ -> incr hits
+      | _ -> ()
+    done;
+    !hits
+  in
+  List.iter
+    (fun (name, policy) ->
+      Printf.printf "%-24s overrun detected in %2d/20 seeds\n" name
+        (detect_res policy))
+    [
+      ("FIFO (baseline)", Types.No_perversion);
+      ("mutex switch", Types.Mutex_switch);
+      ("round-robin ordered", Types.Rr_ordered_switch);
+      ("random switch", Types.Random_switch);
+    ];
+  print_endline
+    "(the bugs are invisible under FIFO; the perverted policies expose\n\
+     them, reproducibly per seed -- the paper's debugging result)"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  sep "Ablations";
+  let create_cost ~use_pool =
+    let r = ref nan in
+    ignore
+      (Pthread.run ~use_pool (fun proc ->
+           let attr = Attr.with_prio 1 Attr.default in
+           let acc = ref 0 in
+           let rounds = 50 in
+           for _ = 1 to rounds do
+             let t0 = Pthread.now proc in
+             let t = Pthread.create proc ~attr (fun () -> 0) in
+             acc := !acc + (Pthread.now proc - t0);
+             ignore (Pthread.join proc t)
+           done;
+           r := Vm.Clock.us_of_ns !acc /. float_of_int rounds;
+           0));
+    !r
+  in
+  let with_pool = create_cost ~use_pool:true in
+  let without_pool = create_cost ~use_pool:false in
+  Printf.printf
+    "thread create:  with TCB/stack pool %6.1f us   without pool %6.1f us  (allocation = %.0f%% of creation)\n"
+    with_pool without_pool
+    ((without_pool -. with_pool) /. without_pool *. 100.0);
+  Printf.printf "(the paper: allocation is ~70%% of creation time without a pool)\n";
+
+  let lib = Metrics.pthreads_kernel_enter_exit Cost_model.sparc_ipx in
+  let unix = Metrics.unix_kernel_enter_exit Cost_model.sparc_ipx in
+  Printf.printf
+    "\nmonitor enter+exit %.2f us vs UNIX kernel %.2f us  (x%.0f cheaper)\n" lib
+    unix (unix /. lib);
+
+  let traps_of body =
+    let r = ref 0 in
+    ignore
+      (Pthread.run (fun proc ->
+           Pthread.reset_stats proc;
+           body proc;
+           r := (Pthread.stats proc).Engine.kernel_traps;
+           0));
+    !r
+  in
+  let t_mutex =
+    traps_of (fun proc ->
+        let m = Mutex.create proc () in
+        for _ = 1 to 100 do
+          Mutex.lock proc m;
+          Mutex.unlock proc m
+        done)
+  in
+  let t_create =
+    traps_of (fun proc ->
+        let ts =
+          List.init 8 (fun _ ->
+              Pthread.create proc
+                ~attr:(Attr.with_prio 1 Attr.default)
+                (fun () -> 0))
+        in
+        List.iter (fun t -> ignore (Pthread.join proc t)) ts)
+  in
+  Printf.printf
+    "UNIX kernel calls: 100 uncontended mutex pairs -> %d; 8 create+join -> %d\n"
+    t_mutex t_create
+
+(* ------------------------------------------------------------------ *)
+(* Scaling: the linear algorithms the paper calls out                   *)
+(* ------------------------------------------------------------------ *)
+
+let scaling () =
+  sep "Scaling of the linear-search designs";
+  (* (a) external-signal demultiplexing performs "a linear search of a list
+     of all threads" (recipient rule 5): latency grows with thread count
+     when the eligible thread is last. *)
+  let demux_latency n_threads =
+    let r = ref nan in
+    ignore
+      (Pthread.run (fun proc ->
+           Signal_api.set_action proc Sigset.sigusr1
+             (Types.Sig_handler
+                { h_mask = Sigset.empty; h_fn = (fun ~signo:_ ~code:_ -> ()) });
+           ignore (Signal_api.set_mask proc `Block (Sigset.singleton Sigset.sigusr1));
+           (* n-1 sleeping threads that mask the signal; the last one is
+              eligible *)
+           let blockers =
+             List.init (n_threads - 1) (fun _ ->
+                 Pthread.create_unit proc (fun () ->
+                     ignore
+                       (Signal_api.set_mask proc `Block
+                          (Sigset.singleton Sigset.sigusr1));
+                     Pthread.delay proc ~ns:50_000_000))
+           in
+           let receiver =
+             Pthread.create_unit proc
+               ~attr:(Attr.with_prio 20 Attr.default)
+               (fun () -> Pthread.delay proc ~ns:50_000_000)
+           in
+           Pthread.yield proc;
+           let rounds = 50 in
+           let t0 = Pthread.now proc in
+           for _ = 1 to rounds do
+             Signal_api.send_to_process proc Sigset.sigusr1;
+             Pthread.checkpoint proc
+           done;
+           r := Vm.Clock.us_of_ns (Pthread.now proc - t0) /. float_of_int rounds;
+           List.iter (fun t -> Cancel.cancel proc t) (receiver :: blockers);
+           List.iter (fun t -> ignore (Pthread.join proc t)) (receiver :: blockers);
+           0));
+    !r
+  in
+  List.iter
+    (fun n ->
+      Printf.printf "external signal latency, %3d threads: %7.1f us\n" n
+        (demux_latency n))
+    [ 2; 8; 32; 128 ];
+  (* (b) the inheritance protocol's unlock does a linear search over the
+     mutexes the thread still holds (Table 3's "implementation" row). *)
+  let unlock_cost k =
+    let r = ref nan in
+    ignore
+      (Pthread.run (fun proc ->
+           let ms =
+             List.init k (fun i ->
+                 Mutex.create proc
+                   ~name:(Printf.sprintf "m%d" i)
+                   ~protocol:Types.Inherit_protocol ())
+           in
+           (* a contender boosts us so the unlock path recomputes *)
+           let head = List.hd ms in
+           Mutex.lock proc head;
+           List.iter (fun m -> Mutex.lock proc m) (List.tl ms);
+           ignore
+             (Pthread.create_unit proc
+                ~attr:(Attr.with_prio 25 Attr.default)
+                (fun () ->
+                  Mutex.lock proc head;
+                  Mutex.unlock proc head));
+           Pthread.yield proc;
+           let rounds = 100 in
+           let probe = List.nth ms (k - 1) in
+           let t0 = Pthread.now proc in
+           for _ = 1 to rounds do
+             Mutex.unlock proc probe;
+             Mutex.lock proc probe
+           done;
+           let t1 = Pthread.now proc in
+           r := Vm.Clock.us_of_ns (t1 - t0) /. float_of_int rounds;
+           List.iter (fun m -> Mutex.unlock proc m) (List.rev ms);
+           0));
+    !r
+  in
+  List.iter
+    (fun k ->
+      Printf.printf
+        "boosted inheritance unlock+relock, holding %2d mutexes: %6.2f us\n" k
+        (unlock_cost k))
+    [ 1; 4; 16; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ada layering overhead (the paper's motivating claim)                 *)
+(* ------------------------------------------------------------------ *)
+
+let ada () =
+  sep "Ada runtime layering overhead";
+  (* the claim: "the overhead of layering a runtime system on top of
+     Pthreads is not prohibitive".  Compare one full rendezvous against the
+     raw primitives it is built from. *)
+  let rendezvous_cost () =
+    let r = ref nan in
+    ignore
+      (Pthread.run (fun proc ->
+           let g = Tasking.Task_rt.make_group proc () in
+           let e : (int, int) Tasking.Task_rt.entry = Tasking.Task_rt.entry g () in
+           let rounds = 200 in
+           let server =
+             Tasking.Task_rt.spawn proc (fun () ->
+                 for _ = 1 to rounds do
+                   Tasking.Task_rt.accept e (fun x -> x + 1)
+                 done)
+           in
+           let t0 = Pthread.now proc in
+           for i = 1 to rounds do
+             ignore (Tasking.Task_rt.call e i : int)
+           done;
+           r := Vm.Clock.us_of_ns (Pthread.now proc - t0) /. float_of_int rounds;
+           ignore (Pthread.join proc server);
+           0));
+    !r
+  in
+  let cond_pingpong_cost () =
+    let r = ref nan in
+    ignore
+      (Pthread.run (fun proc ->
+           let m = Mutex.create proc () in
+           let c = Cond.create proc () in
+           let turn = ref `A in
+           let rounds = 200 in
+           let t =
+             Pthread.create_unit proc (fun () ->
+                 Mutex.lock proc m;
+                 for _ = 1 to rounds do
+                   while !turn <> `B do
+                     ignore (Cond.wait proc c m)
+                   done;
+                   turn := `A;
+                   Cond.signal proc c
+                 done;
+                 Mutex.unlock proc m)
+           in
+           let t0 = Pthread.now proc in
+           Mutex.lock proc m;
+           for _ = 1 to rounds do
+             turn := `B;
+             Cond.signal proc c;
+             while !turn <> `A do
+               ignore (Cond.wait proc c m)
+             done
+           done;
+           Mutex.unlock proc m;
+           let t1 = Pthread.now proc in
+           ignore (Pthread.join proc t);
+           r := Vm.Clock.us_of_ns (t1 - t0) /. float_of_int rounds;
+           0));
+    !r
+  in
+  let rdv = rendezvous_cost () in
+  let raw = cond_pingpong_cost () in
+  let sem = Metrics.semaphore_synchronization Cost_model.sparc_ipx in
+  Printf.printf "Ada rendezvous (call+accept)   %7.1f us\n" rdv;
+  Printf.printf "raw condvar round trip         %7.1f us\n" raw;
+  Printf.printf "semaphore P+V (Table 2)        %7.1f us\n" sem;
+  Printf.printf "layering factor vs raw condvar: %.2fx\n" (rdv /. raw)
+
+(* ------------------------------------------------------------------ *)
+(* Shared (cross-process) synchronization overhead                      *)
+(* ------------------------------------------------------------------ *)
+
+let shared () =
+  sep "Cross-process synchronization (the paper's future-work item)";
+  (* local baseline: a contended handoff between two threads of one
+     process (Table 2's contended mutex row) *)
+  let local = Metrics.mutex_pair_contended Cost_model.sparc_ipx in
+  (* shared: the same handoff between threads of two different processes
+     through a mutex in the shared data space *)
+  let shared_cost =
+    let m = Machine.create () in
+    let sm = Shared.mutex_create () in
+    let rounds = 100 in
+    let r = ref nan in
+    ignore
+      (Machine.spawn m ~name:"P1" (fun proc ->
+           let t0 = Pthread.now proc in
+           for _ = 1 to rounds do
+             Shared.lock proc sm;
+             Shared.unlock proc sm;
+             Pthread.delay proc ~ns:5_000
+           done;
+           r := Vm.Clock.us_of_ns (Pthread.now proc - t0) /. float_of_int rounds;
+           0));
+    ignore
+      (Machine.spawn m ~name:"P2" (fun proc ->
+           for _ = 1 to rounds do
+             Shared.lock proc sm;
+             Shared.unlock proc sm;
+             Pthread.delay proc ~ns:5_000
+           done;
+           0));
+    ignore (Machine.run m);
+    !r
+  in
+  Printf.printf "contended handoff, local mutex (one process):   %7.1f us\n" local;
+  Printf.printf "lock+unlock round, shared mutex (two processes):%7.1f us\n"
+    shared_cost;
+  print_endline
+    "(as the paper predicts, enforcing synchronization across process\n\
+     boundaries from a library is more expensive: shared-memory charges\n\
+     plus machine-level process switches on every handoff; and no priority\n\
+     protocol can be enforced across processes)"
+
+(* ------------------------------------------------------------------ *)
+(* Blocking vs non-blocking kernel calls (Open Problems)                *)
+(* ------------------------------------------------------------------ *)
+
+let blockingio () =
+  sep "Non-Blocking Kernel Calls (Open Problems)";
+  (* N threads each alternate 1 ms of computation with 1 ms of file I/O.
+     With blocking reads the whole process stalls for every I/O; with
+     asynchronous I/O only the calling thread sleeps and the other threads'
+     computation hides the latency — the improvement Marsh & Scott's
+     kernel/user interface (and modern async I/O) gives a library
+     implementation. *)
+  let workload n_threads io =
+    let r = ref nan in
+    ignore
+      (Pthread.run (fun proc ->
+           let body () =
+             for _ = 1 to 3 do
+               Pthread.busy proc ~ns:1_000_000;
+               io proc
+             done
+           in
+           let ts = List.init n_threads (fun _ -> Pthread.create_unit proc body) in
+           let t0 = Pthread.now proc in
+           List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+           r := Vm.Clock.us_of_ns (Pthread.now proc - t0) /. 1e3;
+           0));
+    !r
+  in
+  let blocking proc = Signal_api.blocking_read proc ~latency_ns:1_000_000 in
+  let async proc = Signal_api.aio_read proc ~latency_ns:1_000_000 in
+  Printf.printf "%-10s %14s %14s\n" "threads" "blocking (ms)" "async+sigio (ms)";
+  List.iter
+    (fun n ->
+      Printf.printf "%-10d %14.2f %14.2f\n" n
+        (workload n blocking) (workload n async))
+    [ 1; 2; 4; 8 ];
+  print_endline
+    "(blocking reads serialize the whole process: ~n*(compute+io); with\n\
+     asynchronous I/O the other threads' computation hides the latency --\n\
+     the paper's argument for non-blocking kernel interfaces)"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: wall-clock cost of the implementation itself               *)
+(* ------------------------------------------------------------------ *)
+
+let wall () =
+  sep "Bechamel: wall-clock time of the OCaml implementation (host machine)";
+  let open Bechamel in
+  let open Toolkit in
+  let runner body = Staged.stage (fun () -> ignore (Pthread.run body)) in
+  let tests =
+    [
+      Test.make ~name:"table2/kernel-enter-exit"
+        (runner (fun proc ->
+             for _ = 1 to 100 do
+               Engine.enter_kernel proc;
+               Engine.leave_kernel proc
+             done;
+             0));
+      Test.make ~name:"table2/mutex-uncontended"
+        (runner (fun proc ->
+             let m = Mutex.create proc () in
+             for _ = 1 to 100 do
+               Mutex.lock proc m;
+               Mutex.unlock proc m
+             done;
+             0));
+      Test.make ~name:"table2/mutex-contended"
+        (runner (fun proc ->
+             let m = Mutex.create proc () in
+             Mutex.lock proc m;
+             let t =
+               Pthread.create_unit proc
+                 ~attr:(Attr.with_prio 20 Attr.default)
+                 (fun () ->
+                   Mutex.lock proc m;
+                   Mutex.unlock proc m)
+             in
+             Mutex.unlock proc m;
+             ignore (Pthread.join proc t);
+             0));
+      Test.make ~name:"table2/semaphore-sync"
+        (runner (fun proc ->
+             let ping = Psem.Semaphore.create proc 0 in
+             let pong = Psem.Semaphore.create proc 0 in
+             let t =
+               Pthread.create_unit proc (fun () ->
+                   for _ = 1 to 10 do
+                     Psem.Semaphore.wait proc ping;
+                     Psem.Semaphore.post proc pong
+                   done)
+             in
+             for _ = 1 to 10 do
+               Psem.Semaphore.post proc ping;
+               Psem.Semaphore.wait proc pong
+             done;
+             ignore (Pthread.join proc t);
+             0));
+      Test.make ~name:"table2/thread-create"
+        (runner (fun proc ->
+             let attr = Attr.with_prio 1 Attr.default in
+             let ts =
+               List.init 8 (fun _ -> Pthread.create proc ~attr (fun () -> 0))
+             in
+             List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+             0));
+      Test.make ~name:"table2/setjmp-longjmp"
+        (runner (fun proc ->
+             for _ = 1 to 100 do
+               match Jmp.catch proc (fun buf -> Jmp.longjmp proc buf 1) with
+               | Jmp.Jumped _ -> ()
+               | Jmp.Returned _ -> assert false
+             done;
+             0));
+      Test.make ~name:"table2/yield-switch"
+        (runner (fun proc ->
+             let t =
+               Pthread.create_unit proc (fun () ->
+                   for _ = 1 to 50 do
+                     Pthread.yield proc
+                   done)
+             in
+             for _ = 1 to 50 do
+               Pthread.yield proc
+             done;
+             ignore (Pthread.join proc t);
+             0));
+      Test.make ~name:"table2/signal-internal"
+        (runner (fun proc ->
+             Signal_api.set_action proc Sigset.sigusr1
+               (Types.Sig_handler
+                  { h_mask = Sigset.empty; h_fn = (fun ~signo:_ ~code:_ -> ()) });
+             let t =
+               Pthread.create_unit proc
+                 ~attr:(Attr.with_prio 20 Attr.default)
+                 (fun () -> Pthread.delay proc ~ns:10_000_000)
+             in
+             for _ = 1 to 10 do
+               Signal_api.kill proc t Sigset.sigusr1
+             done;
+             Cancel.cancel proc t;
+             ignore (Pthread.join proc t);
+             0));
+      Test.make ~name:"table2/signal-external"
+        (runner (fun proc ->
+             Signal_api.set_action proc Sigset.sigusr1
+               (Types.Sig_handler
+                  { h_mask = Sigset.empty; h_fn = (fun ~signo:_ ~code:_ -> ()) });
+             for _ = 1 to 10 do
+               Signal_api.send_to_process proc Sigset.sigusr1;
+               Pthread.checkpoint proc
+             done;
+             0));
+      Test.make ~name:"figure5/inversion-scenario"
+        (runner (fun proc ->
+             let m = Mutex.create proc ~protocol:Types.Inherit_protocol () in
+             let p1 =
+               Pthread.create_unit proc
+                 ~attr:(Attr.with_prio 5 Attr.default)
+                 (fun () ->
+                   Mutex.lock proc m;
+                   Pthread.busy proc ~ns:100_000;
+                   Mutex.unlock proc m)
+             in
+             Pthread.delay proc ~ns:20_000;
+             let p3 =
+               Pthread.create_unit proc
+                 ~attr:(Attr.with_prio 20 Attr.default)
+                 (fun () ->
+                   Mutex.lock proc m;
+                   Mutex.unlock proc m)
+             in
+             List.iter (fun t -> ignore (Pthread.join proc t)) [ p1; p3 ];
+             0));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let tbl = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] -> Printf.printf "%-34s %12.1f ns/run\n" name ns
+          | Some _ | None -> Printf.printf "%-34s (no estimate)\n" name)
+        tbl)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--") args in
+  let want s = args = [] || List.mem s args in
+  if want "table2" then table2 ();
+  if want "table1" then table1 ();
+  if want "table3" then table3 ();
+  if want "table4" then table4 ();
+  if want "figure5" then figure5 ();
+  if want "perverted" then perverted ();
+  if want "ablation" then ablation ();
+  if want "scaling" then scaling ();
+  if want "ada" then ada ();
+  if want "shared" then shared ();
+  if want "blockingio" then blockingio ();
+  if want "wall" then wall ()

@@ -1,0 +1,358 @@
+(* Table 2 performance metrics, measured by the paper's "dual loop timing
+   analysis" on the virtual clock: time a loop around the operation,
+   subtract the loop overhead (zero on a virtual clock), divide by the
+   iteration count.  Every metric returns microseconds per operation. *)
+
+open Pthreads
+module Sigset = Vm.Sigset
+module Cost_model = Vm.Cost_model
+module Unix_process = Vm.Unix_process
+
+let iterations = 1_000
+
+let us_per ~t0 ~t1 ~n = Vm.Clock.us_of_ns (t1 - t0) /. float_of_int n
+
+(* Run a measurement body inside a simulated process and return its
+   result. *)
+let in_proc ?policy ?main_prio profile f =
+  let result = ref nan in
+  let status, _ =
+    Pthread.run ~profile ?policy ?main_prio (fun proc ->
+        result := f proc;
+        0)
+  in
+  (match status with
+  | Some (Types.Exited 0) -> ()
+  | _ -> failwith "metric run did not complete");
+  !result
+
+(* --- enter and exit Pthreads kernel --------------------------------- *)
+let pthreads_kernel_enter_exit profile =
+  in_proc profile (fun proc ->
+      let t0 = Pthread.now proc in
+      for _ = 1 to iterations do
+        Engine.enter_kernel proc;
+        Engine.leave_kernel proc
+      done;
+      us_per ~t0 ~t1:(Pthread.now proc) ~n:iterations)
+
+(* --- enter and exit UNIX kernel (getpid) ---------------------------- *)
+let unix_kernel_enter_exit profile =
+  let k = Vm.Unix_kernel.create profile in
+  let t0 = Vm.Unix_kernel.now k in
+  for _ = 1 to iterations do
+    ignore (Vm.Unix_kernel.getpid k : int)
+  done;
+  us_per ~t0 ~t1:(Vm.Unix_kernel.now k) ~n:iterations
+
+(* --- mutex lock/unlock, no contention ------------------------------- *)
+let mutex_pair_uncontended profile =
+  in_proc profile (fun proc ->
+      let m = Mutex.create proc () in
+      let t0 = Pthread.now proc in
+      for _ = 1 to iterations do
+        Mutex.lock proc m;
+        Mutex.unlock proc m
+      done;
+      us_per ~t0 ~t1:(Pthread.now proc) ~n:iterations)
+
+(* --- mutex lock/unlock with contention ------------------------------
+   The paper's definition: the interval between an unlock by thread A and
+   the return from the lock operation by thread B, which suspended while A
+   held the mutex. *)
+let mutex_pair_contended profile =
+  in_proc profile (fun proc ->
+      let n = 200 in
+      let m = Mutex.create proc () in
+      let go = Psem.Semaphore.create proc 0 in
+      let acc = ref 0 in
+      let t0 = ref 0 in
+      Mutex.lock proc m;
+      let b =
+        Pthread.create_unit proc
+          ~attr:(Attr.with_prio 20 Attr.default)
+          (fun () ->
+            for _ = 1 to n do
+              (* wait for A to be ready, then suspend on the held mutex *)
+              Psem.Semaphore.wait proc go;
+              Mutex.lock proc m;
+              acc := !acc + (Pthread.now proc - !t0);
+              Mutex.unlock proc m
+            done)
+      in
+      for _ = 1 to n do
+        Psem.Semaphore.post proc go;
+        (* wait until B suspends on the mutex *)
+        while Mutex.waiter_count m = 0 do
+          Pthread.checkpoint proc;
+          Pthread.busy proc ~ns:1_000
+        done;
+        t0 := Pthread.now proc;
+        Mutex.unlock proc m;
+        (* B preempted, measured, released; take the mutex back *)
+        Mutex.lock proc m
+      done;
+      Mutex.unlock proc m;
+      ignore (Pthread.join proc b);
+      Vm.Clock.us_of_ns !acc /. float_of_int n)
+
+(* --- semaphore synchronization (one P plus one V) -------------------- *)
+let semaphore_synchronization profile =
+  in_proc profile (fun proc ->
+      let n = 500 in
+      let ping = Psem.Semaphore.create proc 0 in
+      let pong = Psem.Semaphore.create proc 0 in
+      let t =
+        Pthread.create_unit proc (fun () ->
+            for _ = 1 to n do
+              Psem.Semaphore.wait proc ping;
+              Psem.Semaphore.post proc pong
+            done)
+      in
+      let t0 = Pthread.now proc in
+      for _ = 1 to n do
+        Psem.Semaphore.post proc ping;
+        Psem.Semaphore.wait proc pong
+      done;
+      let t1 = Pthread.now proc in
+      ignore (Pthread.join proc t);
+      (* each round is two P and two V operations *)
+      us_per ~t0 ~t1 ~n:(2 * n))
+
+(* --- thread creation, no context switch ------------------------------
+   TCB and stack come from the preallocated pool; the created thread has a
+   lower priority, so no switch happens (Sun's "unbound thread creation"
+   makes the same assumptions). *)
+let thread_create profile =
+  in_proc profile (fun proc ->
+      let rounds = 50 and batch = 8 in
+      let attr = Attr.with_prio 1 Attr.default in
+      let acc = ref 0 in
+      for _ = 1 to rounds do
+        let ts = ref [] in
+        for _ = 1 to batch do
+          let t0 = Pthread.now proc in
+          let t = Pthread.create proc ~attr (fun () -> 0) in
+          acc := !acc + (Pthread.now proc - t0);
+          ts := t :: !ts
+        done;
+        (* reap outside the timed region *)
+        List.iter (fun t -> ignore (Pthread.join proc t)) !ts
+      done;
+      Vm.Clock.us_of_ns !acc /. float_of_int (rounds * batch))
+
+(* --- setjmp/longjmp pair --------------------------------------------- *)
+let setjmp_longjmp profile =
+  in_proc profile (fun proc ->
+      let t0 = Pthread.now proc in
+      for _ = 1 to iterations do
+        match Jmp.catch proc (fun buf -> Jmp.longjmp proc buf 1) with
+        | Jmp.Jumped _ -> ()
+        | Jmp.Returned _ -> assert false
+      done;
+      us_per ~t0 ~t1:(Pthread.now proc) ~n:iterations)
+
+(* --- thread context switch (yield) ----------------------------------- *)
+let thread_context_switch profile =
+  in_proc profile (fun proc ->
+      let n = 500 in
+      let t =
+        Pthread.create_unit proc (fun () ->
+            for _ = 1 to n do
+              Pthread.yield proc
+            done)
+      in
+      let t0 = Pthread.now proc in
+      for _ = 1 to n do
+        Pthread.yield proc
+      done;
+      let t1 = Pthread.now proc in
+      ignore (Pthread.join proc t);
+      (* each main-loop yield is one switch away plus one switch back *)
+      us_per ~t0 ~t1 ~n:(2 * n))
+
+(* --- UNIX process context switch and signal handler ------------------ *)
+let unix_process_context_switch profile =
+  Unix_process.context_switch_ns profile ~iterations:500 /. 1e3
+
+let unix_signal_handler profile =
+  Unix_process.signal_roundtrip_ns profile ~iterations:500 /. 1e3
+
+(* --- thread signal handler, internal ---------------------------------
+   Time from pthread_kill until the user handler starts executing on the
+   (higher-priority, suspended) receiving thread. *)
+let thread_signal_internal profile =
+  in_proc profile (fun proc ->
+      let n = 200 in
+      let t1 = ref 0 and acc = ref 0 in
+      Signal_api.set_action proc Sigset.sigusr1
+        (Types.Sig_handler
+           {
+             h_mask = Sigset.empty;
+             h_fn = (fun ~signo:_ ~code:_ -> t1 := Pthread.now proc);
+           });
+      let receiver =
+        Pthread.create_unit proc
+          ~attr:(Attr.with_prio 20 Attr.default)
+          (fun () ->
+            (* sleeps; each signal interrupts the sleep, runs the handler
+               and goes back to sleeping *)
+            Pthread.delay proc ~ns:1_000_000_000)
+      in
+      Pthread.yield proc;
+      for _ = 1 to n do
+        let t0 = Pthread.now proc in
+        Signal_api.kill proc receiver Sigset.sigusr1;
+        acc := !acc + (!t1 - t0)
+      done;
+      ignore (Cancel.set_type proc Types.Cancel_asynchronous);
+      Cancel.cancel proc receiver;
+      ignore (Pthread.join proc receiver);
+      Vm.Clock.us_of_ns !acc /. float_of_int n)
+
+(* --- thread signal handler, external ----------------------------------
+   The signal is directed at the process and demultiplexed: UNIX delivery
+   of the universal handler, two sigsetmask calls, recipient resolution,
+   fake call, dispatch. *)
+let thread_signal_external profile =
+  in_proc profile (fun proc ->
+      let n = 200 in
+      let t1 = ref 0 and acc = ref 0 in
+      Signal_api.set_action proc Sigset.sigusr1
+        (Types.Sig_handler
+           {
+             h_mask = Sigset.empty;
+             h_fn = (fun ~signo:_ ~code:_ -> t1 := Pthread.now proc);
+           });
+      (* main masks the signal so the receiver is the only eligible
+         thread *)
+      ignore (Signal_api.set_mask proc `Block (Sigset.singleton Sigset.sigusr1));
+      let receiver =
+        Pthread.create_unit proc
+          ~attr:(Attr.with_prio 20 Attr.default)
+          (fun () -> Pthread.delay proc ~ns:1_000_000_000)
+      in
+      Pthread.yield proc;
+      for _ = 1 to n do
+        let t0 = Pthread.now proc in
+        Signal_api.send_to_process proc Sigset.sigusr1;
+        (* the checkpoint inside send_to_process runs the universal
+           handler; the receiver preempts and runs the user handler *)
+        acc := !acc + (!t1 - t0)
+      done;
+      ignore (Cancel.set_type proc Types.Cancel_asynchronous);
+      Cancel.cancel proc receiver;
+      ignore (Pthread.join proc receiver);
+      Vm.Clock.us_of_ns !acc /. float_of_int n)
+
+(* --- Table 2 assembled ------------------------------------------------ *)
+
+type row = {
+  metric : string;
+  sun_1plus : float option;  (** published: SunOS LWP on SPARC 1+ *)
+  paper_1plus : float option;  (** published: the paper's library, SPARC 1+ *)
+  paper_ipx : float option;  (** published: the paper's library, SPARC IPX *)
+  lynx_ipx : float option;  (** published: LynxOS pre-release, SPARC IPX *)
+  measure : Cost_model.profile -> float;
+}
+
+(* The published numbers of Table 2. *)
+let rows =
+  [
+    {
+      metric = "enter and exit Pthreads kernel";
+      sun_1plus = None;
+      paper_1plus = None;
+      paper_ipx = Some 0.4;
+      lynx_ipx = Some 7.5;
+      measure = pthreads_kernel_enter_exit;
+    };
+    {
+      metric = "enter and exit UNIX kernel";
+      sun_1plus = None;
+      paper_1plus = None;
+      paper_ipx = Some 18.0;
+      lynx_ipx = None;
+      measure = unix_kernel_enter_exit;
+    };
+    {
+      metric = "mutex lock/unlock, no contention";
+      sun_1plus = None;
+      paper_1plus = None;
+      paper_ipx = Some 1.0;
+      lynx_ipx = Some 5.0;
+      measure = mutex_pair_uncontended;
+    };
+    {
+      metric = "mutex lock/unlock, contention";
+      sun_1plus = None;
+      paper_1plus = None;
+      paper_ipx = Some 51.0;
+      lynx_ipx = None;
+      measure = mutex_pair_contended;
+    };
+    {
+      metric = "semaphore synchronization";
+      sun_1plus = Some 158.0;
+      paper_1plus = Some 101.0;
+      paper_ipx = Some 55.0;
+      lynx_ipx = Some 75.0;
+      measure = semaphore_synchronization;
+    };
+    {
+      metric = "thread create, no context switch";
+      sun_1plus = Some 56.0;
+      paper_1plus = Some 25.0;
+      paper_ipx = Some 12.0;
+      lynx_ipx = None;
+      measure = thread_create;
+    };
+    {
+      metric = "setjmp/longjmp pair";
+      sun_1plus = Some 59.0;
+      paper_1plus = Some 49.0;
+      paper_ipx = Some 29.0;
+      lynx_ipx = None;
+      measure = setjmp_longjmp;
+    };
+    {
+      metric = "thread context switch (yield)";
+      sun_1plus = None;
+      paper_1plus = None;
+      paper_ipx = Some 37.0;
+      lynx_ipx = Some 38.0;
+      measure = thread_context_switch;
+    };
+    {
+      metric = "UNIX process context switch";
+      sun_1plus = None;
+      paper_1plus = None;
+      paper_ipx = Some 123.0;
+      lynx_ipx = Some 41.0;
+      measure = unix_process_context_switch;
+    };
+    {
+      metric = "thread signal handler (internal)";
+      sun_1plus = None;
+      paper_1plus = None;
+      paper_ipx = Some 52.0;
+      lynx_ipx = None;
+      measure = thread_signal_internal;
+    };
+    {
+      metric = "thread signal handler (external)";
+      sun_1plus = None;
+      paper_1plus = None;
+      paper_ipx = Some 250.0;
+      lynx_ipx = None;
+      measure = thread_signal_external;
+    };
+    {
+      metric = "UNIX signal handler";
+      sun_1plus = None;
+      paper_1plus = None;
+      paper_ipx = Some 154.0;
+      lynx_ipx = None;
+      measure = unix_signal_handler;
+    };
+  ]

@@ -1,0 +1,323 @@
+(* Command-line driver for the simulated Pthreads library: run the paper's
+   scenarios interactively with different protocols, scheduling policies and
+   seeds.
+
+     pthreads_demo fig5 --protocol inherit
+     pthreads_demo table4 --mode stack
+     pthreads_demo philosophers --policy random --seeds 50
+     pthreads_demo pingpong --policy rr --quantum 20
+     pthreads_demo stats *)
+
+open Cmdliner
+open Pthreads
+
+(* ---------------- fig5 ---------------- *)
+
+let protocol_conv =
+  Arg.enum [ ("none", `None); ("inherit", `Inherit); ("ceiling", `Ceiling) ]
+
+let fig5 protocol bucket_us =
+  let proc =
+    Pthread.make_proc ~trace:true (fun proc ->
+        let m =
+          match protocol with
+          | `None -> Mutex.create proc ~name:"m" ()
+          | `Inherit -> Mutex.create proc ~name:"m" ~protocol:Types.Inherit_protocol ()
+          | `Ceiling ->
+              Mutex.create proc ~name:"m" ~protocol:Types.Ceiling_protocol ~ceiling:20 ()
+        in
+        let mk name prio body =
+          Pthread.create_unit proc
+            ~attr:(Attr.with_prio prio (Attr.with_name name Attr.default))
+            body
+        in
+        let p1 =
+          mk "P1" 5 (fun () ->
+              Mutex.lock proc m;
+              Pthread.busy proc ~ns:1_000_000;
+              Mutex.unlock proc m;
+              Pthread.busy proc ~ns:200_000)
+        in
+        Pthread.delay proc ~ns:300_000;
+        let p3 =
+          mk "P3" 20 (fun () ->
+              Pthread.busy proc ~ns:100_000;
+              Mutex.lock proc m;
+              Pthread.busy proc ~ns:300_000;
+              Mutex.unlock proc m)
+        in
+        let p2 = mk "P2" 10 (fun () -> Pthread.busy proc ~ns:2_000_000) in
+        List.iter (fun t -> ignore (Pthread.join proc t)) [ p1; p3; p2 ];
+        0)
+  in
+  Pthread.start proc;
+  print_string (Pthread.gantt proc ~bucket_ns:(bucket_us * 1000));
+  Format.printf "%a@." Engine.pp_stats (Pthread.stats proc)
+
+let fig5_cmd =
+  let protocol =
+    Arg.(value & opt protocol_conv `None & info [ "protocol"; "p" ]
+           ~doc:"Mutex protocol: none, inherit or ceiling.")
+  in
+  let bucket =
+    Arg.(value & opt int 50 & info [ "bucket" ] ~doc:"Gantt cell width in us.")
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Run the Figure 5 priority-inversion scenario")
+    Term.(const fig5 $ protocol $ bucket)
+
+(* ---------------- table4 ---------------- *)
+
+let table4 mode =
+  let mode =
+    match mode with `Stack -> Types.Stack_pop | `Recompute -> Types.Recompute
+  in
+  ignore
+    (Pthread.run ~ceiling_mode:mode ~main_prio:0 (fun proc ->
+         let inht = Mutex.create proc ~name:"inht" ~protocol:Types.Inherit_protocol () in
+         let ceil =
+           Mutex.create proc ~name:"ceil" ~protocol:Types.Ceiling_protocol ~ceiling:1 ()
+         in
+         let self = Pthread.self proc in
+         let step n action =
+           Printf.printf "%d  %-13s prio=%d\n" n action
+             (Pthread.get_priority proc self)
+         in
+         Mutex.lock proc inht;
+         step 1 "lock(inht)";
+         Mutex.lock proc ceil;
+         step 2 "lock(ceil)";
+         let hi =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 2 Attr.default)
+             (fun () ->
+               Mutex.lock proc inht;
+               Mutex.unlock proc inht)
+         in
+         Pthread.yield proc;
+         step 3 "(contention)";
+         Mutex.unlock proc ceil;
+         step 4 "unlock(ceil)";
+         Mutex.unlock proc inht;
+         step 5 "unlock(inht)";
+         ignore (Pthread.join proc hi);
+         0))
+
+let table4_cmd =
+  let mode =
+    Arg.(value
+         & opt (enum [ ("stack", `Stack); ("recompute", `Recompute) ]) `Stack
+         & info [ "mode"; "m" ]
+             ~doc:"Ceiling unlock: SRP stack pop or inheritance-style recompute.")
+  in
+  Cmd.v
+    (Cmd.info "table4" ~doc:"Run the Table 4 protocol-mixing scenario")
+    Term.(const table4 $ mode)
+
+(* ---------------- philosophers ---------------- *)
+
+let policy_conv =
+  Arg.enum
+    [
+      ("fifo", Types.No_perversion);
+      ("mutex", Types.Mutex_switch);
+      ("rr", Types.Rr_ordered_switch);
+      ("random", Types.Random_switch);
+    ]
+
+let philosophers policy seeds =
+  let n = 5 in
+  let dinner seed =
+    Pthread.run ~perverted:policy ~seed (fun proc ->
+        let forks = Array.init n (fun i -> Mutex.create proc ~name:(Printf.sprintf "fork-%d" i) ()) in
+        let ts =
+          List.init n (fun i ->
+              Pthread.create_unit proc (fun () ->
+                  let left = forks.(i) and right = forks.((i + 1) mod n) in
+                  for _ = 1 to 3 do
+                    Pthread.busy proc ~ns:5_000;
+                    Mutex.lock proc left;
+                    Pthread.checkpoint proc;
+                    Mutex.lock proc right;
+                    Pthread.busy proc ~ns:5_000;
+                    Mutex.unlock proc right;
+                    Mutex.unlock proc left
+                  done))
+        in
+        List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+        0)
+  in
+  let deadlocks = ref 0 in
+  for seed = 1 to seeds do
+    match dinner seed with
+    | _ -> ()
+    | exception Types.Process_stopped (Types.Deadlock _) -> incr deadlocks
+  done;
+  Printf.printf "naive dining philosophers: %d/%d seeds deadlocked\n" !deadlocks seeds
+
+let philosophers_cmd =
+  let policy =
+    Arg.(value & opt policy_conv Types.Random_switch
+         & info [ "policy" ] ~doc:"Perverted scheduling policy.")
+  in
+  let seeds =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Number of seeds to try.")
+  in
+  Cmd.v
+    (Cmd.info "philosophers"
+       ~doc:"Hunt the dining-philosophers deadlock with perverted scheduling")
+    Term.(const philosophers $ policy $ seeds)
+
+(* ---------------- pingpong ---------------- *)
+
+let pingpong quantum_us rounds =
+  let _, stats =
+    Pthread.run ~policy:(Types.Round_robin (quantum_us * 1000)) (fun proc ->
+        let worker name =
+          Pthread.create_unit proc
+            ~attr:(Attr.with_name name Attr.default)
+            (fun () ->
+              for _ = 1 to rounds do
+                Pthread.busy proc ~ns:15_000
+              done)
+        in
+        let a = worker "A" and b = worker "B" in
+        ignore (Pthread.join proc a);
+        ignore (Pthread.join proc b);
+        0)
+  in
+  Format.printf "%a@." Engine.pp_stats stats
+
+let pingpong_cmd =
+  let quantum =
+    Arg.(value & opt int 20 & info [ "quantum" ] ~doc:"RR time slice in us.")
+  in
+  let rounds = Arg.(value & opt int 20 & info [ "rounds" ] ~doc:"Busy rounds.") in
+  Cmd.v
+    (Cmd.info "pingpong" ~doc:"Two busy threads under round-robin time slicing")
+    Term.(const pingpong $ quantum $ rounds)
+
+(* ---------------- stats ---------------- *)
+
+let stats () =
+  let _, stats =
+    Pthread.run (fun proc ->
+        let m = Mutex.create proc () in
+        let c = Cond.create proc () in
+        let box = ref 0 in
+        let ts =
+          List.init 4 (fun _ ->
+              Pthread.create_unit proc (fun () ->
+                  for _ = 1 to 10 do
+                    Mutex.lock proc m;
+                    incr box;
+                    Cond.signal proc c;
+                    Mutex.unlock proc m;
+                    Pthread.busy proc ~ns:10_000
+                  done))
+        in
+        List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+        0)
+  in
+  Format.printf "%a@." Engine.pp_stats stats;
+  Printf.printf "trap detail:\n";
+  List.iter
+    (fun (name, n) -> Printf.printf "  %-12s %d\n" name n)
+    stats.Engine.trap_detail
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Run a mixed workload and print the statistics")
+    Term.(const stats $ const ())
+
+(* ---------------- machine ---------------- *)
+
+let machine_demo procs_n =
+  let m = Machine.create () in
+  let sm = Shared.mutex_create ~name:"shm" () in
+  let counter = ref 0 in
+  for i = 1 to procs_n do
+    ignore
+      (Machine.spawn m ~name:(Printf.sprintf "proc-%d" i) (fun proc ->
+           for _ = 1 to 5 do
+             Shared.lock proc sm;
+             incr counter;
+             Pthread.busy proc ~ns:20_000;
+             Shared.unlock proc sm;
+             Pthread.delay proc ~ns:10_000
+           done;
+           0))
+  done;
+  let results = Machine.run m in
+  List.iter
+    (fun (name, r) ->
+      Printf.printf "%-8s %s
+" name
+        (match r with
+        | Machine.Completed (Some st) ->
+            Format.asprintf "%a" Types.pp_exit_status st
+        | Machine.Completed None -> "completed"
+        | Machine.Stopped sr -> Format.asprintf "%a" Types.pp_stop_reason sr))
+    results;
+  Printf.printf "shared counter: %d (expected %d)
+" !counter (5 * procs_n)
+
+let machine_cmd =
+  let n =
+    Arg.(value & opt int 3 & info [ "procs" ] ~doc:"Number of processes.")
+  in
+  Cmd.v
+    (Cmd.info "machine"
+       ~doc:"Several processes contending on a shared (cross-process) mutex")
+    Term.(const machine_demo $ n)
+
+(* ---------------- ps ---------------- *)
+
+let ps () =
+  (* run a workload and print Debugger snapshots at fixed intervals *)
+  ignore
+    (Pthread.run (fun proc ->
+         let mx = Mutex.create proc ~name:"mx" () in
+         ignore
+           (Pthread.create_unit proc
+              ~attr:(Attr.with_name "worker" (Attr.with_prio 6 Attr.default))
+              (fun () ->
+                Mutex.lock proc mx;
+                Pthread.busy proc ~ns:600_000;
+                Mutex.unlock proc mx));
+         ignore
+           (Pthread.create_unit proc
+              ~attr:(Attr.with_name "waiter" (Attr.with_prio 6 Attr.default))
+              (fun () ->
+                Pthread.delay proc ~ns:50_000;
+                Mutex.lock proc mx;
+                Mutex.unlock proc mx));
+         ignore
+           (Pthread.create_unit proc
+              ~attr:(Attr.with_name "sleeper" Attr.default)
+              (fun () -> Pthread.delay proc ~ns:900_000));
+         for _ = 1 to 3 do
+           Pthread.delay proc ~ns:300_000;
+           Format.printf "--- t = %.1f us ---@.%a@."
+             (float_of_int (Pthread.now proc) /. 1e3)
+             Debugger.pp_process proc
+         done;
+         0))
+
+let ps_cmd =
+  Cmd.v
+    (Cmd.info "ps" ~doc:"Run a workload and print periodic thread listings")
+    Term.(const ps $ const ())
+
+let () =
+  let info =
+    Cmd.info "pthreads_demo" ~version:"1.0"
+      ~doc:"Scenarios from 'A Library Implementation of POSIX Threads under UNIX'"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig5_cmd; table4_cmd; philosophers_cmd; pingpong_cmd; stats_cmd;
+            machine_cmd; ps_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/ada_tasking.ml: Engine Printf Pthread Pthreads Tasking

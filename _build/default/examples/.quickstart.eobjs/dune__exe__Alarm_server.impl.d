@@ -1,0 +1,1 @@
+examples/alarm_server.ml: Attr Cond Debugger Format List Mutex Printf Pthread Pthreads Types Vm

@@ -1,0 +1,1 @@
+examples/async_server.ml: Attr Cond Engine Hashtbl List Mutex Printf Psem Pthread Pthreads Queue Signal_api

@@ -1,0 +1,1 @@
+examples/dining_philosophers.ml: Array Attr List Mutex Printf Pthread Pthreads Types

@@ -1,0 +1,1 @@
+examples/parallel_phases.ml: Attr Engine Hashtbl List Printf Psem Pthread Pthreads Types

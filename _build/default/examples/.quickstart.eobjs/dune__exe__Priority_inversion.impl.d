@@ -1,0 +1,1 @@
+examples/priority_inversion.ml: Attr List Mutex Printf Pthread Pthreads String Types

@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Attr Cond Engine List Mutex Printf Psem Pthread Pthreads Queue Types

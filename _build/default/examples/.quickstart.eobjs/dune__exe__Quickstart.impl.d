@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attr Cond Engine Format Mutex Option Printf Pthread Pthreads Types

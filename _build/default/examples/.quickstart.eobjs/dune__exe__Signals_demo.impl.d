@@ -1,0 +1,1 @@
+examples/signals_demo.ml: Attr Cancel Cleanup Engine Format Printf Pthread Pthreads Signal_api Types Vm

@@ -1,0 +1,1 @@
+examples/signals_demo.mli:

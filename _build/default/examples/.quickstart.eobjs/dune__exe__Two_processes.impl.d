@@ -1,0 +1,1 @@
+examples/two_processes.ml: Format List Machine Printf Pthread Pthreads Queue Shared Types

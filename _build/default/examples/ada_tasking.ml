@@ -1,0 +1,73 @@
+(* The paper's motivating application: an Ada-style runtime layered on the
+   Pthreads API.  A bank-teller task serves deposit/withdraw/balance
+   entries with a selective accept, guarded the Ada way.
+
+   Run with: dune exec examples/ada_tasking.exe *)
+
+open Pthreads
+module Task_rt = Tasking.Task_rt
+open Task_rt
+
+let () =
+  let _, stats =
+    Pthread.run (fun proc ->
+        let g = make_group proc ~name:"bank" () in
+        let deposit : (int, unit) entry = entry g ~name:"deposit" () in
+        let withdraw : (int, bool) entry = entry g ~name:"withdraw" () in
+        let balance : (unit, int) entry = entry g ~name:"balance" () in
+        let shutdown : (unit, unit) entry = entry g ~name:"shutdown" () in
+
+        (* task body Teller is
+             loop
+               select
+                 accept Deposit (Amount) ...
+               or when Funds > 0 => accept Withdraw (Amount) ...
+               or accept Balance ...
+               or accept Shutdown; exit;
+               end select;
+             end loop; *)
+        let teller =
+          spawn proc ~name:"teller" ~prio:12 (fun () ->
+              let funds = ref 0 in
+              let running = ref true in
+              while !running do
+                let alts =
+                  [
+                    (deposit ==> fun amount -> funds := !funds + amount);
+                    when_ (!funds > 0)
+                      ( withdraw ==> fun amount ->
+                        if amount <= !funds then begin
+                          funds := !funds - amount;
+                          true
+                        end
+                        else false );
+                    (balance ==> fun () -> !funds);
+                    (shutdown ==> fun () -> running := false);
+                  ]
+                in
+                match select g alts with
+                | Accepted _ -> ()
+                | Timed_out | Would_block -> ()
+              done)
+        in
+
+        let customer name amount =
+          spawn proc ~name (fun () ->
+              call deposit amount;
+              Pthread.busy proc ~ns:10_000;
+              if call withdraw (amount / 2) then
+                Printf.printf "%s: withdrew %d\n" name (amount / 2))
+        in
+        let c1 = customer "alice" 100 in
+        let c2 = customer "bob" 60 in
+        ignore (Pthread.join proc c1);
+        ignore (Pthread.join proc c2);
+        let final = call balance () in
+        Printf.printf "final balance: %d (expected %d)\n" final (50 + 30);
+        call shutdown ();
+        ignore (Pthread.join proc teller);
+        0)
+  in
+  Printf.printf "layering overhead: %d context switches, %.2f ms virtual time\n"
+    stats.Engine.switches
+    (float_of_int stats.Engine.virtual_ns /. 1e6)

@@ -1,0 +1,112 @@
+(* A bounded buffer with multiple producers and consumers, built twice:
+   once with condition variables, once with the layered counting
+   semaphores — the two synchronization styles the paper discusses.
+
+   Run with: dune exec examples/producer_consumer.exe *)
+
+open Pthreads
+module Semaphore = Psem.Semaphore
+
+let n_producers = 3
+let n_consumers = 2
+let items_per_producer = 20
+let capacity = 4
+
+(* Version 1: mutex + two condition variables. *)
+let with_condvars proc =
+  let m = Mutex.create proc ~name:"buf.m" () in
+  let not_full = Cond.create proc ~name:"buf.not_full" () in
+  let not_empty = Cond.create proc ~name:"buf.not_empty" () in
+  let buf = Queue.create () in
+  let consumed = ref 0 in
+  let producer id =
+    Pthread.create_unit proc
+      ~attr:(Attr.with_name (Printf.sprintf "prod-%d" id) Attr.default)
+      (fun () ->
+        for i = 1 to items_per_producer do
+          Mutex.lock proc m;
+          while Queue.length buf >= capacity do
+            ignore (Cond.wait proc not_full m)
+          done;
+          Queue.push ((id * 1000) + i) buf;
+          Cond.signal proc not_empty;
+          Mutex.unlock proc m;
+          Pthread.busy proc ~ns:3_000 (* produce the next item *)
+        done)
+  in
+  let total = n_producers * items_per_producer in
+  let consumer id =
+    Pthread.create_unit proc
+      ~attr:(Attr.with_name (Printf.sprintf "cons-%d" id) Attr.default)
+      (fun () ->
+        let continue_ = ref true in
+        while !continue_ do
+          Mutex.lock proc m;
+          while Queue.is_empty buf && !consumed < total do
+            ignore (Cond.wait proc not_empty m)
+          done;
+          if !consumed >= total then continue_ := false
+          else begin
+            ignore (Queue.pop buf);
+            incr consumed;
+            if !consumed >= total then Cond.broadcast proc not_empty;
+            Cond.signal proc not_full
+          end;
+          Mutex.unlock proc m;
+          Pthread.busy proc ~ns:5_000 (* consume the item *)
+        done)
+  in
+  let ps = List.init n_producers producer in
+  let cs = List.init n_consumers consumer in
+  List.iter (fun t -> ignore (Pthread.join proc t)) (ps @ cs);
+  !consumed
+
+(* Version 2: counting semaphores (slots/items) as in the paper's layered
+   semaphore implementation. *)
+let with_semaphores proc =
+  let slots = Semaphore.create proc ~name:"slots" capacity in
+  let items = Semaphore.create proc ~name:"items" 0 in
+  let m = Mutex.create proc ~name:"q.m" () in
+  let buf = Queue.create () in
+  let consumed = ref 0 in
+  let producer id =
+    Pthread.create_unit proc (fun () ->
+        for i = 1 to items_per_producer do
+          Semaphore.wait proc slots;
+          Mutex.lock proc m;
+          Queue.push ((id * 1000) + i) buf;
+          Mutex.unlock proc m;
+          Semaphore.post proc items
+        done)
+  in
+  let per_consumer = n_producers * items_per_producer / n_consumers in
+  let consumer _ =
+    Pthread.create_unit proc (fun () ->
+        for _ = 1 to per_consumer do
+          Semaphore.wait proc items;
+          Mutex.lock proc m;
+          ignore (Queue.pop buf);
+          incr consumed;
+          Mutex.unlock proc m;
+          Semaphore.post proc slots
+        done)
+  in
+  let ps = List.init n_producers producer in
+  let cs = List.init n_consumers consumer in
+  List.iter (fun t -> ignore (Pthread.join proc t)) (ps @ cs);
+  !consumed
+
+let () =
+  let run name body =
+    let _, stats =
+      Pthread.run ~policy:(Types.Round_robin 50_000) (fun proc ->
+          let n = body proc in
+          Printf.printf "%-16s consumed %d items\n" name n;
+          0)
+    in
+    Printf.printf "%-16s virtual time %.1f ms, %d context switches\n\n" name
+      (float_of_int stats.Engine.virtual_ns /. 1e6)
+      stats.Engine.switches
+  in
+  run "condvars:" with_condvars;
+  run "semaphores:" with_semaphores

@@ -1,0 +1,50 @@
+(* Quickstart: create threads, share data under a mutex, wait on a
+   condition variable, join.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Pthreads
+
+let () =
+  let status, stats =
+    Pthread.run (fun proc ->
+        (* A mutex-protected box and a condition variable to signal it. *)
+        let m = Mutex.create proc ~name:"box.m" () in
+        let filled = Cond.create proc ~name:"box.c" () in
+        let box = ref None in
+
+        (* A worker thread computes and fills the box. *)
+        let worker =
+          Pthread.create proc
+            ~attr:(Attr.with_name "worker" Attr.default)
+            (fun () ->
+              (* simulate 2 ms of computation on the virtual clock *)
+              Pthread.busy proc ~ns:2_000_000;
+              Mutex.lock proc m;
+              box := Some (6 * 7);
+              Cond.signal proc filled;
+              Mutex.unlock proc m;
+              0)
+        in
+
+        (* Main waits for the box, re-testing the predicate in a loop as
+           the standard requires (wakeups may be spurious). *)
+        Mutex.lock proc m;
+        while !box = None do
+          ignore (Cond.wait proc filled m)
+        done;
+        let answer = Option.get !box in
+        Mutex.unlock proc m;
+
+        (match Pthread.join proc worker with
+        | Types.Exited 0 -> ()
+        | st -> Format.printf "worker ended oddly: %a@." Types.pp_exit_status st);
+
+        Printf.printf "the answer is %d\n" answer;
+        answer)
+  in
+  (match status with
+  | Some (Types.Exited v) -> Printf.printf "main exited with %d\n" v
+  | Some st -> Format.printf "main: %a@." Types.pp_exit_status st
+  | None -> print_endline "main was reaped");
+  Format.printf "--- run statistics ---@.%a@." Engine.pp_stats stats

@@ -1,0 +1,1 @@
+lib/libc_r/ctime_r.mli: Pthreads

@@ -1,0 +1,1 @@
+lib/libc_r/errno_r.ml: Fun Pthreads

@@ -1,0 +1,1 @@
+lib/libc_r/rand_r.mli: Pthreads

@@ -1,0 +1,1 @@
+lib/libc_r/stdio_r.ml: Buffer Fun List Pthreads String Vm

@@ -1,0 +1,1 @@
+lib/libc_r/strtok_r.ml: List String

@@ -1,0 +1,25 @@
+module Pthread = Pthreads.Pthread
+module Engine = Pthreads.Engine
+
+(* ctime(3)-style rendering of a virtual timestamp: "day HH:MM:SS.mmm us"
+   over the simulated epoch. *)
+let render ns =
+  let us = ns / 1_000 in
+  let ms = us / 1_000 in
+  let s = ms / 1_000 in
+  let m = s / 60 in
+  let h = m / 60 in
+  Printf.sprintf "day 0 %02d:%02d:%02d.%03d (+%d us)" (h mod 24) (m mod 60)
+    (s mod 60) (ms mod 1000) (us mod 1000)
+
+(* the hazardous static buffer *)
+let static_buffer = ref ""
+
+let ctime proc ns =
+  Engine.charge proc 80;
+  static_buffer := render ns;
+  static_buffer
+
+let ctime_r proc ns =
+  Engine.charge proc 80;
+  render ns

@@ -1,0 +1,16 @@
+(** [ctime]/[ctime_r]: the static-buffer reentrancy hazard.
+
+    The classic [ctime] formats into a single static buffer and returns a
+    pointer to it — a second call (from any thread) overwrites the first
+    caller's result.  [ctime_r] writes into a caller-provided buffer.  The
+    formatted value here is a virtual timestamp (the simulated process's
+    clock), styled like the 26-character [ctime] string. *)
+
+module Pthread = Pthreads.Pthread
+
+val ctime : Pthread.proc -> int -> string ref
+(** Format a nanosecond timestamp; returns (a reference to) the shared
+    static buffer.  A subsequent call from any thread clobbers it. *)
+
+val ctime_r : Pthread.proc -> int -> string
+(** Reentrant: the result is the caller's own. *)

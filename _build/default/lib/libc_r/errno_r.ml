@@ -1,0 +1,37 @@
+module Pthread = Pthreads.Pthread
+module Engine = Pthreads.Engine
+module Types = Pthreads.Types
+
+type code = int
+
+let ok = 0
+let eintr = 4
+let eagain = 11
+let enomem = 12
+let ebusy = 16
+let einval = 22
+let edeadlk = 35
+let esrch = 3 (* historically ESRCH = 3 *)
+let etimedout = 60
+let eperm = 1
+
+let name = function
+  | 0 -> "OK"
+  | 1 -> "EPERM"
+  | 3 -> "ESRCH"
+  | 4 -> "EINTR"
+  | 11 -> "EAGAIN"
+  | 12 -> "ENOMEM"
+  | 16 -> "EBUSY"
+  | 22 -> "EINVAL"
+  | 35 -> "EDEADLK"
+  | 60 -> "ETIMEDOUT"
+  | n -> "E#" ^ string_of_int n
+
+let get proc = (Engine.current proc).Types.errno
+let set proc c = (Engine.current proc).Types.errno <- c
+let clear proc = set proc ok
+
+let with_saved proc f =
+  let saved = get proc in
+  Fun.protect ~finally:(fun () -> set proc saved) f

@@ -1,0 +1,37 @@
+(** Per-thread [errno].
+
+    "A major obstacle to the use of threads is to make C libraries
+    reentrant ... several library calls use global state information" — the
+    first of which is [errno].  The library already swaps a per-TCB errno on
+    every context switch (the paper's dispatcher loads "UNIX' global error
+    number with the thread's error number"); this module is the user-facing
+    interface, plus the conventional error codes. *)
+
+module Pthread = Pthreads.Pthread
+
+type code = int
+
+val ok : code
+val eintr : code
+val einval : code
+val eagain : code
+val edeadlk : code
+val esrch : code
+val etimedout : code
+val ebusy : code
+val eperm : code
+val enomem : code
+
+val name : code -> string
+
+val get : Pthread.proc -> code
+(** The calling thread's errno. *)
+
+val set : Pthread.proc -> code -> unit
+
+val clear : Pthread.proc -> unit
+
+val with_saved : Pthread.proc -> (unit -> 'a) -> 'a
+(** Run a function with errno saved and restored around it (what a signal
+    handler wrapper must do; the library's fake-call wrapper uses the same
+    discipline internally). *)

@@ -1,0 +1,54 @@
+module Pthread = Pthreads.Pthread
+module Tsd = Pthreads.Tsd
+
+(* The traditional minimal-standard generator (Park-Miller), as libc's
+   rand(3) of the era. *)
+let next seed = (seed * 1103515245) + 12345 land max_int
+
+let mask v = (v lsr 16) land 0x7fff
+
+type state = { mutable s : int }
+
+let global = { s = 1 }
+
+let global_srand seed = global.s <- seed
+
+let global_rand () =
+  (* read-modify-write on shared hidden state: the reentrancy bug *)
+  let v = next global.s in
+  global.s <- v;
+  mask v
+
+let make_state seed = { s = seed }
+
+let rand_r st =
+  let v = next st.s in
+  st.s <- v;
+  mask v
+
+(* One TSD key for the whole process would be natural, but keys belong to a
+   proc; keep a per-proc registry keyed by the engine's identity. *)
+let keys : (Pthread.proc * state Tsd.key) list ref = ref []
+
+let key_for proc =
+  match List.assq_opt proc !keys with
+  | Some k -> k
+  | None ->
+      let k : state Tsd.key = Tsd.create_key proc () in
+      keys := (proc, k) :: !keys;
+      k
+
+let state_for proc =
+  let k = key_for proc in
+  match Tsd.get proc k with
+  | Some st -> st
+  | None ->
+      let st = make_state (Pthread.self proc + 1) in
+      Tsd.set proc k (Some st);
+      st
+
+let thread_srand proc seed =
+  let k = key_for proc in
+  Tsd.set proc k (Some (make_state seed))
+
+let thread_rand proc = rand_r (state_for proc)

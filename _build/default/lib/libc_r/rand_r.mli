@@ -1,0 +1,32 @@
+(** Reentrant random numbers.
+
+    The classic [rand] keeps one hidden global seed — two threads calling
+    it interleave their streams unpredictably and neither is reproducible.
+    [rand_r] threads the state explicitly; {!thread_rand} stores it in
+    thread-specific data so each thread gets an independent, reproducible
+    stream, which is the repair the paper's "thread-safe C library" needs.
+
+    Both variants are provided so the hazard itself can be demonstrated
+    (see the tests). *)
+
+module Pthread = Pthreads.Pthread
+
+val global_srand : int -> unit
+(** Seed the (deliberately non-reentrant) global generator. *)
+
+val global_rand : unit -> int
+(** The hazardous classic: reads and writes hidden shared state. *)
+
+type state
+
+val make_state : int -> state
+
+val rand_r : state -> int
+(** Reentrant: all state is the caller's. *)
+
+val thread_srand : Pthread.proc -> int -> unit
+(** Seed the calling thread's private generator (TSD). *)
+
+val thread_rand : Pthread.proc -> int
+(** Draw from the calling thread's private generator; auto-seeds from the
+    thread id on first use. *)

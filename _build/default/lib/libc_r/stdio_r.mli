@@ -1,0 +1,43 @@
+(** Thread-safe buffered streams ("stdio").
+
+    The visible symptom of a non-reentrant libc is interleaved output: two
+    threads calling [printf] corrupt each other's lines because the stream
+    buffer is shared without a lock.  This module provides the repaired
+    stdio of the paper's "thread-safe C library": every stream carries a
+    mutex, character-level operations lock it, and the POSIX
+    [flockfile]/[funlockfile] pair lets a thread make a whole sequence of
+    writes atomic.
+
+    Streams write into in-memory devices (string buffers), so tests can
+    assert on exactly what reached the device and in what order. *)
+
+module Pthread = Pthreads.Pthread
+
+type stream
+
+val make : Pthread.proc -> ?name:string -> ?buffer_bytes:int -> unit -> stream
+(** A fresh stream backed by a fresh device, line-buffered with the given
+    buffer capacity (default 128). *)
+
+val putc : Pthread.proc -> stream -> char -> unit
+(** Append one character (locked); flushes on ['\n'] or a full buffer. *)
+
+val puts : Pthread.proc -> stream -> string -> unit
+(** Append a string atomically (single lock acquisition). *)
+
+val puts_unlocked : Pthread.proc -> stream -> string -> unit
+(** The hazardous variant: no locking; callers must hold the stream lock
+    (via {!with_lock}) or accept corruption — provided so the classic bug
+    can be demonstrated. *)
+
+val flush : Pthread.proc -> stream -> unit
+
+val with_lock : Pthread.proc -> stream -> (unit -> 'a) -> 'a
+(** [flockfile]/[funlockfile]: hold the stream across several operations.
+    The lock is not recursive; nested use inside locked operations is
+    internal only. *)
+
+val device_contents : Pthread.proc -> stream -> string
+(** Everything flushed to the backing device so far. *)
+
+val device_lines : Pthread.proc -> stream -> string list

@@ -1,0 +1,41 @@
+type state = { src : string; mutable seps : string; mutable pos : int }
+
+let is_sep st c = String.contains st.seps c
+
+let scan st =
+  let n = String.length st.src in
+  let rec skip i = if i < n && is_sep st st.src.[i] then skip (i + 1) else i in
+  let start = skip st.pos in
+  if start >= n then begin
+    st.pos <- n;
+    None
+  end
+  else begin
+    let rec stop i = if i < n && not (is_sep st st.src.[i]) then stop (i + 1) else i in
+    let stop_at = stop start in
+    st.pos <- stop_at;
+    Some (String.sub st.src start (stop_at - start))
+  end
+
+(* The non-reentrant classic: one hidden state cell for the whole
+   process. *)
+let hidden : state option ref = ref None
+
+let strtok_global ?s seps =
+  (match s with
+  | Some src -> hidden := Some { src; seps; pos = 0 }
+  | None -> (
+      (* POSIX allows changing the separator set between calls *)
+      match !hidden with
+      | Some st -> st.seps <- seps
+      | None -> ()));
+  match !hidden with None -> None | Some st -> scan st
+
+let start src seps = { src; seps; pos = 0 }
+
+let next st = scan st
+
+let tokens src seps =
+  let st = start src seps in
+  let rec go acc = match next st with Some t -> go (t :: acc) | None -> List.rev acc in
+  go []

@@ -1,0 +1,22 @@
+(** [strtok] and [strtok_r]: the textbook reentrancy repair.
+
+    [strtok] keeps its scan position in hidden global state — the exact
+    pattern the paper flags in "several library calls use global state
+    information, some interfaces are non-reentrant".  [strtok_r] threads
+    the position through an explicit handle.  Both are provided so tests
+    can demonstrate the interference and its repair. *)
+
+val strtok_global : ?s:string -> string -> string option
+(** Classic interface: pass [?s] to start tokenizing a new string, omit it
+    to continue the previous one.  Shared, non-reentrant state. *)
+
+type state
+
+val start : string -> string -> state
+(** [start s seps]. *)
+
+val next : state -> string option
+(** Next token, [None] when exhausted. *)
+
+val tokens : string -> string -> string list
+(** Convenience: all tokens via the reentrant interface. *)

@@ -1,0 +1,1 @@
+lib/psem/barrier.ml: Pthreads

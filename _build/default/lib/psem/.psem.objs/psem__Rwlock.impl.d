@@ -1,0 +1,1 @@
+lib/psem/rwlock.ml: Fun Pthreads

@@ -1,0 +1,1 @@
+lib/psem/semaphore.ml: Pthreads

@@ -1,0 +1,1 @@
+lib/psem/semaphore.mli: Pthreads

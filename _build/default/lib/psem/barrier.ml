@@ -1,0 +1,49 @@
+module Pthread = Pthreads.Pthread
+module Mutex = Pthreads.Mutex
+module Cond = Pthreads.Cond
+module Types = Pthreads.Types
+
+type t = {
+  m : Types.mutex;
+  released : Types.cond;
+  n : int;
+  mutable arrived : int;
+  mutable cycle : int;  (** distinguishes generations across reuse *)
+}
+
+type outcome = Serial | Waited
+
+let create proc ?(name = "barrier") n =
+  if n <= 0 then invalid_arg "Barrier.create: need at least one party";
+  {
+    m = Mutex.create proc ~name:(name ^ ".m") ();
+    released = Cond.create proc ~name:(name ^ ".c") ();
+    n;
+    arrived = 0;
+    cycle = 0;
+  }
+
+let wait proc b =
+  Mutex.lock proc b.m;
+  let my_cycle = b.cycle in
+  b.arrived <- b.arrived + 1;
+  let outcome =
+    if b.arrived = b.n then begin
+      (* last arrival completes the cycle and releases everyone *)
+      b.arrived <- 0;
+      b.cycle <- b.cycle + 1;
+      Cond.broadcast proc b.released;
+      Serial
+    end
+    else begin
+      while b.cycle = my_cycle do
+        ignore (Cond.wait proc b.released b.m : Cond.wait_result)
+      done;
+      Waited
+    end
+  in
+  Mutex.unlock proc b.m;
+  outcome
+
+let parties b = b.n
+let waiting b = b.arrived

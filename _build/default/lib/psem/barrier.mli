@@ -1,0 +1,23 @@
+(** Cyclic barriers, layered on mutexes and condition variables (another of
+    the synchronization methods the paper says are "easily implemented on
+    top of these primitives"; barriers joined the standard in 1003.1j). *)
+
+module Pthread = Pthreads.Pthread
+
+type t
+
+val create : Pthread.proc -> ?name:string -> int -> t
+(** [create proc n] makes a barrier for [n] parties.
+    @raise Invalid_argument when [n <= 0]. *)
+
+type outcome =
+  | Serial  (** this caller completed the barrier (one per cycle) *)
+  | Waited
+
+val wait : Pthread.proc -> t -> outcome
+(** Block until [n] threads have arrived; then all are released and the
+    barrier resets for the next cycle.  Exactly one caller per cycle gets
+    {!Serial} (the [PTHREAD_BARRIER_SERIAL_THREAD] convention). *)
+
+val parties : t -> int
+val waiting : t -> int

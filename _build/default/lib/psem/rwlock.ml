@@ -1,0 +1,92 @@
+module Pthread = Pthreads.Pthread
+module Mutex = Pthreads.Mutex
+module Cond = Pthreads.Cond
+module Types = Pthreads.Types
+
+type t = {
+  m : Types.mutex;
+  readable : Types.cond;  (** no writer active and none waiting *)
+  writable : Types.cond;  (** no readers and no writer active *)
+  mutable active_readers : int;
+  mutable active_writer : int option;  (** tid *)
+  mutable waiting_writers : int;
+}
+
+let create proc ?(name = "rwlock") () =
+  {
+    m = Mutex.create proc ~name:(name ^ ".m") ();
+    readable = Cond.create proc ~name:(name ^ ".r") ();
+    writable = Cond.create proc ~name:(name ^ ".w") ();
+    active_readers = 0;
+    active_writer = None;
+    waiting_writers = 0;
+  }
+
+let read_ok l = l.active_writer = None && l.waiting_writers = 0
+
+let read_lock proc l =
+  Mutex.lock proc l.m;
+  while not (read_ok l) do
+    ignore (Cond.wait proc l.readable l.m : Cond.wait_result)
+  done;
+  l.active_readers <- l.active_readers + 1;
+  Mutex.unlock proc l.m
+
+let try_read_lock proc l =
+  Mutex.lock proc l.m;
+  let ok = read_ok l in
+  if ok then l.active_readers <- l.active_readers + 1;
+  Mutex.unlock proc l.m;
+  ok
+
+let read_unlock proc l =
+  Mutex.lock proc l.m;
+  if l.active_readers <= 0 then begin
+    Mutex.unlock proc l.m;
+    invalid_arg "Rwlock.read_unlock: not read-locked"
+  end;
+  l.active_readers <- l.active_readers - 1;
+  if l.active_readers = 0 then Cond.signal proc l.writable;
+  Mutex.unlock proc l.m
+
+let write_ok l = l.active_writer = None && l.active_readers = 0
+
+let write_lock proc l =
+  Mutex.lock proc l.m;
+  l.waiting_writers <- l.waiting_writers + 1;
+  while not (write_ok l) do
+    ignore (Cond.wait proc l.writable l.m : Cond.wait_result)
+  done;
+  l.waiting_writers <- l.waiting_writers - 1;
+  l.active_writer <- Some (Pthread.self proc);
+  Mutex.unlock proc l.m
+
+let try_write_lock proc l =
+  Mutex.lock proc l.m;
+  let ok = write_ok l in
+  if ok then l.active_writer <- Some (Pthread.self proc);
+  Mutex.unlock proc l.m;
+  ok
+
+let write_unlock proc l =
+  Mutex.lock proc l.m;
+  if l.active_writer <> Some (Pthread.self proc) then begin
+    Mutex.unlock proc l.m;
+    invalid_arg "Rwlock.write_unlock: caller is not the writer"
+  end;
+  l.active_writer <- None;
+  (* writers first (writer preference), else wake all readers *)
+  if l.waiting_writers > 0 then Cond.signal proc l.writable
+  else Cond.broadcast proc l.readable;
+  Mutex.unlock proc l.m
+
+let readers l = l.active_readers
+let writer_tid l = l.active_writer
+
+let with_read proc l f =
+  read_lock proc l;
+  Fun.protect ~finally:(fun () -> read_unlock proc l) f
+
+let with_write proc l f =
+  write_lock proc l;
+  Fun.protect ~finally:(fun () -> write_unlock proc l) f

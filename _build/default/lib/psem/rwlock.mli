@@ -1,0 +1,38 @@
+(** Reader-writer locks, layered on mutexes and condition variables.
+
+    The paper notes that "other synchronization methods ... can be easily
+    implemented on top of these primitives"; rwlocks entered the Pthreads
+    standard later (1003.1j) exactly this way.  This implementation is
+    writer-preferring: once a writer is waiting, new readers queue behind
+    it, so writers cannot starve. *)
+
+module Pthread = Pthreads.Pthread
+
+type t
+
+val create : Pthread.proc -> ?name:string -> unit -> t
+
+val read_lock : Pthread.proc -> t -> unit
+(** Shared acquisition; several readers may hold the lock together. *)
+
+val try_read_lock : Pthread.proc -> t -> bool
+
+val read_unlock : Pthread.proc -> t -> unit
+(** @raise Invalid_argument when no reader holds the lock. *)
+
+val write_lock : Pthread.proc -> t -> unit
+(** Exclusive acquisition. *)
+
+val try_write_lock : Pthread.proc -> t -> bool
+
+val write_unlock : Pthread.proc -> t -> unit
+(** @raise Invalid_argument if the caller is not the writer. *)
+
+val readers : t -> int
+(** Number of threads currently holding the lock shared. *)
+
+val writer_tid : t -> int option
+(** The exclusive holder, if any. *)
+
+val with_read : Pthread.proc -> t -> (unit -> 'a) -> 'a
+val with_write : Pthread.proc -> t -> (unit -> 'a) -> 'a

@@ -1,0 +1,54 @@
+module Pthread = Pthreads.Pthread
+module Mutex = Pthreads.Mutex
+module Cond = Pthreads.Cond
+module Types = Pthreads.Types
+
+type t = {
+  mutable count : int;
+  lock : Types.mutex;
+  nonzero : Types.cond;
+}
+
+let create proc ?name init =
+  if init < 0 then invalid_arg "Semaphore.create: negative initial value";
+  match name with
+  | Some base ->
+      {
+        count = init;
+        lock = Mutex.create proc ~name:(base ^ ".m") ();
+        nonzero = Cond.create proc ~name:(base ^ ".c") ();
+      }
+  | None ->
+      (* unnamed: let the primitives mint unique names *)
+      {
+        count = init;
+        lock = Mutex.create proc ();
+        nonzero = Cond.create proc ();
+      }
+
+let wait proc s =
+  Mutex.lock proc s.lock;
+  while s.count = 0 do
+    ignore (Cond.wait proc s.nonzero s.lock : Cond.wait_result)
+  done;
+  s.count <- s.count - 1;
+  Mutex.unlock proc s.lock
+
+let try_wait proc s =
+  Mutex.lock proc s.lock;
+  let ok = s.count > 0 in
+  if ok then s.count <- s.count - 1;
+  Mutex.unlock proc s.lock;
+  ok
+
+let post proc s =
+  Mutex.lock proc s.lock;
+  s.count <- s.count + 1;
+  Cond.signal proc s.nonzero;
+  Mutex.unlock proc s.lock
+
+let value proc s =
+  Mutex.lock proc s.lock;
+  let v = s.count in
+  Mutex.unlock proc s.lock;
+  v

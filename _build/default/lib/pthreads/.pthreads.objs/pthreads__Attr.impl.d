@@ -1,0 +1,1 @@
+lib/pthreads/attr.ml: Types

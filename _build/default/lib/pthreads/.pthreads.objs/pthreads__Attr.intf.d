@@ -1,0 +1,1 @@
+lib/pthreads/attr.mli: Types

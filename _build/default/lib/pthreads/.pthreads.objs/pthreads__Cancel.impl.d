@@ -1,0 +1,1 @@
+lib/pthreads/cancel.ml: Engine Import Sigset Types Unix_kernel

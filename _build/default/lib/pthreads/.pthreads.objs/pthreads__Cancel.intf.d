@@ -1,0 +1,1 @@
+lib/pthreads/cancel.mli: Types

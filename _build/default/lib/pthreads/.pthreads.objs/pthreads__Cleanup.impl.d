@@ -1,0 +1,1 @@
+lib/pthreads/cleanup.ml: Costs Engine List Types

@@ -1,0 +1,1 @@
+lib/pthreads/cleanup.mli: Types

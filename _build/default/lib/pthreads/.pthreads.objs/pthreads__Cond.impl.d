@@ -1,0 +1,1 @@
+lib/pthreads/cond.ml: Costs Engine Import List Mutex Sigset Tcb Trace Types Unix_kernel

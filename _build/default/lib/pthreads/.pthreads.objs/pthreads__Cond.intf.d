@@ -1,0 +1,1 @@
+lib/pthreads/cond.mli: Types

@@ -1,0 +1,1 @@
+lib/pthreads/costs.ml:

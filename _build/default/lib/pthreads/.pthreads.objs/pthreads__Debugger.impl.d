@@ -1,0 +1,1 @@
+lib/pthreads/debugger.ml: Engine Format Import List Option Sigset String Types Unix_kernel

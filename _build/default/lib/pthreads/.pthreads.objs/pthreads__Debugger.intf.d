@@ -1,0 +1,1 @@
+lib/pthreads/debugger.mli: Format Import Sigset Types

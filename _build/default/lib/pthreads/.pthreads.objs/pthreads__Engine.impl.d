@@ -1,0 +1,1 @@
+lib/pthreads/engine.ml: Array Clock Costs Effect Format Fun Heap Import List Ready_queue Rng Sigset String Tcb Trace Types Unix_kernel

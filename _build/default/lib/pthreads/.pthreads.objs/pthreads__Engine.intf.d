@@ -1,0 +1,1 @@
+lib/pthreads/engine.mli: Format Types Vm

@@ -1,0 +1,1 @@
+lib/pthreads/flat.ml: Attr Cancel Cond Engine Hashtbl List Mutex Pthread Types

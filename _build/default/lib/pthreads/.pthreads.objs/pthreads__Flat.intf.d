@@ -1,0 +1,1 @@
+lib/pthreads/flat.mli: Types

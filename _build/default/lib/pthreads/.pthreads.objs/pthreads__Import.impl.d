@@ -1,0 +1,1 @@
+lib/pthreads/import.ml: Vm

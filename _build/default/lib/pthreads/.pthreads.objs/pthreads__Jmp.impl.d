@@ -1,0 +1,1 @@
+lib/pthreads/jmp.ml: Costs Engine Fun Import Sigset Types Unix_kernel

@@ -1,0 +1,1 @@
+lib/pthreads/jmp.mli: Types

@@ -1,0 +1,1 @@
+lib/pthreads/machine.ml: Clock Cost_model Effect Engine Format Import List Printf Pthread String Tcb Types Vm

@@ -1,0 +1,1 @@
+lib/pthreads/machine.mli: Pthread Types Vm

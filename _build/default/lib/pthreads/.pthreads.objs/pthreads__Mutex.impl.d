@@ -1,0 +1,1 @@
+lib/pthreads/mutex.ml: Costs Engine Import List Option Tcb Trace Types

@@ -1,0 +1,1 @@
+lib/pthreads/mutex.mli: Types

@@ -1,0 +1,1 @@
+lib/pthreads/pthread.ml: Attr Cost_model Costs Engine Import List Option Ready_queue Sigset Tcb Trace Types Unix_kernel

@@ -1,0 +1,1 @@
+lib/pthreads/pthread.mli: Attr Engine Types Vm

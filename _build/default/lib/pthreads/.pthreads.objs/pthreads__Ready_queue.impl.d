@@ -1,0 +1,1 @@
+lib/pthreads/ready_queue.ml: Array Import List Types

@@ -1,0 +1,1 @@
+lib/pthreads/ready_queue.mli: Types Vm

@@ -1,0 +1,1 @@
+lib/pthreads/shared.ml: Engine List Types Vm

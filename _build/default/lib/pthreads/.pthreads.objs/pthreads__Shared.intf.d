@@ -1,0 +1,1 @@
+lib/pthreads/shared.mli: Pthread

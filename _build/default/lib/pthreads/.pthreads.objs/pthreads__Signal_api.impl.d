@@ -1,0 +1,1 @@
+lib/pthreads/signal_api.ml: Array Costs Engine Import List Sigset Types Unix_kernel

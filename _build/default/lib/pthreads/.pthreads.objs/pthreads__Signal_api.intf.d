@@ -1,0 +1,1 @@
+lib/pthreads/signal_api.mli: Import Sigset Types

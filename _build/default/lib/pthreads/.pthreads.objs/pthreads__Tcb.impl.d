@@ -1,0 +1,1 @@
+lib/pthreads/tcb.ml: Array Format Import List Sigset Types

@@ -1,0 +1,1 @@
+lib/pthreads/tcb.mli: Format Types

@@ -1,0 +1,1 @@
+lib/pthreads/tsd.ml: Array Costs Engine List Option Types

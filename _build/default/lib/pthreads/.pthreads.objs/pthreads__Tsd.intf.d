@@ -1,0 +1,1 @@
+lib/pthreads/tsd.mli: Types

@@ -1,0 +1,1 @@
+lib/pthreads/types.ml: Cost_model Effect Format Heap Import Printexc Rng Sigset Trace Unix_kernel

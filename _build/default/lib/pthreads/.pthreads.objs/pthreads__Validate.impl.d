@@ -1,0 +1,1 @@
+lib/pthreads/validate.ml: Clock Engine Format Hashtbl Import List Printf Ready_queue Trace Types Unix_kernel

@@ -1,0 +1,1 @@
+lib/pthreads/validate.mli: Format Types Vm

@@ -1,0 +1,34 @@
+type t = {
+  prio : int;
+  detached : bool;
+  deferred : bool;
+  stack_bytes : int;
+  name : string option;
+  sched : Types.per_thread_sched option;
+}
+
+let default =
+  {
+    prio = Types.default_prio;
+    detached = false;
+    deferred = false;
+    stack_bytes = 16 * 1024;
+    name = None;
+    sched = None;
+  }
+
+let with_prio prio t =
+  if prio < Types.min_prio || prio > Types.max_prio then
+    invalid_arg "Attr.with_prio: priority out of range";
+  { t with prio }
+
+let with_detached detached t = { t with detached }
+let with_deferred deferred t = { t with deferred }
+
+let with_stack stack_bytes t =
+  if stack_bytes <= 0 then invalid_arg "Attr.with_stack";
+  { t with stack_bytes }
+
+let with_name name t = { t with name = Some name }
+
+let with_sched sched t = { t with sched = Some sched }

@@ -1,0 +1,31 @@
+(** Thread-creation attributes ([pthread_attr_t]). *)
+
+type t = {
+  prio : int;  (** scheduling priority, {!Types.min_prio} .. {!Types.max_prio} *)
+  detached : bool;  (** create in the detached state *)
+  deferred : bool;
+      (** lazy thread creation (the paper's future-work extension): the
+          thread is created but its activation — including resource
+          allocation — is delayed until [Pthread.activate] or until another
+          thread joins it *)
+  stack_bytes : int;
+  name : string option;  (** for traces; defaults to ["thread-<tid>"] *)
+  sched : Types.per_thread_sched option;
+      (** per-thread scheduling policy: [Sched_fifo] exempts the thread
+          from round-robin time slicing ([None] follows the process
+          policy) *)
+}
+
+val default : t
+(** Priority {!Types.default_prio}, joinable, immediate activation, 16 KiB
+    stack. *)
+
+val with_prio : int -> t -> t
+(** @raise Invalid_argument if the priority is out of range. *)
+
+val with_detached : bool -> t -> t
+val with_deferred : bool -> t -> t
+val with_stack : int -> t -> t
+val with_name : string -> t -> t
+
+val with_sched : Types.per_thread_sched -> t -> t

@@ -1,0 +1,36 @@
+(** Thread cancellation (the paper's Table 1).
+
+    [pthread_cancel] is implemented as a request to send the internal
+    signal SIGCANCEL to the target thread.  The action depends on the
+    target's interruptibility:
+
+    - cancellation {e disabled}: the request pends until re-enabled;
+    - enabled, {e controlled}: pends until an interruption point —
+      conditional waits, joins, [sigwait], [delay] and {!test}; locking a
+      mutex is explicitly {e not} an interruption point;
+    - enabled, {e asynchronous}: acted upon immediately.
+
+    Acting on a request sets interruptibility to disabled, masks all other
+    signals and pushes a fake call to [pthread_exit] onto the target's
+    stack; its cleanup handlers then run as usual. *)
+
+open Types
+
+val cancel : engine -> int -> unit
+(** Request cancellation of the thread with the given id (no-op when the
+    thread no longer exists). *)
+
+val set_state : engine -> cancel_state -> cancel_state
+(** Set the calling thread's cancellability; returns the previous value.
+    Re-enabling with a pending request in asynchronous mode acts on the
+    request immediately. *)
+
+val set_type : engine -> cancel_type -> cancel_type
+(** Switching to asynchronous with a pending enabled request acts on it
+    immediately. *)
+
+val test : engine -> unit
+(** [pthread_testintr]: an explicit interruption point. *)
+
+val pending : engine -> bool
+(** Is a cancellation request pending on the calling thread? *)

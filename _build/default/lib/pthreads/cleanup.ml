@@ -1,0 +1,23 @@
+open Types
+
+let push eng f =
+  Engine.charge eng Costs.cleanup_op;
+  let t = Engine.current eng in
+  t.cleanup <- f :: t.cleanup
+
+let pop eng ~execute =
+  Engine.charge eng Costs.cleanup_op;
+  let t = Engine.current eng in
+  match t.cleanup with
+  | [] -> invalid_arg "Cleanup.pop: empty cleanup stack"
+  | f :: rest ->
+      t.cleanup <- rest;
+      if execute then f ()
+
+let depth eng = List.length (Engine.current eng).cleanup
+
+let protect eng ~cleanup f =
+  push eng cleanup;
+  let v = f () in
+  pop eng ~execute:true;
+  v

@@ -1,0 +1,22 @@
+(** Cleanup handlers.
+
+    POSIX suggests implementing [pthread_cleanup_push]/[pop] as a macro pair
+    opening a lexical scope; the paper rejects macros as hostile to a
+    language-independent interface and uses real functions — "this trades
+    the overhead of function calls ... for the generality and
+    language-independence of the interface".  We follow the paper: [push]
+    and [pop] are ordinary functions over a per-thread stack, and handlers
+    still pending at thread exit (normal, [Pthread.exit], or cancellation)
+    run newest-first. *)
+
+val push : Types.engine -> (unit -> unit) -> unit
+
+val pop : Types.engine -> execute:bool -> unit
+(** Remove the newest handler, running it when [execute].
+    @raise Invalid_argument when the stack is empty. *)
+
+val depth : Types.engine -> int
+
+val protect : Types.engine -> cleanup:(unit -> unit) -> (unit -> 'a) -> 'a
+(** [protect eng ~cleanup f]: push, run [f], pop-and-execute — the common
+    bracket, robust against cancellation inside [f]. *)

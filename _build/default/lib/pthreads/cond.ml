@@ -1,0 +1,91 @@
+open Import
+open Types
+
+type wait_result = Signaled | Interrupted | Timed_out
+
+let create eng ?name () =
+  let id = Engine.fresh_obj_id eng in
+  let c_name =
+    match name with Some n -> n | None -> "cond-" ^ string_of_int id
+  in
+  Engine.charge eng Costs.attr_op;
+  { c_id = id; c_name; c_waiters = []; c_mutex = None }
+
+let wait_internal eng c m ~deadline =
+  Engine.checkpoint eng;
+  Engine.test_cancel eng;
+  let self = Engine.current eng in
+  (match m.m_owner with
+  | Some o when o == self -> ()
+  | _ -> invalid_arg ("Cond.wait: mutex " ^ m.m_name ^ " not held by caller"));
+  Engine.enter_kernel eng;
+  Engine.charge eng Costs.cond_op;
+  (match c.c_mutex with
+  | Some bound when bound != m ->
+      invalid_arg ("Cond.wait: " ^ c.c_name ^ " is bound to " ^ bound.m_name)
+  | Some _ | None -> c.c_mutex <- Some m);
+  (* release the mutex atomically with the suspension *)
+  Mutex.release_in_kernel eng m;
+  self.state <- Blocked (On_cond c);
+  c.c_waiters <- Tcb.insert_by_prio c.c_waiters self;
+  Engine.trace eng self (Trace.Cond_block c.c_name);
+  (match deadline with
+  | Some d ->
+      self.wait_deadline <- Some d;
+      let after_ns = max 0 (d - Engine.now eng) in
+      ignore
+        (Unix_kernel.arm_timer eng.vm ~after_ns ~interval_ns:0
+           ~signo:Sigset.sigalrm
+           ~origin:(Unix_kernel.Timer self.tid)
+          : int)
+  | None -> ());
+  let wake = Engine.block eng in
+  (* Reacquire before any handler runs (the wrapper's first action). *)
+  Mutex.lock_after_wait eng m;
+  Engine.drain_fake_calls eng;
+  Engine.test_cancel eng;
+  match wake with
+  | Wake_normal -> Signaled
+  | Wake_timeout -> Timed_out
+  | Wake_interrupted -> (
+      match deadline with
+      | Some d when Engine.now eng >= d -> Timed_out
+      | _ -> Interrupted)
+
+let wait eng c m = wait_internal eng c m ~deadline:None
+
+let timed_wait eng c m ~deadline_ns =
+  wait_internal eng c m ~deadline:(Some deadline_ns)
+
+let signal eng c =
+  Engine.checkpoint eng;
+  Engine.enter_kernel eng;
+  Engine.charge eng Costs.cond_op;
+  (match c.c_waiters with
+  | [] -> ()
+  | w :: _ ->
+      Engine.trace eng w (Trace.Cond_wake c.c_name);
+      Engine.unblock eng w Wake_normal);
+  Engine.leave_kernel eng;
+  Engine.drain_fake_calls eng
+
+let broadcast eng c =
+  Engine.checkpoint eng;
+  Engine.enter_kernel eng;
+  Engine.charge eng Costs.cond_op;
+  let rec wake_all () =
+    match c.c_waiters with
+    | [] -> ()
+    | w :: _ ->
+        Engine.trace eng w (Trace.Cond_wake c.c_name);
+        Engine.unblock eng w Wake_normal;
+        wake_all ()
+  in
+  wake_all ();
+  Engine.leave_kernel eng;
+  Engine.drain_fake_calls eng
+
+let waiter_count c = List.length c.c_waiters
+
+let wait_for eng c m ~timeout_ns =
+  timed_wait eng c m ~deadline_ns:(Engine.now eng + timeout_ns)

@@ -1,0 +1,36 @@
+(** Condition variables.
+
+    A conditional wait releases the associated mutex atomically with the
+    suspension and reacquires it before returning — in particular before any
+    user signal handler runs (the paper's wrapper reacquires the mutex and
+    terminates the conditional wait when a handler interrupts it).  Wakeups
+    go to the highest-priority waiter.  Callers must re-test their predicate
+    in a loop: wakeups may be spurious (handler interruption, timeout
+    races), exactly as the standard allows. *)
+
+open Types
+
+type wait_result =
+  | Signaled  (** woken by [signal]/[broadcast] *)
+  | Interrupted  (** woken to run a signal handler; predicate must be re-tested *)
+  | Timed_out  (** the deadline of [timed_wait] passed *)
+
+val create : engine -> ?name:string -> unit -> cond
+
+val wait : engine -> cond -> mutex -> wait_result
+(** The caller must hold the mutex.  An interruption point for controlled
+    cancellation.  @raise Invalid_argument if the mutex is not held, or if
+    the condition variable is already bound to a different mutex. *)
+
+val timed_wait : engine -> cond -> mutex -> deadline_ns:int -> wait_result
+(** [deadline_ns] is absolute virtual time. *)
+
+val wait_for : engine -> cond -> mutex -> timeout_ns:int -> wait_result
+(** {!timed_wait} with a relative timeout. *)
+
+val signal : engine -> cond -> unit
+(** Make the highest-priority waiter ready (no-op when none). *)
+
+val broadcast : engine -> cond -> unit
+
+val waiter_count : cond -> int

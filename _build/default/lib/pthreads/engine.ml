@@ -1,0 +1,881 @@
+open Import
+open Types
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let trace eng t kind =
+  Trace.record eng.trace ~t_ns:(Unix_kernel.now eng.vm) ~tid:t.tid
+    ~tname:t.tname kind
+
+let add_switch_hook eng hook = eng.switch_hooks <- eng.switch_hooks @ [ hook ]
+
+let charge eng n = Unix_kernel.insns eng.vm n
+let now eng = Unix_kernel.now eng.vm
+let current eng = eng.current
+
+let find_thread eng tid = List.find_opt (fun t -> t.tid = tid) eng.all_threads
+
+let fresh_tid eng =
+  let tid = eng.next_tid in
+  eng.next_tid <- tid + 1;
+  tid
+
+let fresh_obj_id eng =
+  let id = eng.next_obj in
+  eng.next_obj <- id + 1;
+  id
+
+let default_config profile =
+  {
+    profile;
+    policy = Fifo;
+    perverted = No_perversion;
+    seed = 42;
+    use_pool = true;
+    pool_prealloc = 16;
+    trace_enabled = false;
+    main_prio = default_prio;
+    ceiling_mode = Stack_pop;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Priorities                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec set_effective_prio eng t new_prio ~at_head =
+  if new_prio <> t.prio then begin
+    trace eng t (Trace.Prio_change (t.prio, new_prio));
+    match t.state with
+    | Ready ->
+        Ready_queue.remove eng t;
+        t.prio <- new_prio;
+        if at_head then Ready_queue.push_head eng t
+        else Ready_queue.push_tail eng t;
+        if new_prio > eng.current.prio && eng.current.state = Running then
+          eng.dispatcher_flag <- true
+    | Running -> (
+        t.prio <- new_prio;
+        match Ready_queue.highest_prio eng with
+        | Some p when p > new_prio -> eng.dispatcher_flag <- true
+        | Some _ | None -> ())
+    | Blocked (On_mutex m) -> (
+        t.prio <- new_prio;
+        m.m_waiters <- Tcb.resort m.m_waiters;
+        (* Propagate an inheritance boost down the blocking chain. *)
+        match (m.m_owner, m.m_protocol) with
+        | Some o, Inherit_protocol when o.prio < new_prio ->
+            charge eng Costs.inherit_search_per_mutex;
+            set_effective_prio eng o new_prio ~at_head:true
+        | _ -> ())
+    | Blocked (On_cond c) ->
+        t.prio <- new_prio;
+        c.c_waiters <- Tcb.resort c.c_waiters
+    | Blocked (On_join _ | On_sigwait _ | On_sleep | On_start | On_suspend
+              | On_shared _)
+    | Terminated ->
+        t.prio <- new_prio
+  end
+
+let recompute_inherited_prio eng o =
+  let cand =
+    List.fold_left
+      (fun acc m ->
+        charge eng Costs.inherit_search_per_mutex;
+        match m.m_protocol with
+        | Inherit_protocol ->
+            List.fold_left (fun a w -> max a w.prio) acc m.m_waiters
+        | Ceiling_protocol when eng.cfg.ceiling_mode = Recompute ->
+            max acc m.m_ceiling
+        | Ceiling_protocol | No_protocol -> acc)
+      o.base_prio o.owned
+  in
+  set_effective_prio eng o cand ~at_head:true
+
+(* ------------------------------------------------------------------ *)
+(* Unblocking                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let unblock eng t wake =
+  match t.state with
+  | Blocked reason ->
+      (match reason with
+      | On_mutex m -> (
+          m.m_waiters <- Tcb.remove_from m.m_waiters t;
+          match m.m_owner with
+          | Some o when m.m_protocol = Inherit_protocol ->
+              recompute_inherited_prio eng o
+          | _ -> ())
+      | On_cond c ->
+          c.c_waiters <- Tcb.remove_from c.c_waiters t;
+          if c.c_waiters = [] then c.c_mutex <- None
+      | On_join target -> target.joiners <- Tcb.remove_from target.joiners t
+      | On_sigwait _ -> t.sigwait_set <- Sigset.empty
+      | On_start ->
+          (* lazy creation: resources are allocated at activation time *)
+          Heap.acquire_slab eng.heap
+      | On_sleep | On_suspend -> ()
+      | On_shared _ ->
+          (* the shared object's library removed us from its queue *)
+          ());
+      t.wait_deadline <- None;
+      t.pending_wake <- wake;
+      if t.suspended then
+        (* an explicit suspension is pending: park instead of running; the
+           wake reason is preserved for the eventual resume *)
+        t.state <- Blocked On_suspend
+      else begin
+        t.state <- Ready;
+        Ready_queue.push_tail eng t;
+        if t.prio > eng.current.prio && eng.current.state = Running then
+          eng.dispatcher_flag <- true
+      end
+  | Ready | Running | Terminated -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Signal delivery model                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A thread can receive a signal if its mask admits it; a thread suspended
+   in sigwait counts as having the awaited signals unmasked (the paper:
+   "sigwait is just another case where the signal is unmasked"). *)
+let eligible t s =
+  Tcb.is_live t
+  && ((not (Sigset.mem t.sigmask s)) || Sigset.mem t.sigwait_set s)
+
+(* Timed waits arm SIGALRM timers, and BSD signals do not queue: when two
+   timers expire in the same window the second SIGALRM is lost (the paper:
+   "signals should be blocked for the shortest interval possible to avoid
+   the loss of signals at the UNIX process level").  Like the real library,
+   we therefore treat every alarm as a demultiplexing point and wake every
+   thread whose deadline has passed, not only the timer's owner. *)
+let wake_expired_sleepers eng =
+  let time = Unix_kernel.now eng.vm in
+  List.iter
+    (fun t ->
+      match (t.state, t.wait_deadline) with
+      | Blocked (On_sleep | On_cond _), Some d when d <= time ->
+          unblock eng t Wake_timeout
+      | _ -> ())
+    eng.all_threads
+
+(* Recipient resolution (6 rules) and action resolution (7 rules), straight
+   from the paper's "Signal Handling" section. *)
+let rec direct_signal eng p =
+  charge eng Costs.signal_direct;
+  let s = p.p_signo in
+  let live tid =
+    match find_thread eng tid with
+    | Some t when Tcb.is_live t -> Some t
+    | Some _ | None -> None
+  in
+  let recipient =
+    match p.p_origin with
+    (* rules 1-4: directed, synchronous, timer, I/O *)
+    | Unix_kernel.Directed tid
+    | Unix_kernel.Sync tid
+    | Unix_kernel.Timer tid
+    | Unix_kernel.Io tid ->
+        live tid
+    | Unix_kernel.Slice ->
+        if eng.current.state = Running then Some eng.current else None
+    | Unix_kernel.External ->
+        (* rule 5: linear search of the list of all threads *)
+        let rec search = function
+          | [] -> None
+          | t :: rest ->
+              charge eng Costs.signal_search_per_thread;
+              if eligible t s then Some t else search rest
+        in
+        search eng.all_threads
+  in
+  match recipient with
+  | Some t -> act_on eng t p
+  | None -> (
+      match p.p_origin with
+      | Unix_kernel.Slice -> ()
+      | _ ->
+          (* rule 6: pend on the process until a thread becomes eligible *)
+          eng.proc_pending <- eng.proc_pending @ [ p ])
+
+and act_on eng t p =
+  let s = p.p_signo in
+  if s = Sigset.sigcancel then handle_cancel_signal eng t
+  else if Sigset.mem t.sigmask s && not (Sigset.mem t.sigwait_set s) then
+    (* action rule 1: masked -> pend on the thread *)
+    t.thr_pending <- t.thr_pending @ [ p ]
+  else begin
+    let timer_origin =
+      match p.p_origin with
+      | Unix_kernel.Timer _ | Unix_kernel.Slice -> true
+      | _ -> false
+    in
+    if s = Sigset.sigalrm && timer_origin then
+      (* action rule 2: alarm from a timer expiration *)
+      match (p.p_origin, t.state) with
+      | Unix_kernel.Slice, Running
+        when t == eng.current && t.sched_override <> Some Sched_fifo ->
+          (* time-slicing: position at the tail of the ready queue (threads
+             with a per-thread FIFO policy are exempt) *)
+          t.state <- Ready;
+          Ready_queue.push_tail eng t;
+          eng.dispatcher_flag <- true
+      | Unix_kernel.Slice, _ -> ()
+      | _, Blocked (On_sigwait set) when Sigset.mem set s ->
+          sigwait_deliver eng t s
+      | _, Blocked (On_sleep | On_cond _) ->
+          (* "the selected thread becomes ready if it was suspended" *)
+          let wake =
+            match t.wait_deadline with
+            | Some d when now eng >= d -> Wake_timeout
+            | _ -> Wake_interrupted
+          in
+          unblock eng t wake;
+          (* a lost concurrent SIGALRM may have stranded another sleeper *)
+          wake_expired_sleepers eng
+      | _, _ -> wake_expired_sleepers eng
+    else if
+      s = Sigset.sigio
+      && (match p.p_origin with Unix_kernel.Io _ -> true | _ -> false)
+    then begin
+      (* I/O completions are level-triggered: concurrent completions can
+         share one (non-queuing) SIGIO, so every thread sigwaiting for
+         SIGIO is woken to re-check its own completion state. *)
+      let woke_any = ref false in
+      List.iter
+        (fun w ->
+          match w.state with
+          | Blocked (On_sigwait set) when Sigset.mem set s ->
+              woke_any := true;
+              sigwait_deliver eng w s
+          | _ -> ())
+        eng.all_threads;
+      if not !woke_any then
+        match eng.actions.(s) with
+        | Sig_handler { h_mask; h_fn } ->
+            charge eng Costs.fake_call_setup;
+            eng.n_thread_signals <- eng.n_thread_signals + 1;
+            trace eng t (Trace.Signal_delivered s);
+            t.fake_frames <-
+              Fake_handler
+                { fh_signo = s; fh_code = p.p_code; fh_mask = h_mask; fh_fn = h_fn }
+              :: t.fake_frames;
+            (match t.state with
+            | Blocked (On_mutex _ | On_start | On_suspend) -> ()
+            | Blocked _ -> unblock eng t Wake_interrupted
+            | Ready | Running | Terminated -> ())
+        | Sig_ignore | Sig_default -> () (* SIGIO default: ignore *)
+    end
+    else
+      match t.state with
+      | Blocked (On_sigwait set) when Sigset.mem set s ->
+          (* action rule 3: wake the sigwait *)
+          sigwait_deliver eng t s
+      | _ -> (
+          match eng.actions.(s) with
+          | Sig_handler { h_mask; h_fn } -> (
+              (* action rule 4: install a fake call *)
+              charge eng Costs.fake_call_setup;
+              eng.n_thread_signals <- eng.n_thread_signals + 1;
+              trace eng t (Trace.Signal_delivered s);
+              t.fake_frames <-
+                Fake_handler
+                  { fh_signo = s; fh_code = p.p_code; fh_mask = h_mask; fh_fn = h_fn }
+                :: t.fake_frames;
+              match t.state with
+              | Blocked (On_mutex _ | On_start | On_suspend | On_shared _) ->
+                  (* a mutex wait is not an interruption point, and a
+                     suspended thread stays suspended: the handler runs at
+                     acquisition/resumption *)
+                  ()
+              | Blocked _ -> unblock eng t Wake_interrupted
+              | Ready | Running | Terminated -> ())
+          | Sig_ignore -> () (* action rule 6 *)
+          | Sig_default ->
+              (* action rule 7: default action on the process *)
+              eng.stop_reason <- Some (Killed_by_signal s))
+  end
+
+and sigwait_deliver eng t s =
+  t.sigwait_result <- Some s;
+  (* "signals specified in the call to sigwait are masked for the thread" *)
+  t.sigmask <- Sigset.union t.sigmask t.sigwait_set;
+  unblock eng t Wake_normal
+
+and handle_cancel_signal eng t =
+  trace eng t Trace.Cancel_request;
+  t.cancel_pending <- true;
+  match (t.cancel_state, t.cancel_type) with
+  | Cancel_disabled, _ -> () (* Table 1: pends until enabled *)
+  | Cancel_enabled, Cancel_asynchronous -> act_cancel eng t
+  | Cancel_enabled, Cancel_controlled -> (
+      (* Table 1: pends until an interruption point; a thread suspended at
+         one is acted upon now.  A mutex wait is explicitly *not* an
+         interruption point. *)
+      match t.state with
+      | Blocked (On_cond _ | On_join _ | On_sigwait _ | On_sleep) ->
+          act_cancel eng t
+      | _ -> ())
+
+and act_cancel eng t =
+  if Tcb.is_live t then begin
+    t.cancel_pending <- false;
+    t.cancel_state <- Cancel_disabled;
+    t.sigmask <- Sigset.all_maskable;
+    charge eng Costs.fake_call_setup;
+    t.fake_frames <- Fake_exit :: t.fake_frames;
+    match t.state with
+    | Blocked (On_mutex _ | On_suspend | On_shared _) ->
+        () (* dies at acquisition/resume *)
+    | Blocked _ -> unblock eng t Wake_interrupted
+    | Ready | Running | Terminated -> ()
+  end
+
+let recheck_thread_pending eng t =
+  if t.thr_pending <> [] then begin
+    let deliverable, still =
+      List.partition
+        (fun p ->
+          (not (Sigset.mem t.sigmask p.p_signo))
+          || Sigset.mem t.sigwait_set p.p_signo)
+        t.thr_pending
+    in
+    t.thr_pending <- still;
+    List.iter (fun p -> act_on eng t p) deliverable
+  end
+
+let recheck_proc_pending eng =
+  if eng.proc_pending <> [] then begin
+    let ps = eng.proc_pending in
+    eng.proc_pending <- [];
+    List.iter (fun p -> direct_signal eng p) ps
+  end
+
+(* The universal signal handler: installed at the UNIX level for every
+   maskable signal.  A signal caught while the kernel flag is set is logged
+   and deferred to dispatch time; otherwise the handler enters the kernel,
+   re-enables signals (sigsetmask #1), directs the signal, requests a
+   dispatch and re-disables signals before returning (sigsetmask #2) — the
+   paper's "two calls to sigsetmask for each signal received". *)
+let universal_handler eng ~signo ~code ~origin =
+  let p = { p_signo = signo; p_code = code; p_origin = origin } in
+  if eng.kernel_flag then begin
+    eng.deferred <- p :: eng.deferred;
+    eng.dispatcher_flag <- true
+  end
+  else begin
+    eng.kernel_flag <- true;
+    charge eng Costs.kernel_enter;
+    ignore (Unix_kernel.sigsetmask eng.vm Sigset.empty : Sigset.t);
+    direct_signal eng p;
+    eng.dispatcher_flag <- true;
+    ignore (Unix_kernel.sigsetmask eng.vm Sigset.all_maskable : Sigset.t);
+    charge eng Costs.kernel_exit;
+    eng.kernel_flag <- false
+  end
+
+let poll_signals eng =
+  Unix_kernel.check_events eng.vm;
+  try
+    while Unix_kernel.has_deliverable eng.vm do
+      ignore (Unix_kernel.deliver_pending eng.vm : bool)
+    done
+  with Unix_kernel.Process_killed s ->
+    eng.stop_reason <- Some (Killed_by_signal s)
+
+(* ------------------------------------------------------------------ *)
+(* The dispatcher (Figure 2)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec dispatch eng : wake =
+  eng.dispatcher_flag <- false;
+  if eng.deferred <> [] then begin
+    (* handle signals caught while in the kernel, then restart: their
+       handling may change the thread to be dispatched next *)
+    let ds = List.rev eng.deferred in
+    eng.deferred <- [];
+    List.iter (fun p -> direct_signal eng p) ds;
+    dispatch eng
+  end
+  else begin
+    charge eng Costs.dispatch_select;
+    let cur = eng.current in
+    let stay =
+      match cur.state with
+      | Running -> (
+          match Ready_queue.highest_prio eng with
+          | Some p when p > cur.prio ->
+              (* preempted: the thread goes to the head of its level *)
+              cur.state <- Ready;
+              Ready_queue.push_head eng cur;
+              false
+          | Some _ | None -> true)
+      | Ready | Blocked _ | Terminated -> false
+    in
+    if stay then begin
+      charge eng Costs.dispatch_inline;
+      eng.kernel_flag <- false;
+      Wake_normal
+    end
+    else switch_out eng
+  end
+
+and switch_out eng =
+  let cur = eng.current in
+  eng.n_switches <- eng.n_switches + 1;
+  trace eng cur Trace.Dispatch_out;
+  charge eng Costs.switch_save;
+  Unix_kernel.flush_windows eng.vm;
+  eng.kernel_flag <- false;
+  (* Control returns (with the wake reason) when the scheduler loop
+     dispatches this thread again. *)
+  Effect.perform Suspend
+
+(* ------------------------------------------------------------------ *)
+(* Monolithic monitor entry/exit, perverted scheduling                  *)
+(* ------------------------------------------------------------------ *)
+
+let enter_kernel eng =
+  charge eng Costs.kernel_enter;
+  eng.kernel_flag <- true
+
+let apply_perversion eng =
+  let cur = eng.current in
+  if cur.state = Running && eng.in_fiber && eng.live_count > 1 then
+    match eng.cfg.perverted with
+    | No_perversion | Mutex_switch -> ()
+    | Rr_ordered_switch ->
+        cur.state <- Ready;
+        Ready_queue.push_tail_lowest eng cur;
+        eng.dispatcher_flag <- true
+    | Random_switch ->
+        if Rng.bool eng.rng then begin
+          cur.state <- Ready;
+          Ready_queue.push_tail_lowest eng cur;
+          eng.pick_random_next <- true;
+          eng.dispatcher_flag <- true
+        end
+
+let leave_kernel eng =
+  charge eng Costs.kernel_exit;
+  apply_perversion eng;
+  if eng.dispatcher_flag then ignore (dispatch eng : wake)
+  else eng.kernel_flag <- false
+
+let block eng = dispatch eng
+
+let force_switch eng =
+  let cur = eng.current in
+  if cur.state = Running && eng.live_count > 1 then begin
+    cur.state <- Ready;
+    Ready_queue.push_tail eng cur;
+    eng.dispatcher_flag <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fake calls                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec drain_fake_calls eng =
+  let t = eng.current in
+  match t.fake_frames with
+  | [] -> ()
+  | frame :: rest ->
+      t.fake_frames <- rest;
+      (match frame with
+      | Fake_exit -> raise (Thread_exit_exn Canceled)
+      | Fake_handler { fh_signo; fh_code; fh_mask; fh_fn } ->
+          (* the wrapper of Figure 3 *)
+          charge eng Costs.wrapper;
+          let saved_errno = t.errno and saved_mask = t.sigmask in
+          t.sigmask <- Sigset.add (Sigset.union t.sigmask fh_mask) fh_signo;
+          Fun.protect
+            ~finally:(fun () ->
+              t.errno <- saved_errno;
+              t.sigmask <- saved_mask)
+            (fun () -> fh_fn ~signo:fh_signo ~code:fh_code);
+          (* pending signals on the thread and process are handled if now
+             enabled *)
+          recheck_thread_pending eng t;
+          recheck_proc_pending eng);
+      drain_fake_calls eng
+
+let checkpoint eng =
+  charge eng Costs.checkpoint_poll;
+  poll_signals eng;
+  (match eng.stop_reason with
+  | Some r -> raise (Process_stopped r)
+  | None -> ());
+  (* Checkpoints model the instruction boundaries at which the paper's
+     implementation could leave the kernel, so the perverted reordering
+     policies hook here as well — otherwise programs that stay on the
+     kernel-free fast paths would never be perturbed. *)
+  if not eng.kernel_flag then apply_perversion eng;
+  if eng.dispatcher_flag && not eng.kernel_flag then begin
+    eng.kernel_flag <- true;
+    charge eng Costs.kernel_enter;
+    ignore (dispatch eng : wake)
+  end;
+  drain_fake_calls eng
+
+let test_cancel eng =
+  let t = eng.current in
+  if t.cancel_pending && t.cancel_state = Cancel_enabled then begin
+    act_cancel eng t;
+    drain_fake_calls eng (* raises Thread_exit_exn Canceled *)
+  end
+
+let yield eng =
+  checkpoint eng;
+  enter_kernel eng;
+  let cur = eng.current in
+  cur.state <- Ready;
+  Ready_queue.push_tail eng cur;
+  eng.dispatcher_flag <- true;
+  ignore (dispatch eng : wake);
+  drain_fake_calls eng
+
+let busy eng ~ns =
+  let slice = 2_000 in
+  let rec go remaining =
+    if remaining > 0 then begin
+      let step = min slice remaining in
+      Unix_kernel.advance eng.vm step;
+      checkpoint eng;
+      go (remaining - step)
+    end
+  in
+  go ns
+
+(* ------------------------------------------------------------------ *)
+(* Thread lifecycle                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let register_thread eng t =
+  eng.all_threads <- eng.all_threads @ [ t ];
+  eng.live_count <- eng.live_count + 1;
+  eng.n_created <- eng.n_created + 1;
+  trace eng t (Trace.Thread_create t.tname);
+  charge eng Costs.create_thread;
+  match t.state with
+  | Ready ->
+      Heap.acquire_slab eng.heap;
+      Ready_queue.push_tail eng t;
+      if t.prio > eng.current.prio && eng.current.state = Running then
+        eng.dispatcher_flag <- true
+  | Blocked On_start -> () (* lazy creation: no resources yet *)
+  | Running | Blocked _ | Terminated -> assert false
+
+let reap_thread eng t =
+  charge eng Costs.reap_thread;
+  Heap.release_slab eng.heap;
+  eng.all_threads <- Tcb.remove_from eng.all_threads t
+
+let finish_current eng status =
+  let t = eng.current in
+  (* remaining cleanup handlers run first (user code), newest first *)
+  let rec run_cleanups () =
+    match t.cleanup with
+    | [] -> ()
+    | f :: rest ->
+        t.cleanup <- rest;
+        charge eng Costs.cleanup_op;
+        (try f () with _ -> ());
+        run_cleanups ()
+  in
+  run_cleanups ();
+  (* thread-specific-data destructors: up to four passes *)
+  let pass () =
+    let ran = ref false in
+    for key = 0 to eng.tsd_next - 1 do
+      match (t.tsd.(key), eng.tsd_destructors.(key)) with
+      | Some v, Some d ->
+          t.tsd.(key) <- None;
+          ran := true;
+          (try d v with _ -> ())
+      | (Some _ | None), _ -> ()
+    done;
+    !ran
+  in
+  let rec passes n = if n > 0 && pass () then passes (n - 1) in
+  passes 4;
+  enter_kernel eng;
+  t.retval <- Some status;
+  t.state <- Terminated;
+  eng.live_count <- eng.live_count - 1;
+  trace eng t Trace.Thread_exit;
+  if t.owned <> [] then trace eng t (Trace.Note "terminated while holding mutexes");
+  List.iter (fun j -> unblock eng j Wake_normal) t.joiners;
+  t.joiners <- [];
+  if t.detached then begin
+    Heap.release_slab eng.heap;
+    eng.all_threads <- Tcb.remove_from eng.all_threads t
+  end;
+  charge eng Costs.kernel_exit;
+  eng.kernel_flag <- false
+
+(* ------------------------------------------------------------------ *)
+(* Fibers and the scheduler loop                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fiber_body eng t body () =
+  match
+    try
+      (* a thread canceled before its first dispatch dies here *)
+      drain_fake_calls eng;
+      Ok (Exited (body ()))
+    with
+    | Thread_exit_exn st -> Ok st
+    | Process_stopped _ -> Error ()
+    | e -> Ok (Failed e)
+  with
+  | Ok status -> finish_current eng status
+  | Error () ->
+      (* the whole process is stopping; skip user-level unwinding *)
+      t.state <- Terminated;
+      eng.live_count <- eng.live_count - 1
+
+let start_fiber eng t body =
+  Effect.Deep.match_with (fiber_body eng t body) ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  eng.current.cont <- Saved k)
+          | _ -> None);
+    }
+
+let resume_thread eng t =
+  t.state <- Running;
+  t.n_switches_in <- t.n_switches_in + 1;
+  eng.n_dispatches <- eng.n_dispatches + 1;
+  eng.current <- t;
+  Unix_kernel.window_underflow eng.vm;
+  charge eng Costs.switch_restore;
+  trace eng t Trace.Dispatch_in;
+  List.iter (fun hook -> hook t) eng.switch_hooks;
+  eng.in_fiber <- true;
+  (match t.cont with
+  | Not_started body ->
+      t.cont <- No_cont;
+      start_fiber eng t body
+  | Saved k ->
+      t.cont <- No_cont;
+      let w = t.pending_wake in
+      t.pending_wake <- Wake_normal;
+      Effect.Deep.continue k w
+  | No_cont -> assert false);
+  eng.in_fiber <- false
+
+let describe_blocked eng =
+  let live = List.filter Tcb.is_live eng.all_threads in
+  String.concat "; " (List.map (fun t -> Format.asprintf "%a" Tcb.pp t) live)
+
+let run_scheduler eng =
+  let rec loop () =
+    if eng.stop_reason <> None then ()
+    else if eng.live_count <= 0 then ()
+    else begin
+      poll_signals eng;
+      eng.dispatcher_flag <- false;
+      if eng.stop_reason <> None then ()
+      else begin
+        let next =
+          if eng.pick_random_next then begin
+            eng.pick_random_next <- false;
+            Ready_queue.pop_random eng eng.rng
+          end
+          else Ready_queue.pop_highest eng
+        in
+        match next with
+        | Some t ->
+            resume_thread eng t;
+            loop ()
+        | None -> (
+            (* everyone is blocked: advance the clock to the next timer or
+               I/O completion; with none, wake any sleeper whose deadline
+               passed while its (lost) alarm never arrived; otherwise the
+               process is deadlocked.  On a shared machine, the idle hook
+               arbitrates instead: another process may run first. *)
+            let deadlines =
+              List.filter_map
+                (fun t ->
+                  match (t.state, t.wait_deadline) with
+                  | Blocked (On_sleep | On_cond _), Some d -> Some d
+                  | _ -> None)
+                eng.all_threads
+            in
+            let engine_next =
+              let cands =
+                (match Unix_kernel.next_event_time eng.vm with
+                | Some t_ns -> [ t_ns ]
+                | None -> [])
+                @ deadlines
+              in
+              match cands with
+              | [] -> None
+              | d :: rest -> Some (List.fold_left min d rest)
+            in
+            match eng.idle_hook with
+            | Some hook ->
+                if hook engine_next then begin
+                  wake_expired_sleepers eng;
+                  loop ()
+                end
+                else
+                  eng.stop_reason <- Some (Deadlock (describe_blocked eng))
+            | None -> (
+                match engine_next with
+                | Some t_ns ->
+                    Clock.advance_to (Unix_kernel.clock eng.vm) t_ns;
+                    wake_expired_sleepers eng;
+                    loop ()
+                | None ->
+                    eng.stop_reason <- Some (Deadlock (describe_blocked eng))))
+      end
+    end
+  in
+  loop ();
+  match eng.stop_reason with
+  | Some r -> raise (Process_stopped r)
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Signals: public entry points                                        *)
+(* ------------------------------------------------------------------ *)
+
+let send_signal eng signo ~code ~origin =
+  trace eng eng.current (Trace.Signal_sent signo);
+  direct_signal eng { p_signo = signo; p_code = code; p_origin = origin };
+  eng.dispatcher_flag <- true
+
+let post_external eng signo ?(code = 0) () =
+  trace eng eng.current (Trace.Signal_sent signo);
+  Unix_kernel.kill eng.vm signo ~code ~origin:Unix_kernel.External ()
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make ?clock cfg ~main =
+  let vm = Unix_kernel.create ?clock cfg.profile in
+  let heap = Heap.create vm ~use_pool:cfg.use_pool () in
+  let trace_rec = Trace.create () in
+  Trace.set_enabled trace_rec cfg.trace_enabled;
+  let main_tcb =
+    Tcb.make ~tid:0 ~name:"main" ~prio:cfg.main_prio ~detached:false
+      ~body:main ~deferred:false
+  in
+  let eng =
+    {
+      vm;
+      heap;
+      trace = trace_rec;
+      cfg;
+      rng = Rng.create cfg.seed;
+      kernel_flag = false;
+      dispatcher_flag = false;
+      deferred = [];
+      current = main_tcb;
+      ready = Array.make n_prios [];
+      all_threads = [ main_tcb ];
+      next_tid = 1;
+      next_obj = 1;
+      actions = Array.make (Sigset.max_signo + 1) Sig_default;
+      proc_pending = [];
+      pick_random_next = false;
+      live_count = 1;
+      n_switches = 0;
+      n_dispatches = 0;
+      n_created = 0;
+      n_thread_signals = 0;
+      tsd_destructors = Array.make max_tsd_keys None;
+      tsd_next = 0;
+      stop_reason = None;
+      in_fiber = false;
+      switch_hooks = [];
+      idle_hook = None;
+    }
+  in
+  (* Library initialization: a universal handler for all maskable UNIX
+     signals, benign defaults for the signals whose UNIX default is to be
+     ignored, the TCB/stack pool, the time-slice timer, main's stack. *)
+  let catch =
+    Unix_kernel.Catch
+      {
+        mask = Sigset.all_maskable;
+        fn = (fun ~signo ~code ~origin -> universal_handler eng ~signo ~code ~origin);
+      }
+  in
+  List.iter
+    (fun s -> Unix_kernel.sigaction vm s catch)
+    (Sigset.to_list Sigset.all_maskable);
+  eng.actions.(Sigset.sigchld) <- Sig_ignore;
+  eng.actions.(Sigset.sigio) <- Sig_ignore;
+  if cfg.use_pool && cfg.pool_prealloc > 0 then
+    Heap.preallocate heap cfg.pool_prealloc;
+  (match cfg.policy with
+  | Fifo -> ()
+  | Round_robin quantum ->
+      ignore
+        (Unix_kernel.arm_timer vm ~after_ns:quantum ~interval_ns:quantum
+           ~signo:Sigset.sigalrm ~origin:Unix_kernel.Slice
+          : int));
+  Heap.acquire_slab heap;
+  Ready_queue.push_tail eng main_tcb;
+  eng
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  virtual_ns : int;
+  switches : int;
+  kernel_traps : int;
+  trap_detail : (string * int) list;
+  sigsetmask_calls : int;
+  signals_posted : int;
+  signals_delivered_unix : int;
+  signals_lost : int;
+  thread_handler_runs : int;
+  threads_created : int;
+  heap_allocations : int;
+}
+
+let stats eng =
+  {
+    virtual_ns = Unix_kernel.now eng.vm;
+    switches = eng.n_switches;
+    kernel_traps = Unix_kernel.trap_count eng.vm;
+    trap_detail = Unix_kernel.trap_counts eng.vm;
+    sigsetmask_calls = Unix_kernel.sigsetmask_count eng.vm;
+    signals_posted = Unix_kernel.signals_posted eng.vm;
+    signals_delivered_unix = Unix_kernel.signals_delivered eng.vm;
+    signals_lost = Unix_kernel.signals_lost eng.vm;
+    thread_handler_runs = eng.n_thread_signals;
+    threads_created = eng.n_created;
+    heap_allocations = Heap.allocations eng.heap;
+  }
+
+let reset_stats eng =
+  Unix_kernel.reset_counters eng.vm;
+  eng.n_switches <- 0;
+  eng.n_created <- 0;
+  eng.n_thread_signals <- 0
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>virtual time: %.1f us@ context switches: %d@ kernel traps: %d \
+     (sigsetmask: %d)@ signals: %d posted, %d delivered, %d lost, %d \
+     handler runs@ threads created: %d; heap allocations: %d@]"
+    (Clock.us_of_ns s.virtual_ns)
+    s.switches s.kernel_traps s.sigsetmask_calls s.signals_posted
+    s.signals_delivered_unix s.signals_lost s.thread_handler_runs
+    s.threads_created s.heap_allocations

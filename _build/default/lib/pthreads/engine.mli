@@ -1,0 +1,170 @@
+(** The Pthreads kernel: monolithic monitor, dispatcher, signal machinery
+    and the scheduler loop.
+
+    This module is the heart of the library — everything the paper describes
+    under "Pthreads Kernel", "Signal Delivery", "The Dispatcher", "Signal
+    Handling", "Fake Calls" and "Thread Cancellation".  Synchronization
+    objects ([Mutex], [Cond]) and the thread-management API ([Thread_ops])
+    are built on the operations exported here; user programs go through the
+    [Pthread] facade.
+
+    Concurrency model: threads are OCaml fibers multiplexed over one
+    scheduler loop.  A thread gives up the processor by performing
+    {!Types.Suspend}; the loop answers with a {!Types.wake} explaining why
+    it was resumed.  Signals arrive at {e checkpoints} (every API call and
+    every slice of [Pthread.busy]); a signal noticed while the kernel flag
+    is set is logged and deferred to dispatch time, exactly as in the
+    paper's Figure 2. *)
+
+open Types
+
+(** {1 Construction and the scheduler} *)
+
+val make : ?clock:Vm.Clock.t -> config -> main:(unit -> int) -> engine
+(** Build a simulated process whose main thread (tid 0) will run [main].
+    Installs the universal signal handler for all maskable signals and, for
+    a round-robin policy, arms the time-slice interval timer.  [clock] lets
+    several processes of one [Machine] share a time line. *)
+
+val run_scheduler : engine -> unit
+(** Run until every thread has terminated.
+    @raise Types.Process_stopped on deadlock or on the default action of an
+    unhandled signal. *)
+
+val default_config : Vm.Cost_model.profile -> config
+
+(** {1 Monolithic monitor (the "Pthreads kernel")} *)
+
+val enter_kernel : engine -> unit
+val leave_kernel : engine -> unit
+(** Reset the kernel flag, or invoke the dispatcher when the dispatcher flag
+    was set; applies the perverted scheduling hook. *)
+
+val block : engine -> wake
+(** Give up the processor.  The caller must hold the kernel flag, have set
+    [current.state] to [Blocked _] and enqueued itself on the relevant wait
+    queue.  Returns, outside the kernel, when the thread is resumed. *)
+
+val checkpoint : engine -> unit
+(** A preemption point: poll the substrate for deliverable signals (running
+    the universal handler), dispatch if required, then execute any fake
+    calls pending on the current thread. *)
+
+val yield : engine -> unit
+(** Reposition the current thread at the tail of its priority queue and
+    dispatch (the Table 2 "thread context switch (yield)" operation). *)
+
+val force_switch : engine -> unit
+(** Perverted mutex-switch hook: requeue the current thread at the tail of
+    its own priority queue and request dispatch.  Must be called inside the
+    kernel. *)
+
+(** {1 Threads} *)
+
+val current : engine -> tcb
+val find_thread : engine -> int -> tcb option
+(** Live or terminated-but-unjoined thread by id. *)
+
+val fresh_tid : engine -> int
+val fresh_obj_id : engine -> int
+(** Identifier mints for TCBs and synchronization objects. *)
+
+val register_thread : engine -> tcb -> unit
+(** Account a freshly created TCB and, unless it is deferred, make it
+    ready.  Must be called inside the kernel. *)
+
+val reap_thread : engine -> tcb -> unit
+(** Release a terminated thread's resources after a join/detach. *)
+
+val unblock : engine -> tcb -> wake -> unit
+(** Remove a blocked thread from its wait queue and make it ready; sets the
+    dispatcher flag if it now outranks the running thread. *)
+
+val finish_current : engine -> exit_status -> unit
+(** Thread-termination bookkeeping: runs cleanup handlers and TSD
+    destructors, wakes joiners, reclaims a detached thread's slab. *)
+
+(** {1 Priorities} *)
+
+val set_effective_prio : engine -> tcb -> int -> at_head:bool -> unit
+(** Change a thread's effective priority, repositioning it in whatever
+    queue it occupies and propagating inheritance down a blocking chain.
+    [at_head] places a ready thread at the head of its new level — the
+    paper argues protocol-induced changes must not penalize the thread. *)
+
+val recompute_inherited_prio : engine -> tcb -> unit
+(** The inheritance protocol's unlock-side linear search: effective
+    priority becomes the maximum of the base priority and the priorities of
+    threads contending for any still-held mutex. *)
+
+(** {1 Signals} *)
+
+val send_signal : engine -> signo -> code:int -> origin:Vm.Unix_kernel.origin -> unit
+(** Direct a signal through the thread-level delivery model (the internal
+    path: [pthread_kill], cancellation, synchronous faults).  Must be
+    called inside the kernel; sets the dispatcher flag. *)
+
+val post_external : engine -> signo -> ?code:int -> unit -> unit
+(** Generate a process-level (external) signal through the simulated UNIX
+    kernel; it will be demultiplexed by the universal handler at the next
+    checkpoint. *)
+
+val drain_fake_calls : engine -> unit
+(** Execute the fake-call frames pending on the current thread: the wrapper
+    saves errno and the signal mask, runs the user handler, restores both
+    and re-examines pended signals.  A [Fake_exit] frame raises
+    {!Types.Thread_exit_exn}. *)
+
+val recheck_thread_pending : engine -> tcb -> unit
+(** Re-run the action rules for thread-pended signals that the thread's
+    current mask now admits. *)
+
+val recheck_proc_pending : engine -> unit
+(** Retry recipient resolution for process-pended signals (rule 6). *)
+
+val test_cancel : engine -> unit
+(** An interruption point ([pthread_testintr]): act on a pending
+    cancellation request in enabled/controlled state. *)
+
+val act_cancel : engine -> tcb -> unit
+(** Act on a cancellation request now: interruptibility becomes disabled,
+    all other signals are masked, and a fake call to [pthread_exit] is
+    pushed (Table 1's "acted upon" rows). *)
+
+(** {1 Time} *)
+
+val now : engine -> int
+val charge : engine -> int -> unit
+(** Charge instructions of library code to the virtual clock. *)
+
+val busy : engine -> ns:int -> unit
+(** Simulated user computation: advance the clock in slices with a
+    checkpoint per slice, so preemption and signal delivery can occur
+    mid-computation. *)
+
+val trace : engine -> tcb -> Vm.Trace.kind -> unit
+
+val add_switch_hook : engine -> (tcb -> unit) -> unit
+(** Register a callback invoked at every dispatch with the thread being
+    switched in (runs in scheduler context, before the thread resumes).
+    Used by [Debugger] and [Validate]. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  virtual_ns : int;  (** total virtual time consumed *)
+  switches : int;  (** thread context switches *)
+  kernel_traps : int;  (** simulated UNIX kernel entries *)
+  trap_detail : (string * int) list;
+  sigsetmask_calls : int;
+  signals_posted : int;
+  signals_delivered_unix : int;
+  signals_lost : int;
+  thread_handler_runs : int;
+  threads_created : int;
+  heap_allocations : int;
+}
+
+val stats : engine -> stats
+val reset_stats : engine -> unit
+val pp_stats : Format.formatter -> stats -> unit

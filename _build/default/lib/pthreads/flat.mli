@@ -1,0 +1,75 @@
+(** The language-independent interface (Figure 1's "language interface"
+    layer).
+
+    The paper insists the library be callable from languages other than C:
+    no macros, "linkable entry points", integer status returns.  This
+    module is that ABI, faithfully flat: synchronization objects are plain
+    integer handles, every function returns a {!status} code instead of
+    raising, and out-parameters become returned pairs.  The Ada binding the
+    paper describes would sit on exactly this surface.
+
+    The exception-based OCaml modules ([Mutex], [Cond], [Pthread]) remain
+    the primary API; this layer wraps them. *)
+
+open Types
+
+type status = int
+(** 0 on success, an errno-style code otherwise. *)
+
+val ok : status
+
+val einval : status
+(** Bad handle or argument. *)
+
+val ebusy : status
+(** Trylock failed, or the object is in use. *)
+
+val edeadlk : status
+(** Relock, or self-join. *)
+
+val esrch : status
+(** No such thread. *)
+
+val etimedout : status
+
+val eperm : status
+(** Caller is not the owner. *)
+
+val strstatus : status -> string
+
+type handle = int
+
+(** {1 Mutexes} *)
+
+val mutex_init :
+  engine -> ?protocol:[ `None | `Inherit | `Ceiling of int ] -> unit -> status * handle
+val mutex_destroy : engine -> handle -> status
+(** [EBUSY] while locked or with waiters. *)
+
+val mutex_lock : engine -> handle -> status
+val mutex_trylock : engine -> handle -> status
+val mutex_unlock : engine -> handle -> status
+
+(** {1 Condition variables} *)
+
+val cond_init : engine -> unit -> status * handle
+val cond_destroy : engine -> handle -> status
+val cond_wait : engine -> handle -> handle -> status
+(** [cond_wait proc cond mutex]. *)
+
+val cond_timedwait : engine -> handle -> handle -> deadline_ns:int -> status
+(** [ETIMEDOUT] when the deadline passes first. *)
+
+val cond_signal : engine -> handle -> status
+val cond_broadcast : engine -> handle -> status
+
+(** {1 Threads} *)
+
+val thr_create : engine -> ?prio:int -> (unit -> int) -> status * int
+val thr_join : engine -> int -> status * int
+(** Returns the thread's exit code; -1 for canceled or failed threads. *)
+
+val thr_detach : engine -> int -> status
+val thr_cancel : engine -> int -> status
+val thr_setprio : engine -> int -> int -> status
+val thr_self : engine -> int

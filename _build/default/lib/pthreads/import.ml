@@ -1,0 +1,10 @@
+(** Short aliases for the substrate modules (library [vm] is wrapped). *)
+
+module Clock = Vm.Clock
+module Cost_model = Vm.Cost_model
+module Heap = Vm.Heap
+module Rng = Vm.Rng
+module Sigset = Vm.Sigset
+module Trace = Vm.Trace
+module Unix_kernel = Vm.Unix_kernel
+module Unix_process = Vm.Unix_process

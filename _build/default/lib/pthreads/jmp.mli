@@ -1,0 +1,28 @@
+(** [setjmp]/[longjmp] analogue (non-local exit), with the paper's costs.
+
+    On the SPARC a [setjmp] flushes the register windows and a [longjmp]
+    reloads them, which is why the paper uses the pair as "a lower bound on
+    the overhead of a context switch" (Table 2).  OCaml cannot re-enter a
+    stack frame, so the analogue is one-shot and upward-only: [catch] marks
+    a point, [longjmp] unwinds back to it.  That covers both uses the paper
+    cares about — the benchmark, and redirecting control out of a signal
+    handler (the implementation-defined feature the Ada runtime needs to
+    turn synchronous signals into exceptions).
+
+    The mask saved at [catch] is restored on the jump ([sigsetjmp]
+    semantics), and pended signals admitted by the restored mask are
+    re-examined. *)
+
+type buf
+(** Valid only within the dynamic extent of the [catch] that created it. *)
+
+type 'a result = Returned of 'a | Jumped of int
+
+val catch : Types.engine -> (buf -> 'a) -> 'a result
+(** [catch eng f] runs [f buf]; returns [Returned v] if [f] returns [v],
+    or [Jumped x] if [f] (or a signal handler running on this thread within
+    [f]) called [longjmp eng buf x]. *)
+
+val longjmp : Types.engine -> buf -> int -> 'b
+(** Unwind to the corresponding [catch].
+    @raise Invalid_argument if the buffer's [catch] has already returned. *)

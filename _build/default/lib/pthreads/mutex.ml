@@ -1,0 +1,208 @@
+open Import
+open Types
+
+let create eng ?name ?(protocol = No_protocol) ?ceiling () =
+  let id = Engine.fresh_obj_id eng in
+  let m_name =
+    match name with Some n -> n | None -> "mutex-" ^ string_of_int id
+  in
+  let m_ceiling =
+    match (protocol, ceiling) with
+    | Ceiling_protocol, Some c ->
+        if c < min_prio || c > max_prio then
+          invalid_arg "Mutex.create: ceiling out of range";
+        c
+    | Ceiling_protocol, None ->
+        invalid_arg "Mutex.create: ceiling protocol requires ~ceiling"
+    | (No_protocol | Inherit_protocol), _ -> 0
+  in
+  Engine.charge eng Costs.attr_op;
+  {
+    m_id = id;
+    m_name;
+    m_protocol = protocol;
+    m_ceiling;
+    m_locked = false;
+    m_owner = None;
+    m_waiters = [];
+    m_locks = 0;
+    m_contended = 0;
+  }
+
+let holds self m = match m.m_owner with Some o -> o == self | None -> false
+
+(* Figure 4: ldstub inside a restartable atomic sequence that also records
+   the owner — the whole uncontended acquisition stays out of the kernel. *)
+let acquire_fast eng m =
+  Engine.charge eng Costs.mutex_fast_lock;
+  if m.m_locked then false
+  else begin
+    m.m_locked <- true;
+    m.m_owner <- Some (Engine.current eng);
+    true
+  end
+
+(* Post-acquisition bookkeeping (owner already recorded). *)
+let on_acquired eng m =
+  let self = Engine.current eng in
+  self.owned <- m :: self.owned;
+  m.m_locks <- m.m_locks + 1;
+  Engine.trace eng self (Trace.Mutex_lock m.m_name);
+  (match m.m_protocol with
+  | Ceiling_protocol ->
+      (* SRP emulation: boost to the ceiling at acquisition, remembering
+         the previous level on the per-thread stack *)
+      Engine.charge eng Costs.ceiling_push_pop;
+      self.boost_stack <- self.prio :: self.boost_stack;
+      if m.m_ceiling > self.prio then
+        Engine.set_effective_prio eng self m.m_ceiling ~at_head:true
+  | Inherit_protocol | No_protocol -> ());
+  if eng.cfg.perverted = Mutex_switch then begin
+    (* perverted policy: force a context switch on each successful lock *)
+    Engine.enter_kernel eng;
+    Engine.force_switch eng;
+    Engine.leave_kernel eng
+  end
+
+let lock_slow eng m =
+  let self = Engine.current eng in
+  Engine.enter_kernel eng;
+  Engine.charge eng Costs.mutex_slow;
+  m.m_contended <- m.m_contended + 1;
+  Engine.trace eng self (Trace.Mutex_block m.m_name);
+  (* inheritance: boost the owner (and transitively whoever blocks it) *)
+  (match (m.m_protocol, m.m_owner) with
+  | Inherit_protocol, Some o when o.prio < self.prio ->
+      Engine.set_effective_prio eng o self.prio ~at_head:true
+  | _ -> ());
+  let rec wait () =
+    self.state <- Blocked (On_mutex m);
+    m.m_waiters <- Tcb.insert_by_prio m.m_waiters self;
+    let (_ : wake) = Engine.block eng in
+    (* Resumed outside the kernel.  The handler wrapper (fake calls) runs
+       only now — a mutex wait is not an interruption point. *)
+    Engine.drain_fake_calls eng;
+    if holds self m then ()
+    else begin
+      Engine.enter_kernel eng;
+      (match (m.m_protocol, m.m_owner) with
+      | Inherit_protocol, Some o when o.prio < self.prio ->
+          Engine.set_effective_prio eng o self.prio ~at_head:true
+      | _ -> ());
+      wait ()
+    end
+  in
+  wait ();
+  on_acquired eng m
+
+let do_lock eng m =
+  let self = Engine.current eng in
+  if holds self m then
+    invalid_arg ("Mutex.lock: " ^ m.m_name ^ " already held by caller");
+  if acquire_fast eng m then on_acquired eng m else lock_slow eng m
+
+let lock eng m =
+  Engine.checkpoint eng;
+  do_lock eng m
+
+let lock_after_wait eng m = do_lock eng m
+
+let try_lock eng m =
+  Engine.checkpoint eng;
+  let self = Engine.current eng in
+  if holds self m then invalid_arg "Mutex.try_lock: already held by caller";
+  if acquire_fast eng m then begin
+    on_acquired eng m;
+    true
+  end
+  else false
+
+(* Priority restoration on unlock, per protocol. *)
+let lower_on_unlock eng m =
+  let self = Engine.current eng in
+  match m.m_protocol with
+  | No_protocol -> ()
+  | Inherit_protocol -> Engine.recompute_inherited_prio eng self
+  | Ceiling_protocol -> (
+      Engine.charge eng Costs.ceiling_push_pop;
+      match self.boost_stack with
+      | [] -> () (* unmatched unlock order; behavior undefined per paper *)
+      | saved :: rest -> (
+          self.boost_stack <- rest;
+          match eng.cfg.ceiling_mode with
+          | Stack_pop ->
+              (* pure SRP: restore the level saved at acquisition — this is
+                 the column Pc of Table 4 and diverges when protocols mix *)
+              Engine.set_effective_prio eng self saved ~at_head:true
+          | Recompute ->
+              (* inheritance-style linear search, the fix the paper
+                 suggests when protocols are mixed *)
+              Engine.recompute_inherited_prio eng self))
+
+let release_transfer eng m =
+  (* Wake the highest-priority waiter, handing it the mutex directly. *)
+  match m.m_waiters with
+  | [] ->
+      m.m_locked <- false;
+      m.m_owner <- None
+  | w :: _ ->
+      Engine.charge eng Costs.mutex_transfer;
+      m.m_owner <- Some w;
+      Engine.unblock eng w Wake_normal
+
+let do_unlock eng m ~dispatching =
+  let self = Engine.current eng in
+  if not (holds self m) then
+    invalid_arg ("Mutex.unlock: " ^ m.m_name ^ " not held by caller");
+  Engine.charge eng Costs.mutex_fast_unlock;
+  self.owned <- List.filter (fun x -> x != m) self.owned;
+  Engine.trace eng self (Trace.Mutex_unlock m.m_name);
+  (* Uncontended releases stay out of the kernel whenever the protocol does
+     not require touching priorities: always for plain mutexes, and for
+     inheritance mutexes whose owner was never boosted.  A ceiling unlock
+     must restore the saved level but can still avoid the kernel unless the
+     restoration makes a preemption necessary. *)
+  let uncontended_fast =
+    m.m_waiters = []
+    &&
+    match m.m_protocol with
+    | No_protocol -> true
+    | Inherit_protocol -> self.prio = self.base_prio
+    | Ceiling_protocol -> false
+  in
+  if uncontended_fast then begin
+    m.m_locked <- false;
+    m.m_owner <- None
+  end
+  else if m.m_waiters = [] && m.m_protocol = Ceiling_protocol then begin
+    m.m_locked <- false;
+    m.m_owner <- None;
+    lower_on_unlock eng m;
+    if dispatching && eng.dispatcher_flag then begin
+      Engine.enter_kernel eng;
+      Engine.leave_kernel eng;
+      Engine.drain_fake_calls eng
+    end
+  end
+  else begin
+    if dispatching then Engine.enter_kernel eng;
+    Engine.charge eng Costs.mutex_slow;
+    lower_on_unlock eng m;
+    release_transfer eng m;
+    if dispatching then begin
+      Engine.leave_kernel eng;
+      Engine.drain_fake_calls eng
+    end
+  end
+
+let unlock eng m =
+  Engine.checkpoint eng;
+  do_unlock eng m ~dispatching:true
+
+let release_in_kernel eng m = do_unlock eng m ~dispatching:false
+
+let owner_tid m = Option.map (fun t -> t.tid) m.m_owner
+let is_locked m = m.m_locked
+let waiter_count m = List.length m.m_waiters
+let lock_count m = m.m_locks
+let contention_count m = m.m_contended

@@ -1,0 +1,60 @@
+open Types
+module Rng = Import.Rng
+
+let push_tail eng t = eng.ready.(t.prio) <- eng.ready.(t.prio) @ [ t ]
+
+let push_head eng t = eng.ready.(t.prio) <- t :: eng.ready.(t.prio)
+
+let push_tail_lowest eng t =
+  eng.ready.(min_prio) <- eng.ready.(min_prio) @ [ t ]
+
+let remove eng t =
+  for p = min_prio to max_prio do
+    eng.ready.(p) <- List.filter (fun x -> x != t) eng.ready.(p)
+  done
+
+let highest_prio eng =
+  let rec go p =
+    if p < min_prio then None
+    else if eng.ready.(p) <> [] then Some p
+    else go (p - 1)
+  in
+  go max_prio
+
+let pop_highest eng =
+  match highest_prio eng with
+  | None -> None
+  | Some p -> (
+      match eng.ready.(p) with
+      | t :: rest ->
+          eng.ready.(p) <- rest;
+          Some t
+      | [] -> assert false)
+
+let size eng =
+  Array.fold_left (fun acc q -> acc + List.length q) 0 eng.ready
+
+let pop_random eng rng =
+  let n = size eng in
+  if n = 0 then None
+  else begin
+    let idx = Rng.int rng n in
+    (* Walk levels top-down counting until the chosen index. *)
+    let found = ref None in
+    let seen = ref 0 in
+    for p = max_prio downto min_prio do
+      if !found = None then begin
+        let len = List.length eng.ready.(p) in
+        if idx < !seen + len then begin
+          let k = idx - !seen in
+          let t = List.nth eng.ready.(p) k in
+          eng.ready.(p) <- List.filter (fun x -> x != t) eng.ready.(p);
+          found := Some t
+        end
+        else seen := !seen + len
+      end
+    done;
+    !found
+  end
+
+let iter eng f = Array.iter (fun q -> List.iter f q) eng.ready

@@ -1,0 +1,53 @@
+open Import
+open Types
+
+let make ~tid ~name ~prio ~detached ~body ~deferred =
+  {
+    tid;
+    tname = name;
+    state = (if deferred then Blocked On_start else Ready);
+    detached;
+    base_prio = prio;
+    prio;
+    boost_stack = [];
+    sigmask = Sigset.empty;
+    thr_pending = [];
+    sigwait_set = Sigset.empty;
+    sigwait_result = None;
+    fake_frames = [];
+    errno = 0;
+    cleanup = [];
+    tsd = Array.make max_tsd_keys None;
+    cancel_state = Cancel_enabled;
+    cancel_type = Cancel_controlled;
+    cancel_pending = false;
+    retval = None;
+    joiners = [];
+    cont = Not_started body;
+    pending_wake = Wake_normal;
+    owned = [];
+    sched_override = None;
+    suspended = false;
+    wait_deadline = None;
+    n_switches_in = 0;
+  }
+
+let is_blocked t = match t.state with Blocked _ -> true | _ -> false
+
+let is_live t = t.state <> Terminated
+
+let insert_by_prio queue t =
+  let rec go = function
+    | [] -> [ t ]
+    | x :: rest as q -> if t.prio > x.prio then t :: q else x :: go rest
+  in
+  go queue
+
+let remove_from queue t = List.filter (fun x -> x != t) queue
+
+let resort queue =
+  List.stable_sort (fun a b -> compare b.prio a.prio) queue
+
+let pp ppf t =
+  Format.fprintf ppf "%s(#%d prio=%d/%d %s)" t.tname t.tid t.prio t.base_prio
+    (state_name t.state)

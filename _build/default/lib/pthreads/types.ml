@@ -1,0 +1,266 @@
+(** Core data structures of the Pthreads library.
+
+    Everything that is mutually recursive lives here: the engine (one
+    simulated process running the library), thread control blocks, mutexes,
+    condition variables and fake-call frames.  Operation modules ([Kernel],
+    [Engine], [Mutex], [Cond], ...) act on these records; user code goes
+    through the [Pthread] facade.
+
+    Threads are OCaml 5 fibers: a TCB holds either a not-yet-started body or
+    a one-shot continuation saved at its last suspension point.  The single
+    effect {!Suspend} transfers control from a thread to the scheduler
+    loop. *)
+
+open Import
+
+type signo = Sigset.signo
+
+(** Scheduling policy for the whole simulated process (as in the paper);
+    individual threads may opt out of time slicing via
+    {!per_thread_sched}. *)
+type policy =
+  | Fifo  (** SCHED_FIFO: run until block/yield/preemption *)
+  | Round_robin of int  (** SCHED_RR with the given time slice (ns) *)
+
+(** The paper's debugging policies ("Perverted Scheduling: Testing and
+    Debugging"). *)
+type perverted =
+  | No_perversion
+  | Mutex_switch
+      (** forced context switch on each successful mutex lock *)
+  | Rr_ordered_switch
+      (** on leaving the Pthreads kernel, reposition the current thread at
+          the tail of the lowest priority queue *)
+  | Random_switch
+      (** on leaving the kernel, flip a coin; on heads, reposition at the
+          tail of the lowest queue and pick the next thread at random *)
+
+(** Per-thread scheduling policy override (POSIX [sched_setscheduler]-
+    style): an [Sched_fifo] thread is exempt from the process's round-robin
+    time slicing; an [Sched_rr] thread rotates (the default when the
+    process policy is [Round_robin]). *)
+type per_thread_sched = Sched_fifo | Sched_rr
+
+type cancel_state = Cancel_enabled | Cancel_disabled
+
+type cancel_type =
+  | Cancel_controlled  (** acted upon at interruption points *)
+  | Cancel_asynchronous  (** acted upon immediately *)
+
+(** How a thread ended. *)
+type exit_status =
+  | Exited of int  (** returned or called [Pthread.exit] *)
+  | Canceled
+  | Failed of exn  (** an uncaught OCaml exception escaped the body *)
+
+(** Why a suspended thread was resumed. *)
+type wake =
+  | Wake_normal
+  | Wake_interrupted  (** woken to run a signal handler / cancellation *)
+  | Wake_timeout  (** a timed wait expired *)
+
+type mutex_protocol =
+  | No_protocol
+  | Inherit_protocol  (** priority inheritance (Sha/Rajkumar/Lehoczky) *)
+  | Ceiling_protocol  (** priority ceiling emulation via SRP (Baker) *)
+
+(** What a ceiling-protocol unlock restores — the two columns of the
+    paper's Table 4.  [Stack_pop] is the efficient SRP implementation (pops
+    the saved level; diverges when protocols are mixed); [Recompute]
+    performs the inheritance-style linear search, which "could be used for
+    the ceiling protocol as well if the protocols were mixed". *)
+type ceiling_unlock_mode = Stack_pop | Recompute
+
+type thread_state =
+  | Ready
+  | Running
+  | Blocked of block_reason
+  | Terminated
+
+and block_reason =
+  | On_mutex of mutex
+  | On_cond of cond
+  | On_join of tcb
+  | On_sigwait of Sigset.t
+  | On_sleep
+  | On_start  (** created with deferred activation, not yet activated *)
+  | On_suspend  (** explicitly suspended (pthread_suspend_np) *)
+  | On_shared of string
+      (** waiting on a cross-process (shared-memory) synchronization
+          object; woken by another process's library *)
+
+and tcb = {
+  tid : int;
+  tname : string;
+  mutable state : thread_state;
+  mutable detached : bool;
+  mutable base_prio : int;  (** the priority the program asked for *)
+  mutable prio : int;  (** effective priority after protocol boosts *)
+  mutable boost_stack : int list;  (** ceiling protocol: saved levels *)
+  mutable sigmask : Sigset.t;
+  mutable thr_pending : pending_sig list;  (** signals pended on the thread *)
+  mutable sigwait_set : Sigset.t;  (** non-empty only while in [sigwait] *)
+  mutable sigwait_result : signo option;
+  mutable fake_frames : fake_frame list;  (** newest first *)
+  mutable errno : int;
+  mutable cleanup : (unit -> unit) list;  (** cleanup-handler stack *)
+  mutable tsd : univ option array;
+  mutable cancel_state : cancel_state;
+  mutable cancel_type : cancel_type;
+  mutable cancel_pending : bool;
+  mutable retval : exit_status option;
+  mutable joiners : tcb list;
+  mutable cont : cont_state;
+  mutable pending_wake : wake;
+  mutable owned : mutex list;  (** mutexes currently held (for inheritance) *)
+  mutable sched_override : per_thread_sched option;
+      (** POSIX per-thread policy: overrides the process policy's
+          time-slicing behaviour for this thread *)
+  mutable suspended : bool;
+      (** suspension requested; a blocked thread parks in [On_suspend]
+          instead of becoming ready when its wait completes *)
+  mutable wait_deadline : int option;  (** absolute ns, for timed waits *)
+  mutable n_switches_in : int;
+}
+
+and cont_state =
+  | Not_started of (unit -> int)
+  | Saved of (wake, unit) Effect.Deep.continuation
+  | No_cont  (** running right now, or terminated *)
+
+and mutex = {
+  m_id : int;
+  m_name : string;
+  m_protocol : mutex_protocol;
+  mutable m_ceiling : int;
+  mutable m_locked : bool;
+  mutable m_owner : tcb option;
+  mutable m_waiters : tcb list;  (** priority order, FIFO within a level *)
+  mutable m_locks : int;  (** statistics *)
+  mutable m_contended : int;
+}
+
+and cond = {
+  c_id : int;
+  c_name : string;
+  mutable c_waiters : tcb list;  (** priority order, FIFO within a level *)
+  mutable c_mutex : mutex option;  (** bound while waiters exist *)
+}
+
+and fake_frame =
+  | Fake_handler of {
+      fh_signo : signo;
+      fh_code : int;
+      fh_mask : Sigset.t;  (** extra signals masked while the handler runs *)
+      fh_fn : signo:int -> code:int -> unit;
+    }
+  | Fake_exit  (** a fake call to [pthread_exit] (cancellation) *)
+
+and pending_sig = { p_signo : signo; p_code : int; p_origin : Unix_kernel.origin }
+
+and univ = exn  (** universal type for thread-specific data values *)
+
+(** Process-wide signal action table (the thread-level [sigaction]). *)
+type action =
+  | Sig_default
+  | Sig_ignore
+  | Sig_handler of { h_mask : Sigset.t; h_fn : signo:int -> code:int -> unit }
+
+type config = {
+  profile : Cost_model.profile;
+  policy : policy;
+  perverted : perverted;
+  seed : int;
+  use_pool : bool;
+  pool_prealloc : int;
+  trace_enabled : bool;
+  main_prio : int;
+  ceiling_mode : ceiling_unlock_mode;
+}
+
+(** Why the whole simulated process stopped before all threads finished. *)
+type stop_reason =
+  | Killed_by_signal of signo  (** default action of an unhandled signal *)
+  | Deadlock of string
+
+type engine = {
+  vm : Unix_kernel.t;
+  heap : Heap.t;
+  trace : Trace.t;
+  cfg : config;
+  rng : Rng.t;
+  mutable kernel_flag : bool;
+  mutable dispatcher_flag : bool;
+  mutable deferred : pending_sig list;  (** caught while in the kernel *)
+  mutable current : tcb;
+  mutable ready : tcb list array;  (** index = priority; head runs next *)
+  mutable all_threads : tcb list;
+  mutable next_tid : int;
+  mutable next_obj : int;
+  actions : action array;
+  mutable proc_pending : pending_sig list;  (** rule 6: no eligible thread *)
+  mutable pick_random_next : bool;
+      (** perverted random switch: next dispatch picks uniformly *)
+  mutable live_count : int;
+  mutable n_switches : int;
+  mutable n_dispatches : int;  (** monotone count of thread resumptions *)
+  mutable n_created : int;
+  mutable n_thread_signals : int;
+  tsd_destructors : (univ -> unit) option array;
+  mutable tsd_next : int;
+  mutable stop_reason : stop_reason option;
+  mutable in_fiber : bool;  (** false while the scheduler loop itself runs *)
+  mutable switch_hooks : (tcb -> unit) list;
+      (** called on every dispatch with the thread switched in — the
+          paper's "context switches could become visible to the user" *)
+  mutable idle_hook : (int option -> bool) option;
+      (** installed by [Machine] when this process shares a machine with
+          others: called instead of advancing the clock when no thread is
+          ready (argument: this process's next event time, if any).
+          Returning [true] means "retry" (another process ran or the
+          machine advanced the clock). *)
+}
+
+(** The single scheduling effect: performed by a thread to return control to
+    the scheduler loop.  The loop answers with the reason the thread was
+    woken. *)
+type _ Effect.t += Suspend : wake Effect.t
+
+exception Thread_exit_exn of exit_status
+(** Internal unwinding exception for [pthread_exit] and cancellation. *)
+
+exception Process_stopped of stop_reason
+(** Raised out of [Pthread.run] when the process died (deadlock, or the
+    default action of a signal). *)
+
+exception Longjmp_exn of int * int
+(** [Longjmp_exn (jmp_buf_id, value)]; see [Jmp]. *)
+
+let min_prio = 0
+let max_prio = 31
+let n_prios = max_prio + 1
+let default_prio = 8
+let max_tsd_keys = 64
+
+let pp_exit_status ppf = function
+  | Exited v -> Format.fprintf ppf "exited(%d)" v
+  | Canceled -> Format.pp_print_string ppf "canceled"
+  | Failed e -> Format.fprintf ppf "failed(%s)" (Printexc.to_string e)
+
+let pp_stop_reason ppf = function
+  | Killed_by_signal s ->
+      Format.fprintf ppf "killed by default action of %s" (Sigset.name s)
+  | Deadlock msg -> Format.fprintf ppf "deadlock: %s" msg
+
+let state_name = function
+  | Ready -> "ready"
+  | Running -> "running"
+  | Terminated -> "terminated"
+  | Blocked (On_mutex m) -> "blocked-on-mutex " ^ m.m_name
+  | Blocked (On_cond c) -> "blocked-on-cond " ^ c.c_name
+  | Blocked (On_join t) -> "blocked-joining " ^ t.tname
+  | Blocked (On_sigwait _) -> "blocked-in-sigwait"
+  | Blocked On_sleep -> "sleeping"
+  | Blocked On_start -> "not-yet-activated"
+  | Blocked On_suspend -> "suspended"
+  | Blocked (On_shared name) -> "blocked-on-shared " ^ name

@@ -1,0 +1,44 @@
+(** Runtime and post-hoc invariant checking.
+
+    Two complementary checkers in the spirit of the paper's debugging
+    section (perverted scheduling makes bugs appear; this module makes them
+    {e detectable}):
+
+    - a {e live monitor} installed as a dispatch hook, checking structural
+      invariants of the engine at every context switch;
+    - a {e trace auditor} that replays a recorded trace and verifies
+      scheduling and locking well-formedness.
+
+    The property-based test-suite runs randomly generated programs under
+    all scheduling policies with both checkers armed. *)
+
+open Types
+
+type violation = { at_ns : int; rule : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** {1 Live monitor} *)
+
+type monitor
+
+val install : engine -> monitor
+(** Attach the live monitor to the engine.  At every dispatch it checks:
+    the dispatched thread is the current thread and in the [Running] state;
+    the kernel flag is clear (the monolithic monitor is never held across a
+    context switch); under a non-perverted policy no ready thread outranks
+    the dispatched one; every held mutex's ownership records are mutually
+    consistent; and every mutex waiter is actually blocked on that mutex. *)
+
+val violations : monitor -> violation list
+(** In order of detection (empty = all invariants held). *)
+
+val checks_performed : monitor -> int
+
+(** {1 Trace auditor} *)
+
+val audit_trace : Vm.Trace.event list -> violation list
+(** Verify a recorded trace: per-thread dispatch-in/out alternation, at
+    most one thread running at any time, lock/unlock balance per mutex and
+    per thread, and disjointness of mutex hold intervals (mutual
+    exclusion). *)

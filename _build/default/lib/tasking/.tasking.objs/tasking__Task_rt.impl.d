@@ -1,0 +1,1 @@
+lib/tasking/task_rt.ml: List Option Pthreads

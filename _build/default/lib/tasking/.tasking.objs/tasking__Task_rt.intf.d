@@ -1,0 +1,1 @@
+lib/tasking/task_rt.mli: Pthreads

@@ -1,0 +1,70 @@
+(** Ada-style tasking runtime layered on the Pthreads API.
+
+    The paper's motivating application: "It has been used successfully in an
+    effort to implement an Ada runtime system on top of Pthreads ... and to
+    show that the overhead of layering a runtime system on top of Pthreads
+    is not prohibitive."  This module maps Ada tasks onto threads and Ada
+    rendezvous (entry call / accept / selective accept) onto mutexes and
+    condition variables — using only the public Pthreads interface.
+
+    A {e group} is the rendezvous monitor shared by a set of tasks; entries
+    belong to a group.  [call] enqueues the caller and suspends until an
+    acceptor has executed its body for this caller (extended rendezvous);
+    [accept] suspends until a caller arrives, runs the body, and releases
+    the caller with the result.  [select] waits on several entries at once,
+    with optional guards and an [else]/delay alternative. *)
+
+module Pthread = Pthreads.Pthread
+
+type group
+
+val make_group : Pthread.proc -> ?name:string -> unit -> group
+
+type ('a, 'b) entry
+(** An entry accepting arguments of type ['a] and returning ['b]. *)
+
+val entry : group -> ?name:string -> unit -> ('a, 'b) entry
+
+val spawn :
+  Pthread.proc -> ?prio:int -> ?name:string -> (unit -> unit) -> Pthread.t
+(** Start a task (a thread with Ada-ish defaults). *)
+
+val call : ('a, 'b) entry -> 'a -> 'b
+(** Entry call: rendezvous with an acceptor; suspends until the accept body
+    completes.  Callers are served in priority order (Ada RM D.4
+    [Priority_Queuing]). *)
+
+val accept : ('a, 'b) entry -> ('a -> 'b) -> unit
+(** Accept one rendezvous: suspends until a caller arrives, runs the body
+    while the caller remains suspended, then releases it. *)
+
+val caller_count : ('a, 'b) entry -> int
+(** Number of callers currently queued ([E'Count]). *)
+
+(** A selective-accept alternative: an entry with its body, optionally
+    guarded ([when G =>]). *)
+type alternative
+
+val when_ : bool -> alternative -> alternative
+(** Guard an alternative; a closed ([false]) guard removes it from the
+    select. *)
+
+val ( ==> ) : ('a, 'b) entry -> ('a -> 'b) -> alternative
+(** Build an alternative from an entry and its accept body. *)
+
+type select_result =
+  | Accepted of string  (** an alternative ran (payload: entry name) *)
+  | Timed_out
+  | Would_block  (** [else] part taken *)
+
+val select :
+  group ->
+  ?else_ready:bool ->
+  ?timeout_ns:int ->
+  alternative list ->
+  select_result
+(** Wait until any open alternative has a caller and accept it.
+    [~else_ready:true] is the [else] part: return {!Would_block} instead of
+    suspending.  [~timeout_ns] is a [delay] alternative (relative time).
+    @raise Invalid_argument when every alternative is closed and there is
+    no else part (Ada's [Program_Error]). *)

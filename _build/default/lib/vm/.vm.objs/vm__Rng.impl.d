@@ -1,0 +1,1 @@
+lib/vm/rng.ml: Int64

@@ -1,0 +1,1 @@
+lib/vm/sigset.ml: Format List Printf String

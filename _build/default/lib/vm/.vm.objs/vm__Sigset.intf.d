@@ -1,0 +1,1 @@
+lib/vm/sigset.mli: Format

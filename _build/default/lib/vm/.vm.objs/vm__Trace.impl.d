@@ -1,0 +1,1 @@
+lib/vm/trace.ml: Buffer Bytes Clock Format List Printf Sigset

@@ -1,0 +1,1 @@
+lib/vm/trace_stats.ml: Clock Format Hashtbl List Trace

@@ -1,0 +1,1 @@
+lib/vm/trace_stats.mli: Format Trace

@@ -1,0 +1,1 @@
+lib/vm/unix_kernel.ml: Array Clock Cost_model Hashtbl List Option Sigset

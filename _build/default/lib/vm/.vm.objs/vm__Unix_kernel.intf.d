@@ -1,0 +1,1 @@
+lib/vm/unix_kernel.mli: Clock Cost_model Sigset

@@ -1,0 +1,1 @@
+lib/vm/unix_process.ml: Clock Cost_model Sigset Unix_kernel

@@ -1,0 +1,1 @@
+lib/vm/unix_process.mli: Cost_model

@@ -1,0 +1,15 @@
+type t = { mutable now : int }
+
+let create () = { now = 0 }
+
+let now t = t.now
+
+let advance t ns =
+  assert (ns >= 0);
+  t.now <- t.now + ns
+
+let advance_to t ns = if ns > t.now then t.now <- ns
+
+let ns_of_us us = int_of_float ((us *. 1000.0) +. 0.5)
+
+let us_of_ns ns = float_of_int ns /. 1000.0

@@ -1,0 +1,27 @@
+(** Virtual nanosecond clock.
+
+    All costs in the simulated machine are charged against this clock; the
+    benchmark harness performs the paper's "dual loop timing analysis" by
+    reading it.  One tick is one nanosecond, so the SPARC IPX instruction
+    time of 0.025 us is representable exactly (25 ticks). *)
+
+type t
+
+val create : unit -> t
+(** A clock reading zero. *)
+
+val now : t -> int
+(** Current virtual time in nanoseconds. *)
+
+val advance : t -> int -> unit
+(** [advance t ns] moves time forward.  [ns] must be non-negative. *)
+
+val advance_to : t -> int -> unit
+(** [advance_to t ns] moves time forward to absolute time [ns] if it lies in
+    the future; does nothing otherwise. *)
+
+val ns_of_us : float -> int
+(** Convert microseconds to nanosecond ticks (rounded). *)
+
+val us_of_ns : int -> float
+(** Convert nanosecond ticks to microseconds. *)

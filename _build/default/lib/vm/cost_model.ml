@@ -1,0 +1,53 @@
+type profile = {
+  name : string;
+  insn_ns : int;
+  kernel_trap_ns : int;
+  window_flush_ns : int;
+  window_underflow_ns : int;
+  signal_deliver_ns : int;
+  sigreturn_ns : int;
+  process_switch_extra_ns : int;
+  sbrk_ns : int;
+}
+
+(* Calibration notes (targets from Table 2, SPARC IPX column):
+   - enter+exit Pthreads kernel = 0.4 us  -> ~16 instructions at 25 ns.
+   - enter+exit UNIX kernel (getpid) = 18 us -> kernel_trap_ns.
+   - setjmp/longjmp pair = 29 us; setjmp flushes windows, longjmp reloads
+     them, plus ~2 us of register copying -> flush 15 us + underflow 12 us.
+   - thread context switch = 37 us = flush + underflow + ~10 us dispatcher
+     bookkeeping (selection, flag handling, errno swap).
+   - UNIX process switch = 123 us = thread-switch state + ~86 us of extra
+     full-context work and kernel scheduling.
+   - UNIX signal handler = 154 us = kill trap + delivery + sigreturn. *)
+let sparc_ipx =
+  {
+    name = "SPARC IPX";
+    insn_ns = 25;
+    kernel_trap_ns = 17_000;
+    window_flush_ns = 15_000;
+    window_underflow_ns = 12_000;
+    signal_deliver_ns = 100_000;
+    sigreturn_ns = 34_000;
+    process_switch_extra_ns = 74_000;
+    sbrk_ns = 60_000;
+  }
+
+(* The 1+ runs the same binaries roughly 1.7x-2.1x slower (the paper's own
+   ratios: semaphores 101/55, creation 25/12, setjmp/longjmp 49/29). *)
+let sparc_1plus =
+  {
+    name = "SPARC 1+";
+    insn_ns = 50;
+    kernel_trap_ns = 29_000;
+    window_flush_ns = 25_000;
+    window_underflow_ns = 20_000;
+    signal_deliver_ns = 170_000;
+    sigreturn_ns = 58_000;
+    process_switch_extra_ns = 126_000;
+    sbrk_ns = 100_000;
+  }
+
+let insns p n = p.insn_ns * n
+
+let pp ppf p = Format.fprintf ppf "%s (%d ns/insn)" p.name p.insn_ns

@@ -1,0 +1,49 @@
+(** Machine cost profiles for the simulated SPARC/SunOS substrate.
+
+    The paper evaluates on two machines: a Sun SPARC 1+ (~25 MHz) and a Sun
+    SPARC IPX (~40 MHz), both under SunOS 4.1.  Every primitive cost that the
+    paper identifies as dominating an operation has a constant here:
+
+    - instruction time (the library fast paths are counted in instructions,
+      e.g. the 7-instruction atomic lock sequence of Figure 4);
+    - the cost of entering and leaving the UNIX kernel (the paper measures it
+      by timing [getpid]);
+    - the two register-window traps that dominate a SPARC context switch
+      ([ST_FLUSH_WINDOWS] and the window-underflow trap of [restore]);
+    - UNIX signal delivery (building the signal frame and upcalling the
+      handler) and [sigreturn];
+    - the additional state a full UNIX process switch must save and restore
+      (globals, floating point, status word, kernel scheduler work);
+    - [sbrk] (dynamic memory growth during thread creation).
+
+    The constants are calibrated so that the composite operations measured in
+    [bench/main.ml] land near the paper's Table 2; the comparison is recorded
+    in EXPERIMENTS.md. *)
+
+type profile = {
+  name : string;  (** e.g. ["SPARC IPX"] *)
+  insn_ns : int;  (** average nanoseconds per (straight-line) instruction *)
+  kernel_trap_ns : int;
+      (** round trip into and out of the UNIX kernel (a [getpid]) *)
+  window_flush_ns : int;  (** [ST_FLUSH_WINDOWS] trap *)
+  window_underflow_ns : int;  (** window-underflow trap on [restore] *)
+  signal_deliver_ns : int;
+      (** UNIX building a signal frame and upcalling a user handler *)
+  sigreturn_ns : int;  (** returning from a UNIX signal frame *)
+  process_switch_extra_ns : int;
+      (** extra full-context save/restore + kernel scheduling a process
+          switch performs beyond what a thread switch does *)
+  sbrk_ns : int;  (** one [sbrk] extension of the heap *)
+}
+
+val sparc_ipx : profile
+(** The Sun SPARC IPX under SunOS 4.1 (the paper's column 4). *)
+
+val sparc_1plus : profile
+(** The Sun SPARC 1+ under SunOS 4.1 (the paper's column 3). *)
+
+val insns : profile -> int -> int
+(** [insns p n] is the virtual time, in nanoseconds, of [n] straight-line
+    instructions. *)
+
+val pp : Format.formatter -> profile -> unit

@@ -1,0 +1,70 @@
+type t = {
+  k : Unix_kernel.t;
+  chunk_bytes : int;
+  slab_bytes : int;
+  mutable arena_free : int;
+  mutable pool : int;
+  mutable pool_enabled : bool;
+  mutable n_allocs : int;
+}
+
+(* Instruction charges for the allocator fast paths: a 1990s first-fit
+   malloc walks a free list and splits a block (~500 insns); free coalesces
+   (~200); a pool pop/push is a handful of pointer operations.  A thread
+   slab is two allocations: the TCB and the stack. *)
+let malloc_insns = 500
+let free_insns = 200
+let pool_insns = 12
+
+let create k ?(chunk_bytes = 256 * 1024) ?(slab_bytes = 17 * 1024) ~use_pool () =
+  { k; chunk_bytes; slab_bytes; arena_free = 0; pool = 0;
+    pool_enabled = use_pool; n_allocs = 0 }
+
+let use_pool t = t.pool_enabled
+let set_use_pool t b = t.pool_enabled <- b
+
+let alloc t bytes =
+  t.n_allocs <- t.n_allocs + 1;
+  Unix_kernel.insns t.k malloc_insns;
+  if bytes > t.arena_free then begin
+    let grow = max t.chunk_bytes bytes in
+    Unix_kernel.sbrk t.k grow;
+    t.arena_free <- t.arena_free + grow
+  end;
+  t.arena_free <- t.arena_free - bytes
+
+let free t bytes =
+  Unix_kernel.insns t.k free_insns;
+  t.arena_free <- t.arena_free + bytes
+
+let preallocate t n =
+  for _ = 1 to n do
+    alloc t t.slab_bytes;
+    t.pool <- t.pool + 1
+  done
+
+let tcb_bytes = 1024
+
+let acquire_slab t =
+  if t.pool_enabled && t.pool > 0 then begin
+    Unix_kernel.insns t.k pool_insns;
+    t.pool <- t.pool - 1
+  end
+  else begin
+    (* TCB and stack are separate allocations *)
+    alloc t tcb_bytes;
+    alloc t (t.slab_bytes - tcb_bytes)
+  end
+
+let release_slab t =
+  if t.pool_enabled then begin
+    Unix_kernel.insns t.k pool_insns;
+    t.pool <- t.pool + 1
+  end
+  else begin
+    free t tcb_bytes;
+    free t (t.slab_bytes - tcb_bytes)
+  end
+
+let pool_size t = t.pool
+let allocations t = t.n_allocs

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Used by the perverted random-switch scheduling policy and by workload
+    generators.  A dedicated generator (rather than [Random]) keeps every
+    simulation reproducible from a single integer seed, which is exactly the
+    property the paper exploits: "varying the initialization of random number
+    generators for the random switch policy [is] a simple but powerful way to
+    influence the ordering of threads". *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy with the same future stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).  [bound] must be
+    positive. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val split : t -> t
+(** Derive an independent generator (for per-thread streams). *)

@@ -1,0 +1,79 @@
+type t = int
+
+type signo = int
+
+let sighup = 1
+let sigint = 2
+let sigquit = 3
+let sigill = 4
+let sigabrt = 6
+let sigfpe = 8
+let sigkill = 9
+let sigbus = 10
+let sigsegv = 11
+let sigpipe = 13
+let sigalrm = 14
+let sigterm = 15
+let sigstop = 17
+let sigchld = 20
+let sigio = 23
+let sigvtalrm = 26
+let sigprof = 27
+let sigusr1 = 30
+let sigusr2 = 31
+let sigcancel = 32
+let max_signo = 32
+
+let is_valid s = s >= 1 && s <= max_signo
+
+let names =
+  [
+    (sighup, "SIGHUP"); (sigint, "SIGINT"); (sigquit, "SIGQUIT");
+    (sigill, "SIGILL"); (sigabrt, "SIGABRT"); (sigfpe, "SIGFPE");
+    (sigkill, "SIGKILL"); (sigbus, "SIGBUS"); (sigsegv, "SIGSEGV");
+    (sigpipe, "SIGPIPE"); (sigalrm, "SIGALRM"); (sigterm, "SIGTERM");
+    (sigstop, "SIGSTOP"); (sigchld, "SIGCHLD"); (sigio, "SIGIO");
+    (sigvtalrm, "SIGVTALRM"); (sigprof, "SIGPROF"); (sigusr1, "SIGUSR1");
+    (sigusr2, "SIGUSR2"); (sigcancel, "SIGCANCEL");
+  ]
+
+let name s =
+  match List.assoc_opt s names with
+  | Some n -> n
+  | None -> Printf.sprintf "SIG#%d" s
+
+let bit s =
+  assert (is_valid s);
+  1 lsl (s - 1)
+
+let empty = 0
+
+let full =
+  let rec go acc s = if s > max_signo then acc else go (acc lor bit s) (s + 1) in
+  go 0 1
+
+let singleton s = bit s
+let add set s = set lor bit s
+let remove set s = set land lnot (bit s)
+let mem set s = set land bit s <> 0
+let union = ( lor )
+let inter = ( land )
+let diff a b = a land lnot b
+let is_empty set = set = 0
+
+let all_maskable = remove (remove full sigkill) sigstop
+
+let of_list l = List.fold_left add empty l
+
+let to_list set =
+  let rec go acc s =
+    if s < 1 then acc else go (if mem set s then s :: acc else acc) (s - 1)
+  in
+  go [] max_signo
+
+let cardinal set = List.length (to_list set)
+
+let equal (a : t) b = a = b
+
+let pp ppf set =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map name (to_list set)))

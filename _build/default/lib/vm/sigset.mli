@@ -1,0 +1,68 @@
+(** UNIX signal numbers and signal-set algebra.
+
+    Signal sets are immutable bit masks (as in 4.3 BSD, where a [sigset] was
+    literally an [int]).  The numbering follows SunOS 4.x.  One extra signal,
+    {!sigcancel}, is internal to the threads library: the paper implements
+    [pthread_cancel] as "a request for sending a special (internal) signal
+    SIGCANCEL to a thread". *)
+
+type t
+(** A set of signals. *)
+
+type signo = int
+
+(** {1 Signal numbers (SunOS 4.x)} *)
+
+val sighup : signo
+val sigint : signo
+val sigquit : signo
+val sigill : signo
+val sigabrt : signo
+val sigfpe : signo
+val sigkill : signo
+val sigbus : signo
+val sigsegv : signo
+val sigpipe : signo
+val sigalrm : signo
+val sigterm : signo
+val sigchld : signo
+val sigio : signo
+val sigvtalrm : signo
+val sigprof : signo
+val sigusr1 : signo
+val sigusr2 : signo
+
+val sigcancel : signo
+(** Internal cancellation signal; never visible at the UNIX level. *)
+
+val max_signo : signo
+(** Largest valid signal number. *)
+
+val is_valid : signo -> bool
+
+val name : signo -> string
+(** Conventional name, e.g. ["SIGUSR1"]. *)
+
+(** {1 Set algebra} *)
+
+val empty : t
+val full : t
+(** Every signal, including the unmaskable ones; see {!all_maskable}. *)
+
+val all_maskable : t
+(** Every signal except [SIGKILL]/[SIGSTOP]-class signals, i.e. the set the
+    library's universal handler is installed for. *)
+
+val singleton : signo -> t
+val add : t -> signo -> t
+val remove : t -> signo -> t
+val mem : t -> signo -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val is_empty : t -> bool
+val of_list : signo list -> t
+val to_list : t -> signo list
+val cardinal : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+type kind =
+  | Dispatch_in
+  | Dispatch_out
+  | Thread_create of string
+  | Thread_exit
+  | Mutex_lock of string
+  | Mutex_block of string
+  | Mutex_unlock of string
+  | Cond_block of string
+  | Cond_wake of string
+  | Signal_sent of int
+  | Signal_delivered of int
+  | Prio_change of int * int
+  | Cancel_request
+  | Note of string
+
+type event = { t_ns : int; tid : int; tname : string; kind : kind }
+
+type t = { mutable rev_events : event list; mutable enabled : bool }
+
+let create () = { rev_events = []; enabled = false }
+
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+
+let record t ~t_ns ~tid ~tname kind =
+  if t.enabled then t.rev_events <- { t_ns; tid; tname; kind } :: t.rev_events
+
+let events t = List.rev t.rev_events
+
+let clear t = t.rev_events <- []
+
+let kind_to_string = function
+  | Dispatch_in -> "dispatch-in"
+  | Dispatch_out -> "dispatch-out"
+  | Thread_create n -> "create " ^ n
+  | Thread_exit -> "exit"
+  | Mutex_lock m -> "lock " ^ m
+  | Mutex_block m -> "block-on " ^ m
+  | Mutex_unlock m -> "unlock " ^ m
+  | Cond_block c -> "cond-block " ^ c
+  | Cond_wake c -> "cond-wake " ^ c
+  | Signal_sent s -> "sent " ^ Sigset.name s
+  | Signal_delivered s -> "delivered " ^ Sigset.name s
+  | Prio_change (a, b) -> Printf.sprintf "prio %d->%d" a b
+  | Cancel_request -> "cancel-request"
+  | Note s -> s
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%8.1fus] %s(%d): %s"
+    (Clock.us_of_ns e.t_ns)
+    e.tname e.tid (kind_to_string e.kind)
+
+let find_all t f = List.filter f (events t)
+
+(* Per-thread status over time, reconstructed from the event stream. *)
+type status = Absent | Ready | Running | Blocked_mutex
+
+let gantt t ~bucket_ns =
+  let evs = events t in
+  if evs = [] then "(empty trace)"
+  else begin
+    let horizon = (List.fold_left (fun acc e -> max acc e.t_ns) 0 evs) + 1 in
+    let buckets = ((horizon + bucket_ns - 1) / bucket_ns) + 1 in
+    let tids =
+      List.sort_uniq compare (List.map (fun e -> (e.tid, e.tname)) evs)
+    in
+    let buf = Buffer.create 1024 in
+    let row (tid, tname) =
+      (* Walk events chronologically, maintaining this thread's status and
+         held-mutex count; paint buckets between consecutive events. *)
+      let cells = Bytes.make buckets ' ' in
+      let status = ref Absent and held = ref 0 in
+      let pos = ref 0 in
+      let symbol () =
+        match !status with
+        | Absent -> ' '
+        | Ready -> '.'
+        | Blocked_mutex -> 'x'
+        | Running -> if !held > 0 then '#' else '='
+      in
+      let paint_until t_ns =
+        let stop = min buckets (t_ns / bucket_ns) in
+        let c = symbol () in
+        while !pos < stop do
+          Bytes.set cells !pos c;
+          incr pos
+        done
+      in
+      let step e =
+        if e.tid = tid then begin
+          paint_until e.t_ns;
+          match e.kind with
+          | Thread_create _ | Cond_wake _ -> status := Ready
+          | Dispatch_in -> status := Running
+          | Dispatch_out -> if !status = Running then status := Ready
+          | Thread_exit -> status := Absent
+          | Mutex_lock _ -> incr held
+          | Mutex_unlock _ -> if !held > 0 then decr held
+          | Mutex_block _ -> status := Blocked_mutex
+          | Cond_block _ -> status := Absent
+          | Signal_sent _ | Signal_delivered _ | Prio_change _
+          | Cancel_request | Note _ ->
+              ()
+        end
+      in
+      List.iter step evs;
+      paint_until horizon;
+      Buffer.add_string buf (Printf.sprintf "%-8s |" tname);
+      Buffer.add_string buf (Bytes.to_string cells);
+      Buffer.add_string buf "|\n"
+    in
+    List.iter row tids;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "%-8s  (1 cell = %.1fus; '='=running '#'=running+mutex 'x'=blocked \
+          '.'=ready)\n"
+         "" (Clock.us_of_ns bucket_ns));
+    Buffer.contents buf
+  end

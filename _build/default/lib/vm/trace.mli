@@ -1,0 +1,55 @@
+(** Timestamped event trace.
+
+    The library records scheduling, synchronization and signal events here
+    when tracing is enabled.  Two consumers exist: the test-suite (which
+    asserts on event sequences, e.g. the Figure 2 deferred-signal restart
+    loop) and the benchmark harness (which renders the Figure 5
+    priority-inversion time lines as ASCII Gantt charts). *)
+
+type kind =
+  | Dispatch_in  (** thread starts running *)
+  | Dispatch_out  (** thread stops running *)
+  | Thread_create of string  (** a thread was created (payload: its name) *)
+  | Thread_exit
+  | Mutex_lock of string  (** acquired the named mutex *)
+  | Mutex_block of string  (** suspended on the named mutex *)
+  | Mutex_unlock of string
+  | Cond_block of string
+  | Cond_wake of string
+  | Signal_sent of int
+  | Signal_delivered of int  (** a thread-level handler/action ran *)
+  | Prio_change of int * int  (** old and new effective priority *)
+  | Cancel_request
+  | Note of string
+
+type event = { t_ns : int; tid : int; tname : string; kind : kind }
+
+type t
+
+val create : unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> t_ns:int -> tid:int -> tname:string -> kind -> unit
+(** No-op when disabled. *)
+
+val events : t -> event list
+(** In chronological order. *)
+
+val clear : t -> unit
+
+val kind_to_string : kind -> string
+
+val pp_event : Format.formatter -> event -> unit
+
+val find_all : t -> (event -> bool) -> event list
+
+(** {1 Gantt rendering}
+
+    [gantt t ~bucket_ns] renders one row per thread (ordered by thread id).
+    Cell symbols: ['#'] running while holding at least one mutex, ['=']
+    running, ['x'] blocked on a mutex, ['.'] ready but not running, [' ']
+    blocked or not alive.  This reproduces the visual language of the
+    paper's Figure 5 (solid line = executing, grey box = holds a mutex). *)
+val gantt : t -> bucket_ns:int -> string

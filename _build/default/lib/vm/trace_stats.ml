@@ -1,0 +1,108 @@
+type thread_report = {
+  tid : int;
+  name : string;
+  cpu_ns : int;
+  mutex_blocked_ns : int;
+  dispatches : int;
+  lock_acquisitions : int;
+  handler_runs : int;
+}
+
+type acc = {
+  a_tid : int;
+  mutable a_name : string;
+  mutable a_cpu : int;
+  mutable a_blocked : int;
+  mutable a_dispatches : int;
+  mutable a_locks : int;
+  mutable a_handlers : int;
+  mutable running_since : int option;
+  mutable blocked_since : int option;
+}
+
+let per_thread events =
+  let table : (int, acc) Hashtbl.t = Hashtbl.create 8 in
+  let get tid name =
+    match Hashtbl.find_opt table tid with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            a_tid = tid;
+            a_name = name;
+            a_cpu = 0;
+            a_blocked = 0;
+            a_dispatches = 0;
+            a_locks = 0;
+            a_handlers = 0;
+            running_since = None;
+            blocked_since = None;
+          }
+        in
+        Hashtbl.replace table tid a;
+        a
+  in
+  let last_t = ref 0 in
+  let step (e : Trace.event) =
+    last_t := max !last_t e.Trace.t_ns;
+    let a = get e.tid e.tname in
+    a.a_name <- e.tname;
+    match e.kind with
+    | Trace.Dispatch_in ->
+        a.a_dispatches <- a.a_dispatches + 1;
+        a.running_since <- Some e.t_ns
+    | Trace.Dispatch_out | Trace.Thread_exit -> (
+        match a.running_since with
+        | Some t0 ->
+            a.a_cpu <- a.a_cpu + (e.t_ns - t0);
+            a.running_since <- None
+        | None -> ())
+    | Trace.Mutex_block _ -> a.blocked_since <- Some e.t_ns
+    | Trace.Mutex_lock _ -> (
+        a.a_locks <- a.a_locks + 1;
+        match a.blocked_since with
+        | Some t0 ->
+            a.a_blocked <- a.a_blocked + (e.t_ns - t0);
+            a.blocked_since <- None
+        | None -> ())
+    | Trace.Signal_delivered _ -> a.a_handlers <- a.a_handlers + 1
+    | _ -> ()
+  in
+  List.iter step events;
+  Hashtbl.fold
+    (fun _ a reports ->
+      let cpu =
+        match a.running_since with
+        | Some t0 -> a.a_cpu + (!last_t - t0)
+        | None -> a.a_cpu
+      in
+      {
+        tid = a.a_tid;
+        name = a.a_name;
+        cpu_ns = cpu;
+        mutex_blocked_ns = a.a_blocked;
+        dispatches = a.a_dispatches;
+        lock_acquisitions = a.a_locks;
+        handler_runs = a.a_handlers;
+      }
+      :: reports)
+    table []
+  |> List.sort (fun a b -> compare a.tid b.tid)
+
+let total_cpu_ns reports =
+  List.fold_left (fun acc r -> acc + r.cpu_ns) 0 reports
+
+let pp ppf reports =
+  let total = max 1 (total_cpu_ns reports) in
+  Format.fprintf ppf "@[<v>%3s %-10s %9s %5s %9s %6s %6s %6s@ " "TID" "NAME"
+    "CPU(us)" "%CPU" "BLKD(us)" "DISP" "LOCKS" "SIGS";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%3d %-10s %9.1f %4.0f%% %9.1f %6d %6d %6d@ " r.tid
+        r.name
+        (Clock.us_of_ns r.cpu_ns)
+        (100.0 *. float_of_int r.cpu_ns /. float_of_int total)
+        (Clock.us_of_ns r.mutex_blocked_ns)
+        r.dispatches r.lock_acquisitions r.handler_runs)
+    reports;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,26 @@
+(** Per-thread accounting derived from an execution trace.
+
+    Turns the raw event stream into the numbers a profiler would report:
+    CPU time, time spent blocked on mutexes, dispatch counts, lock
+    acquisitions and signal deliveries per thread.  Used by examples and
+    benchmarks to print utilization tables, and by tests as an independent
+    cross-check of the engine's own statistics. *)
+
+type thread_report = {
+  tid : int;
+  name : string;
+  cpu_ns : int;  (** total time dispatched *)
+  mutex_blocked_ns : int;  (** time between blocking on and acquiring a mutex *)
+  dispatches : int;
+  lock_acquisitions : int;
+  handler_runs : int;
+}
+
+val per_thread : Trace.event list -> thread_report list
+(** Ordered by thread id.  Threads still running at the end of the trace
+    are accounted up to the last event's timestamp. *)
+
+val total_cpu_ns : thread_report list -> int
+
+val pp : Format.formatter -> thread_report list -> unit
+(** A top(1)-style utilization table. *)

@@ -1,0 +1,275 @@
+type origin =
+  | External
+  | Directed of int
+  | Sync of int
+  | Timer of int
+  | Slice
+  | Io of int
+
+type handler = signo:int -> code:int -> origin:origin -> unit
+
+type disposition = Default | Ignore | Catch of { mask : Sigset.t; fn : handler }
+
+exception Process_killed of Sigset.signo
+
+type pending_info = { code : int; origin : origin }
+
+type timer = {
+  id : int;
+  mutable expiry : int;  (* absolute ns; 0 = disarmed *)
+  mutable interval : int;
+  t_signo : Sigset.signo;
+  t_origin : origin;
+}
+
+type io_req = { complete_at : int; requester : int }
+
+type t = {
+  prof : Cost_model.profile;
+  clk : Clock.t;
+  pid : int;
+  dispositions : disposition array;  (* indexed by signo *)
+  mutable mask : Sigset.t;
+  pending_set : pending_info option array;  (* BSD: one slot per signo *)
+  mutable timers : timer list;
+  mutable next_timer_id : int;
+  mutable io_queue : io_req list;
+  io_completions : (int, int) Hashtbl.t;  (* requester -> unconsumed count *)
+  traps_by_name : (string, int) Hashtbl.t;
+  mutable traps_total : int;
+  mutable n_sigsetmask : int;
+  mutable n_posted : int;
+  mutable n_lost : int;
+  mutable n_delivered : int;
+  mutable n_window_traps : int;
+  mutable blocked_io_ns : int;
+}
+
+let create ?clock prof =
+  {
+    prof;
+    clk = (match clock with Some c -> c | None -> Clock.create ());
+    pid = 1001;
+    dispositions = Array.make (Sigset.max_signo + 1) Default;
+    mask = Sigset.empty;
+    pending_set = Array.make (Sigset.max_signo + 1) None;
+    timers = [];
+    next_timer_id = 1;
+    io_queue = [];
+    io_completions = Hashtbl.create 8;
+    traps_by_name = Hashtbl.create 16;
+    traps_total = 0;
+    n_sigsetmask = 0;
+    n_posted = 0;
+    n_lost = 0;
+    n_delivered = 0;
+    n_window_traps = 0;
+    blocked_io_ns = 0;
+  }
+
+let profile t = t.prof
+let clock t = t.clk
+let now t = Clock.now t.clk
+let advance t ns = Clock.advance t.clk ns
+let insns t n = advance t (Cost_model.insns t.prof n)
+
+let count_trap t name =
+  t.traps_total <- t.traps_total + 1;
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.traps_by_name name) in
+  Hashtbl.replace t.traps_by_name name (prev + 1)
+
+let trap t ~name ?(extra_ns = 0) f =
+  count_trap t name;
+  advance t (t.prof.Cost_model.kernel_trap_ns + extra_ns);
+  f ()
+
+let getpid t = trap t ~name:"getpid" (fun () -> t.pid)
+
+let sbrk t _bytes = trap t ~name:"sbrk" ~extra_ns:t.prof.Cost_model.sbrk_ns ignore
+
+let flush_windows t =
+  t.n_window_traps <- t.n_window_traps + 1;
+  advance t t.prof.Cost_model.window_flush_ns
+
+let window_underflow t =
+  t.n_window_traps <- t.n_window_traps + 1;
+  advance t t.prof.Cost_model.window_underflow_ns
+
+(* Signals ----------------------------------------------------------- *)
+
+let sigaction t signo disp =
+  assert (Sigset.is_valid signo);
+  trap t ~name:"sigaction" (fun () -> t.dispositions.(signo) <- disp)
+
+let disposition t signo = t.dispositions.(signo)
+
+let sigsetmask t mask =
+  t.n_sigsetmask <- t.n_sigsetmask + 1;
+  trap t ~name:"sigsetmask" (fun () ->
+      let old = t.mask in
+      t.mask <- mask;
+      old)
+
+let proc_mask t = t.mask
+
+let post_signal t signo ?(code = 0) ~origin () =
+  assert (Sigset.is_valid signo);
+  t.n_posted <- t.n_posted + 1;
+  match t.pending_set.(signo) with
+  | Some _ -> t.n_lost <- t.n_lost + 1 (* BSD: not queued, dropped *)
+  | None -> t.pending_set.(signo) <- Some { code; origin }
+
+let kill t signo ?code ~origin () =
+  trap t ~name:"kill" (fun () -> post_signal t signo ?code ~origin ())
+
+let pending t =
+  let set = ref Sigset.empty in
+  Array.iteri
+    (fun i slot -> if slot <> None then set := Sigset.add !set i)
+    t.pending_set;
+  !set
+
+let first_deliverable t =
+  (* Scan pending slots for an unmasked signal whose disposition is not
+     Ignore (Ignored pending signals are simply discarded, like the
+     kernel's issig()). *)
+  let found = ref None in
+  let signo = ref 1 in
+  while !found = None && !signo <= Sigset.max_signo do
+    (match t.pending_set.(!signo) with
+    | Some info when not (Sigset.mem t.mask !signo) -> (
+        match t.dispositions.(!signo) with
+        | Ignore -> t.pending_set.(!signo) <- None
+        | Default | Catch _ -> found := Some (!signo, info))
+    | Some _ | None -> ());
+    incr signo
+  done;
+  !found
+
+let has_deliverable t = first_deliverable t <> None
+
+let deliver_pending t =
+  match first_deliverable t with
+  | None -> false
+  | Some (signo, info) -> (
+      t.pending_set.(signo) <- None;
+      match t.dispositions.(signo) with
+      | Ignore -> assert false (* filtered by first_deliverable *)
+      | Default -> raise (Process_killed signo)
+      | Catch { mask; fn } ->
+          t.n_delivered <- t.n_delivered + 1;
+          advance t t.prof.Cost_model.signal_deliver_ns;
+          let saved = t.mask in
+          t.mask <- Sigset.add (Sigset.union t.mask mask) signo;
+          fn ~signo ~code:info.code ~origin:info.origin;
+          (* sigreturn: restore the pre-delivery mask. *)
+          advance t t.prof.Cost_model.sigreturn_ns;
+          t.mask <- saved;
+          true)
+
+(* Timers and asynchronous I/O --------------------------------------- *)
+
+let arm_timer t ~after_ns ~interval_ns ~signo ~origin =
+  trap t ~name:"setitimer" (fun () ->
+      let id = t.next_timer_id in
+      t.next_timer_id <- id + 1;
+      let timer =
+        {
+          id;
+          expiry = now t + after_ns;
+          interval = interval_ns;
+          t_signo = signo;
+          t_origin = origin;
+        }
+      in
+      t.timers <- timer :: t.timers;
+      id)
+
+let disarm_timer t id =
+  trap t ~name:"setitimer" (fun () ->
+      t.timers <- List.filter (fun tm -> tm.id <> id) t.timers)
+
+let blocking_read t ~latency_ns =
+  trap t ~name:"read" (fun () ->
+      (* the process sleeps in the kernel: nothing else can run *)
+      advance t latency_ns;
+      t.blocked_io_ns <- t.blocked_io_ns + latency_ns)
+
+let blocking_io_ns t = t.blocked_io_ns
+
+let submit_io t ~latency_ns ~requester =
+  trap t ~name:"aioread" (fun () ->
+      t.io_queue <-
+        { complete_at = now t + latency_ns; requester } :: t.io_queue)
+
+let check_events t =
+  let time = now t in
+  let fire tm =
+    if tm.expiry > 0 && tm.expiry <= time then begin
+      post_signal t tm.t_signo ~origin:tm.t_origin ();
+      if tm.interval > 0 then begin
+        (* Catch up without flooding: next expiry strictly in the future. *)
+        let missed = (time - tm.expiry) / tm.interval in
+        tm.expiry <- tm.expiry + ((missed + 1) * tm.interval)
+      end
+      else tm.expiry <- 0
+    end
+  in
+  List.iter fire t.timers;
+  t.timers <- List.filter (fun tm -> tm.expiry > 0) t.timers;
+  let done_, waiting =
+    List.partition (fun io -> io.complete_at <= time) t.io_queue
+  in
+  List.iter
+    (fun io ->
+      (* record the completion: SIGIO is only a doorbell (BSD signals do
+         not queue, so concurrent completions can share one signal) *)
+      let prev =
+        Option.value ~default:0 (Hashtbl.find_opt t.io_completions io.requester)
+      in
+      Hashtbl.replace t.io_completions io.requester (prev + 1);
+      post_signal t Sigset.sigio ~origin:(Io io.requester) ())
+    done_;
+  t.io_queue <- waiting
+
+let take_io_completion t ~requester =
+  match Hashtbl.find_opt t.io_completions requester with
+  | Some n when n > 0 ->
+      if n = 1 then Hashtbl.remove t.io_completions requester
+      else Hashtbl.replace t.io_completions requester (n - 1);
+      true
+  | Some _ | None -> false
+
+let next_event_time t =
+  let candidates =
+    List.filter_map
+      (fun tm -> if tm.expiry > 0 then Some tm.expiry else None)
+      t.timers
+    @ List.map (fun io -> io.complete_at) t.io_queue
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest -> Some (List.fold_left min first rest)
+
+(* Accounting --------------------------------------------------------- *)
+
+let trap_count t = t.traps_total
+
+let trap_counts t =
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) t.traps_by_name []
+  |> List.sort compare
+
+let sigsetmask_count t = t.n_sigsetmask
+let signals_posted t = t.n_posted
+let signals_lost t = t.n_lost
+let signals_delivered t = t.n_delivered
+let window_trap_count t = t.n_window_traps
+
+let reset_counters t =
+  Hashtbl.reset t.traps_by_name;
+  t.traps_total <- 0;
+  t.n_sigsetmask <- 0;
+  t.n_posted <- 0;
+  t.n_lost <- 0;
+  t.n_delivered <- 0;
+  t.n_window_traps <- 0

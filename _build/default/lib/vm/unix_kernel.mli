@@ -1,0 +1,166 @@
+(** The simulated UNIX (SunOS 4.1 / 4.3 BSD) kernel.
+
+    This is the substrate the Pthreads library sits on.  It models exactly
+    the services the paper's implementation uses — "about 20 UNIX services
+    most of which are used for initialization" — plus the ones on its hot
+    paths:
+
+    - kernel traps with their round-trip cost ({!trap}, {!getpid});
+    - process-level signal state: one disposition table, one process signal
+      mask, BSD-style (non-queuing) pending signals, delivery with automatic
+      masking and [sigreturn] ({!sigaction}, {!sigsetmask}, {!post_signal},
+      {!deliver_pending});
+    - interval timers and asynchronous I/O completions that post signals
+      ({!arm_timer}, {!submit_io}, {!check_events});
+    - [sbrk] for heap growth;
+    - the SPARC register-window traps ({!flush_windows},
+      {!window_underflow}).
+
+    Everything is charged to a virtual {!Clock} according to a
+    {!Cost_model.profile}, and every kernel entry is counted, so benchmarks
+    can report both virtual time and the paper's "few operating system
+    calls" claim quantitatively. *)
+
+type t
+
+(** Why a signal was generated — the delivery model's rules 1-4 need to know
+    the cause of a signal to pick the recipient thread. *)
+type origin =
+  | External  (** sent from outside the process *)
+  | Directed of int  (** [pthread_kill]: target thread id *)
+  | Sync of int  (** synchronously caused by thread id (e.g. a fault) *)
+  | Timer of int  (** expiry of a timer armed by thread id *)
+  | Slice  (** time-slice expiration (round-robin scheduling) *)
+  | Io of int  (** completion of I/O requested by thread id *)
+
+type handler = signo:int -> code:int -> origin:origin -> unit
+(** A UNIX-level signal handler upcall.  It runs with [mask] (plus the
+    delivered signal) blocked; the mask in force before delivery is restored
+    when the handler returns ([sigreturn]). *)
+
+type disposition = Default | Ignore | Catch of { mask : Sigset.t; fn : handler }
+
+exception Process_killed of Sigset.signo
+(** Raised when a signal whose disposition is [Default] (and whose default
+    action is termination) is delivered. *)
+
+val create : ?clock:Clock.t -> Cost_model.profile -> t
+(** [clock] lets several simulated kernels (e.g. the per-process states of
+    the {!Unix_process} baseline) share one time line; a fresh clock is
+    created by default. *)
+
+val profile : t -> Cost_model.profile
+val clock : t -> Clock.t
+val now : t -> int
+(** Current virtual time, in nanoseconds. *)
+
+val advance : t -> int -> unit
+(** Advance the virtual clock (models computation outside the kernel). *)
+
+val insns : t -> int -> unit
+(** [insns t n] charges [n] straight-line instructions to the clock. *)
+
+(** {1 Kernel entry} *)
+
+val trap : t -> name:string -> ?extra_ns:int -> (unit -> 'a) -> 'a
+(** Enter the kernel, run the body, leave.  Charges the round-trip trap cost
+    plus [extra_ns] and counts the call under [name]. *)
+
+val getpid : t -> int
+
+val sbrk : t -> int -> unit
+(** Grow the heap by the given number of bytes. *)
+
+val flush_windows : t -> unit
+(** The [ST_FLUSH_WINDOWS] trap a SPARC context switch starts with. *)
+
+val window_underflow : t -> unit
+(** The window-underflow trap taken by [restore] when switching in. *)
+
+(** {1 Signals} *)
+
+val sigaction : t -> Sigset.signo -> disposition -> unit
+(** Install a disposition (a kernel call). *)
+
+val disposition : t -> Sigset.signo -> disposition
+
+val sigsetmask : t -> Sigset.t -> Sigset.t
+(** Replace the process signal mask; returns the previous mask.  A kernel
+    call — the paper stresses these must be minimized ("two calls to
+    sigsetmask for each signal received"), so they are counted separately;
+    see {!sigsetmask_count}. *)
+
+val proc_mask : t -> Sigset.t
+
+val post_signal : t -> Sigset.signo -> ?code:int -> origin:origin -> unit -> unit
+(** Generate a signal for the process.  BSD semantics: if the same signal is
+    already pending it is lost (counted; see {!signals_lost}). *)
+
+val kill : t -> Sigset.signo -> ?code:int -> origin:origin -> unit -> unit
+(** [post_signal] through a kernel trap (a [kill(2)] self-signal). *)
+
+val pending : t -> Sigset.t
+(** Signals currently pending at the process level. *)
+
+val deliver_pending : t -> bool
+(** Deliver at most one pending, unmasked signal: charge delivery cost, mask
+    per the disposition, upcall the handler, then charge [sigreturn] and
+    restore the mask when it returns.  Returns [true] if a signal was
+    delivered.  [Ignore]d signals are discarded silently (without delivery
+    cost).  @raise Process_killed on a [Default] disposition. *)
+
+val has_deliverable : t -> bool
+(** Would {!deliver_pending} deliver something right now? *)
+
+(** {1 Timers and asynchronous I/O} *)
+
+val arm_timer :
+  t -> after_ns:int -> interval_ns:int -> signo:Sigset.signo -> origin:origin -> int
+(** Arm a timer firing at [now + after_ns] and then every [interval_ns]
+    (one-shot if [interval_ns = 0]); posts [signo] with [origin] on expiry.
+    Returns a timer id.  A kernel call ([setitimer]). *)
+
+val disarm_timer : t -> int -> unit
+
+val submit_io : t -> latency_ns:int -> requester:int -> unit
+(** Submit an asynchronous I/O request completing after [latency_ns]; posts
+    [SIGIO] with origin [Io requester].  A kernel call. *)
+
+val blocking_read : t -> latency_ns:int -> unit
+(** A {e blocking} kernel call (e.g. reading a directory, for which "UNIX
+    does not provide non-blocking equivalents" — the paper's Open
+    Problems).  The whole process stalls inside the kernel for the I/O
+    latency: no thread of a library implementation can run meanwhile.
+    Counted under ["read"]; see also {!blocking_io_ns}. *)
+
+val blocking_io_ns : t -> int
+(** Total virtual time this process has spent stalled in blocking kernel
+    I/O. *)
+
+val take_io_completion : t -> requester:int -> bool
+(** Consume one recorded I/O completion for the thread, if any.  SIGIO is
+    only a doorbell: because BSD signals do not queue, concurrent
+    completions can collapse into a single signal, so consumers must poll
+    their completion state after any SIGIO ([aio_error]-style). *)
+
+val check_events : t -> unit
+(** Post signals for any timers or I/O completions whose time has come.
+    Called by the library at every checkpoint. *)
+
+val next_event_time : t -> int option
+(** Earliest future timer expiry or I/O completion, if any — used by the
+    scheduler to advance the clock when all threads are blocked. *)
+
+(** {1 Accounting} *)
+
+val trap_count : t -> int
+val trap_counts : t -> (string * int) list
+(** Per-syscall-name counts, sorted by name. *)
+
+val sigsetmask_count : t -> int
+val signals_posted : t -> int
+val signals_lost : t -> int
+val signals_delivered : t -> int
+val window_trap_count : t -> int
+
+val reset_counters : t -> unit

@@ -1,0 +1,1 @@
+test/test_cancel.ml: Alcotest Attr Cancel Cleanup Cond List Mutex Pthread Pthreads Signal_api Sigset Tu Types

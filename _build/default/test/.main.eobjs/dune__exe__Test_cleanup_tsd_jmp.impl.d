@@ -1,0 +1,1 @@
+test/test_cleanup_tsd_jmp.ml: Alcotest Cleanup Cond Jmp List Mutex Option Printf Pthread Pthreads Signal_api Sigset Tsd Tu Types Vm

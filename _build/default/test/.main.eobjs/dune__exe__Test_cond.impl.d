@@ -1,0 +1,1 @@
+test/test_cond.ml: Alcotest Attr Cond List Mutex Pthread Pthreads Queue Signal_api Sigset Tu Types

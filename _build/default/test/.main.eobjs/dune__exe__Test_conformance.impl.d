@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Cancel Cond Engine Format List Mutex Psem Pthread Pthreads Signal_api Sigset String Tsd Tu Types

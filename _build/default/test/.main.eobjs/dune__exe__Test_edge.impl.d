@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Attr Cond Engine List Mutex Pthread Pthreads Signal_api Sigset String Tu Types Vm

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Attr Cond Engine List Mutex Printf Pthread Pthreads Signal_api Sigset String Tu Types Vm

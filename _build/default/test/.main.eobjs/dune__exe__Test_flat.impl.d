@@ -1,0 +1,1 @@
+test/test_flat.ml: Alcotest Flat Pthread Pthreads Tu Types

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Attr Engine Format List Mutex Option Printf Psem Pthread Pthreads QCheck2 String Tu Types Validate

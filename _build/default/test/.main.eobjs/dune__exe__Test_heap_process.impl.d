@@ -1,0 +1,1 @@
+test/test_heap_process.ml: List Printf Tu Vm

@@ -1,0 +1,1 @@
+test/test_interplay.ml: Alcotest Attr Buffer Cancel Cleanup Cond Jmp List Machine Mutex Option Printf Psem Pthread Pthreads Shared Signal_api Sigset Tasking Tu Types

@@ -1,0 +1,1 @@
+test/test_io.ml: Attr Printf Pthread Pthreads Signal_api Sigset Tu Types Vm

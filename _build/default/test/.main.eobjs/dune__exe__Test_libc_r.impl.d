@@ -1,0 +1,1 @@
+test/test_libc_r.ml: Alcotest Libc_r List Printf Pthread Pthreads String Tu Types

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Format List Machine Mutex Option Pthread Pthreads Shared String Tu Types

@@ -1,0 +1,1 @@
+test/test_machine_fuzz.ml: Array List Machine Printf Pthread Pthreads QCheck2 Shared Tu Types Validate

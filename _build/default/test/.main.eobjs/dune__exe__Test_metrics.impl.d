@@ -1,0 +1,1 @@
+test/test_metrics.ml: Printf Pthreads Tu Vm

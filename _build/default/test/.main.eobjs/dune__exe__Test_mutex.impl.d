@@ -1,0 +1,1 @@
+test/test_mutex.ml: Alcotest Attr Engine List Mutex Pthread Pthreads QCheck2 Signal_api Sigset Tu Types

@@ -1,0 +1,1 @@
+test/test_perverted.ml: Alcotest Attr Buffer Engine List Mutex Printf Pthread Pthreads Tu Types

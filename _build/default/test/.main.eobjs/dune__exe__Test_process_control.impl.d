@@ -1,0 +1,1 @@
+test/test_process_control.ml: Alcotest Cancel List Machine Option Pthread Pthreads Signal_api Sigset Tu Types

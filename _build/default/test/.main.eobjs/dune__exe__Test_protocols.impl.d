@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Attr List Mutex Printf Pthread Pthreads Tu Types

@@ -1,0 +1,1 @@
+test/test_ready_queue.ml: Alcotest Engine List Printf Pthreads QCheck2 Tu Vm

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Attr Engine List Printf Pthread Pthreads String Tu Types

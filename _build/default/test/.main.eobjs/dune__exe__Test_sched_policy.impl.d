@@ -1,0 +1,1 @@
+test/test_sched_policy.ml: Alcotest Attr Buffer List Printf Pthread Pthreads Tu Types

@@ -1,0 +1,1 @@
+test/test_semaphore.ml: Alcotest List Mutex Psem Pthread Pthreads Queue Tu Types

@@ -1,0 +1,1 @@
+test/test_signals.ml: Alcotest Attr Engine Jmp List Pthread Pthreads Signal_api Sigset Tu Types

@@ -1,0 +1,1 @@
+test/test_sigset.ml: Alcotest List QCheck2 Tu Vm

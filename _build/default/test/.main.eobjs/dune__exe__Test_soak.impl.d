@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Array Attr Cond List Machine Mutex Printf Pthread Pthreads Shared Signal_api Sigset Tasking Tu Types

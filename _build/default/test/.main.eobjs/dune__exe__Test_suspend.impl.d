@@ -1,0 +1,1 @@
+test/test_suspend.ml: Alcotest Attr Cancel Cond Mutex Pthread Pthreads Signal_api Sigset Tu Types

@@ -1,0 +1,1 @@
+test/test_sync_extras.ml: Alcotest List Psem Pthread Pthreads String Tu Types

@@ -1,0 +1,1 @@
+test/test_tasking.ml: Alcotest List Pthread Pthreads Queue Tasking Tu

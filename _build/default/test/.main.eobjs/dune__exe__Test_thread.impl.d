@@ -1,0 +1,1 @@
+test/test_thread.ml: Alcotest Attr Engine List Option Pthread Pthreads Tu Types

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Attr Cleanup Debugger Format List Mutex Pthread Pthreads String Tu Types Validate Vm

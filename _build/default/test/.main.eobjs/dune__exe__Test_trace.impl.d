@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Format Libc_r List Machine Pthread Pthreads Shared String Tu Vm

@@ -1,0 +1,1 @@
+test/test_unix_kernel.ml: Alcotest List Tu Vm

@@ -1,0 +1,1 @@
+test/tu.ml: Alcotest Pthread Pthreads QCheck2 QCheck_alcotest Types Vm

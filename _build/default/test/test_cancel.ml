@@ -1,0 +1,326 @@
+(* Cancellation: the full Table 1 matrix and the interruption-point rules. *)
+
+open Tu
+open Pthreads
+
+let join_status proc t = Pthread.join proc t
+
+(* Table 1 row 3: enabled + asynchronous -> acted upon immediately. *)
+let test_async_immediate_on_blocked () =
+  ignore
+    (run_main (fun proc ->
+         let t =
+           Pthread.create proc (fun () ->
+               ignore (Cancel.set_type proc Types.Cancel_asynchronous);
+               Pthread.delay proc ~ns:10_000_000;
+               99)
+         in
+         Pthread.yield proc;
+         let t0 = Pthread.now proc in
+         Cancel.cancel proc t;
+         check exit_status "canceled" Types.Canceled (join_status proc t);
+         check bool "did not wait out the sleep" true
+           (Pthread.now proc - t0 < 5_000_000);
+         0));
+  ()
+
+let test_async_immediate_on_running () =
+  ignore
+    (run_main ~policy:(Types.Round_robin 10_000) (fun proc ->
+         let t =
+           Pthread.create proc (fun () ->
+               ignore (Cancel.set_type proc Types.Cancel_asynchronous);
+               (* spin forever: only asynchronous cancellation can stop it *)
+               while true do
+                 Pthread.busy proc ~ns:5_000
+               done;
+               0)
+         in
+         Pthread.delay proc ~ns:50_000;
+         Cancel.cancel proc t;
+         check exit_status "canceled mid-computation" Types.Canceled
+           (join_status proc t);
+         0));
+  ()
+
+(* Table 1 row 2: enabled + controlled -> pends until interruption point. *)
+let test_controlled_pends_until_testintr () =
+  ignore
+    (run_main ~policy:(Types.Round_robin 10_000) (fun proc ->
+         let progressed = ref 0 in
+         let t =
+           Pthread.create proc (fun () ->
+               for _ = 1 to 100 do
+                 Pthread.busy proc ~ns:5_000;
+                 incr progressed;
+                 (* busy work has no interruption points... *)
+                 if !progressed = 50 then Cancel.test proc
+               done;
+               0)
+         in
+         Pthread.delay proc ~ns:30_000;
+         Cancel.cancel proc t;
+         check exit_status "canceled at testintr" Types.Canceled
+           (join_status proc t);
+         check int "ran exactly to the interruption point" 50 !progressed;
+         0));
+  ()
+
+let controlled_blocked_case mk_blocker =
+  ignore
+    (run_main (fun proc ->
+         let ctx = mk_blocker proc in
+         let t = fst ctx in
+         Pthread.delay proc ~ns:50_000;
+         Cancel.cancel proc t;
+         check exit_status "canceled while blocked" Types.Canceled
+           (join_status proc t);
+         (snd ctx) ();
+         0));
+  ()
+
+(* Controlled cancellation acts on threads suspended at interruption
+   points: conditional wait, sigwait, sleep, join. *)
+let test_controlled_in_cond_wait () =
+  controlled_blocked_case (fun proc ->
+      let m = Mutex.create proc () in
+      let c = Cond.create proc () in
+      let t =
+        Pthread.create proc (fun () ->
+            Mutex.lock proc m;
+            ignore (Cond.wait proc c m);
+            Mutex.unlock proc m;
+            0)
+      in
+      (t, fun () -> ()))
+
+let test_controlled_in_sigwait () =
+  controlled_blocked_case (fun proc ->
+      let t =
+        Pthread.create proc (fun () ->
+            ignore (Signal_api.sigwait proc (Sigset.singleton Sigset.sigusr1));
+            0)
+      in
+      (t, fun () -> ()))
+
+let test_controlled_in_sleep () =
+  controlled_blocked_case (fun proc ->
+      let t = Pthread.create proc (fun () -> Pthread.delay proc ~ns:50_000_000; 0) in
+      (t, fun () -> ()))
+
+let test_controlled_in_join () =
+  controlled_blocked_case (fun proc ->
+      let target = Pthread.create proc (fun () -> Pthread.delay proc ~ns:50_000_000; 0) in
+      let t = Pthread.create proc (fun () ->
+          ignore (Pthread.join proc target);
+          0)
+      in
+      (t, fun () -> Cancel.cancel proc target))
+
+(* The exception: a mutex wait is NOT an interruption point in controlled
+   mode — "to guarantee a deterministic state of the mutex". *)
+let test_controlled_not_on_mutex_wait () =
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         Mutex.lock proc m;
+         let got_mutex = ref false in
+         let t =
+           Pthread.create proc (fun () ->
+               Mutex.lock proc m;
+               got_mutex := true;
+               Mutex.unlock proc m;
+               Cancel.test proc;
+               0)
+         in
+         Pthread.delay proc ~ns:50_000;
+         Cancel.cancel proc t;
+         Pthread.busy proc ~ns:20_000;
+         check (Alcotest.option string) "still waiting on the mutex"
+           (Some ("blocked-on-mutex " ^ "mutex-1"))
+           (Pthread.state_of proc t);
+         Mutex.unlock proc m;
+         check exit_status "canceled at the next interruption point"
+           Types.Canceled (join_status proc t);
+         check bool "mutex state was deterministic" true !got_mutex;
+         0));
+  ()
+
+(* Table 1 row 1: disabled -> pends until enabled. *)
+let test_disabled_pends () =
+  ignore
+    (run_main (fun proc ->
+         let reached = ref false in
+         let t =
+           Pthread.create proc (fun () ->
+               ignore (Cancel.set_state proc Types.Cancel_disabled);
+               Pthread.delay proc ~ns:100_000;
+               reached := true;
+               check bool "request pending" true (Cancel.pending proc);
+               ignore (Cancel.set_state proc Types.Cancel_enabled);
+               (* still controlled: dies at the next interruption point *)
+               Cancel.test proc;
+               0)
+         in
+         Pthread.yield proc;
+         Cancel.cancel proc t;
+         check exit_status "canceled after re-enable" Types.Canceled
+           (join_status proc t);
+         check bool "survived while disabled" true !reached;
+         0));
+  ()
+
+let test_enable_async_with_pending_acts () =
+  ignore
+    (run_main (fun proc ->
+         let t =
+           Pthread.create proc (fun () ->
+               ignore (Cancel.set_state proc Types.Cancel_disabled);
+               Pthread.delay proc ~ns:100_000;
+               ignore (Cancel.set_type proc Types.Cancel_asynchronous);
+               ignore (Cancel.set_state proc Types.Cancel_enabled);
+               (* unreachable *)
+               1)
+         in
+         Pthread.yield proc;
+         Cancel.cancel proc t;
+         check exit_status "acted on enable" Types.Canceled (join_status proc t);
+         0));
+  ()
+
+let test_cleanup_handlers_run_on_cancel () =
+  ignore
+    (run_main (fun proc ->
+         let log = ref [] in
+         let t =
+           Pthread.create proc (fun () ->
+               Cleanup.push proc (fun () -> log := "outer" :: !log);
+               Cleanup.push proc (fun () -> log := "inner" :: !log);
+               Pthread.delay proc ~ns:10_000_000;
+               0)
+         in
+         Pthread.yield proc;
+         Cancel.cancel proc t;
+         check exit_status "canceled" Types.Canceled (join_status proc t);
+         check (Alcotest.list string) "newest-first" [ "inner"; "outer" ]
+           (List.rev !log);
+         0));
+  ()
+
+let test_cancel_before_first_dispatch () =
+  ignore
+    (run_main (fun proc ->
+         let ran = ref false in
+         let t =
+           Pthread.create proc
+             ~attr:(Attr.with_prio 1 Attr.default)
+             (fun () ->
+               ran := true;
+               ignore (Cancel.set_type proc Types.Cancel_asynchronous);
+               0)
+         in
+         (* t has never run; asynchronous action on a ready thread means it
+            dies at its first dispatch, in controlled mode at the first
+            interruption point -- here: immediately via the fake exit *)
+         Cancel.cancel proc t;
+         (* default is controlled; the request pends.  Make it unavoidable: *)
+         check bool "not yet run" false !ran;
+         ignore (Pthread.join proc t);
+         0));
+  ()
+
+let test_self_cancel_async () =
+  ignore
+    (run_main (fun proc ->
+         let t =
+           Pthread.create proc (fun () ->
+               ignore (Cancel.set_type proc Types.Cancel_asynchronous);
+               Cancel.cancel proc (Pthread.self proc);
+               1)
+         in
+         check exit_status "self-cancel" Types.Canceled (join_status proc t);
+         0));
+  ()
+
+let test_cancel_dead_thread_noop () =
+  ignore
+    (run_main (fun proc ->
+         let t = Pthread.create proc (fun () -> 0) in
+         ignore (Pthread.join proc t);
+         Cancel.cancel proc t;
+         Cancel.cancel proc 4242;
+         0));
+  ()
+
+let test_cancel_lazy_thread () =
+  ignore
+    (run_main (fun proc ->
+         let t =
+           Pthread.create proc
+             ~attr:(Attr.with_deferred true Attr.default)
+             (fun () ->
+               ignore (Cancel.set_type proc Types.Cancel_asynchronous);
+               Pthread.delay proc ~ns:1_000_000;
+               1)
+         in
+         Cancel.cancel proc t;
+         (* controlled-mode request pends; joining activates the thread and
+            it dies at its first interruption point *)
+         check exit_status "canceled" Types.Canceled (join_status proc t);
+         0));
+  ()
+
+(* After acting, interruptibility is disabled and other signals masked, so
+   cleanup handlers run undisturbed. *)
+let test_no_signals_during_cancellation_unwind () =
+  ignore
+    (run_main (fun proc ->
+         let handler_ran_during_cleanup = ref false in
+         let in_cleanup = ref false in
+         Signal_api.set_action proc Sigset.sigusr1
+           (Types.Sig_handler
+              {
+                h_mask = Sigset.empty;
+                h_fn =
+                  (fun ~signo:_ ~code:_ ->
+                    if !in_cleanup then handler_ran_during_cleanup := true);
+              });
+         let t =
+           Pthread.create proc (fun () ->
+               Cleanup.push proc (fun () ->
+                   in_cleanup := true;
+                   Pthread.busy proc ~ns:20_000;
+                   in_cleanup := false);
+               Pthread.delay proc ~ns:10_000_000;
+               0)
+         in
+         Pthread.yield proc;
+         Cancel.cancel proc t;
+         Signal_api.kill proc t Sigset.sigusr1;
+         ignore (join_status proc t);
+         check bool "no handler during unwind" false !handler_ran_during_cleanup;
+         0));
+  ()
+
+let suite =
+  [
+    ( "cancel",
+      [
+        tc "async: blocked target" test_async_immediate_on_blocked;
+        tc "async: running target" test_async_immediate_on_running;
+        tc "controlled: testintr" test_controlled_pends_until_testintr;
+        tc "controlled: cond wait" test_controlled_in_cond_wait;
+        tc "controlled: sigwait" test_controlled_in_sigwait;
+        tc "controlled: sleep" test_controlled_in_sleep;
+        tc "controlled: join" test_controlled_in_join;
+        tc "mutex wait not interruptible" test_controlled_not_on_mutex_wait;
+        tc "disabled pends" test_disabled_pends;
+        tc "enable acts on pending (async)" test_enable_async_with_pending_acts;
+        tc "cleanup handlers run" test_cleanup_handlers_run_on_cancel;
+        tc "cancel before first dispatch" test_cancel_before_first_dispatch;
+        tc "self-cancel (async)" test_self_cancel_async;
+        tc "cancel dead thread no-op" test_cancel_dead_thread_noop;
+        tc "cancel lazy thread" test_cancel_lazy_thread;
+        tc "no signals during unwind" test_no_signals_during_cancellation_unwind;
+      ] );
+  ]

@@ -1,0 +1,313 @@
+(* Cleanup handlers, thread-specific data, setjmp/longjmp. *)
+
+open Tu
+open Pthreads
+
+let test_cleanup_pop_execute () =
+  ignore
+    (run_main (fun proc ->
+         let log = ref [] in
+         Cleanup.push proc (fun () -> log := 1 :: !log);
+         Cleanup.push proc (fun () -> log := 2 :: !log);
+         check int "depth" 2 (Cleanup.depth proc);
+         Cleanup.pop proc ~execute:true;
+         check (Alcotest.list int) "popped handler ran" [ 2 ] !log;
+         Cleanup.pop proc ~execute:false;
+         check (Alcotest.list int) "not executed" [ 2 ] !log;
+         check int "empty" 0 (Cleanup.depth proc);
+         0));
+  ()
+
+let test_cleanup_pop_empty_rejected () =
+  ignore
+    (run_main (fun proc ->
+         (try
+            Cleanup.pop proc ~execute:true;
+            Alcotest.fail "empty pop must raise"
+          with Invalid_argument _ -> ());
+         0));
+  ()
+
+let test_cleanup_run_on_normal_exit () =
+  let log = ref [] in
+  ignore
+    (run_main (fun proc ->
+         let t =
+           Pthread.create proc (fun () ->
+               Cleanup.push proc (fun () -> log := "a" :: !log);
+               Cleanup.push proc (fun () -> log := "b" :: !log);
+               3)
+         in
+         ignore (Pthread.join proc t);
+         0));
+  check (Alcotest.list string) "ran newest-first on return" [ "b"; "a" ]
+    (List.rev !log)
+
+let test_cleanup_run_on_pthread_exit () =
+  let log = ref [] in
+  ignore
+    (run_main (fun proc ->
+         let t =
+           Pthread.create proc (fun () ->
+               Cleanup.push proc (fun () -> log := "x" :: !log);
+               Pthread.exit proc 9)
+         in
+         (match Pthread.join proc t with
+         | Types.Exited 9 -> ()
+         | st -> Alcotest.failf "got %a" Types.pp_exit_status st);
+         0));
+  check (Alcotest.list string) "ran" [ "x" ] !log
+
+let test_cleanup_protect () =
+  ignore
+    (run_main (fun proc ->
+         let n = ref 0 in
+         let v = Cleanup.protect proc ~cleanup:(fun () -> incr n) (fun () -> 5) in
+         check int "value" 5 v;
+         check int "cleanup ran" 1 !n;
+         check int "stack balanced" 0 (Cleanup.depth proc);
+         0));
+  ()
+
+let test_tsd_per_thread () =
+  ignore
+    (run_main (fun proc ->
+         let key : int Tsd.key = Tsd.create_key proc () in
+         Tsd.set proc key (Some 10);
+         let t =
+           Pthread.create proc (fun () ->
+               check (Alcotest.option int) "fresh slot" None (Tsd.get proc key);
+               Tsd.set proc key (Some 20);
+               Option.get (Tsd.get proc key))
+         in
+         (match Pthread.join proc t with
+         | Types.Exited 20 -> ()
+         | st -> Alcotest.failf "got %a" Types.pp_exit_status st);
+         check (Alcotest.option int) "main's value untouched" (Some 10)
+           (Tsd.get proc key);
+         0));
+  ()
+
+let test_tsd_clear () =
+  ignore
+    (run_main (fun proc ->
+         let key : string Tsd.key = Tsd.create_key proc () in
+         Tsd.set proc key (Some "v");
+         Tsd.set proc key None;
+         check (Alcotest.option string) "cleared" None (Tsd.get proc key);
+         0));
+  ()
+
+let test_tsd_destructor_on_exit () =
+  let destroyed = ref [] in
+  ignore
+    (run_main (fun proc ->
+         let key : int Tsd.key =
+           Tsd.create_key proc ~destructor:(fun v -> destroyed := v :: !destroyed) ()
+         in
+         let t =
+           Pthread.create proc (fun () ->
+               Tsd.set proc key (Some 7);
+               0)
+         in
+         ignore (Pthread.join proc t);
+         check (Alcotest.list int) "destructor ran with value" [ 7 ] !destroyed;
+         (* no value set -> no destructor *)
+         let t2 = Pthread.create proc (fun () -> 0) in
+         ignore (Pthread.join proc t2);
+         check int "no extra run" 1 (List.length !destroyed);
+         0));
+  ()
+
+let test_tsd_destructor_cascade () =
+  (* A destructor that stores a new value triggers another pass (up to 4). *)
+  let runs = ref 0 in
+  ignore
+    (run_main (fun proc ->
+         let key_ref = ref None in
+         let key : int Tsd.key =
+           Tsd.create_key proc
+             ~destructor:(fun _ ->
+               incr runs;
+               (* re-set our own slot; passes are bounded *)
+               match !key_ref with
+               | Some k -> Tsd.set proc k (Some 0)
+               | None -> ())
+             ()
+         in
+         key_ref := Some key;
+         let t =
+           Pthread.create proc (fun () ->
+               Tsd.set proc key (Some 1);
+               0)
+         in
+         ignore (Pthread.join proc t);
+         0));
+  check int "exactly four passes" 4 !runs
+
+let test_tsd_two_keys_independent () =
+  ignore
+    (run_main (fun proc ->
+         let k1 : int Tsd.key = Tsd.create_key proc () in
+         let k2 : string Tsd.key = Tsd.create_key proc () in
+         Tsd.set proc k1 (Some 1);
+         Tsd.set proc k2 (Some "s");
+         check (Alcotest.option int) "k1" (Some 1) (Tsd.get proc k1);
+         check (Alcotest.option string) "k2" (Some "s") (Tsd.get proc k2);
+         0));
+  ()
+
+let test_jmp_returned () =
+  ignore
+    (run_main (fun proc ->
+         (match Jmp.catch proc (fun _ -> 42) with
+         | Jmp.Returned 42 -> ()
+         | _ -> Alcotest.fail "expected Returned 42");
+         0));
+  ()
+
+let test_jmp_jumped () =
+  ignore
+    (run_main (fun proc ->
+         (match
+            Jmp.catch proc (fun buf ->
+                if true then Jmp.longjmp proc buf 17;
+                0)
+          with
+         | Jmp.Jumped 17 -> ()
+         | _ -> Alcotest.fail "expected Jumped 17");
+         0));
+  ()
+
+let test_jmp_nested () =
+  ignore
+    (run_main (fun proc ->
+         let r =
+           Jmp.catch proc (fun outer ->
+               let inner_result =
+                 Jmp.catch proc (fun inner ->
+                     if true then Jmp.longjmp proc inner 1;
+                     0)
+               in
+               (match inner_result with
+               | Jmp.Jumped 1 -> ()
+               | _ -> Alcotest.fail "inner jump");
+               if true then Jmp.longjmp proc outer 2;
+               0)
+         in
+         (match r with
+         | Jmp.Jumped 2 -> ()
+         | _ -> Alcotest.fail "outer jump");
+         0));
+  ()
+
+let test_jmp_stale_buffer_rejected () =
+  ignore
+    (run_main (fun proc ->
+         let stash = ref None in
+         ignore (Jmp.catch proc (fun buf -> stash := Some buf; 0));
+         (try
+            (match !stash with
+            | Some buf -> ignore (Jmp.longjmp proc buf 1)
+            | None -> Alcotest.fail "no buf");
+            Alcotest.fail "stale longjmp must raise"
+          with Invalid_argument _ -> ());
+         0));
+  ()
+
+let test_jmp_restores_mask () =
+  ignore
+    (run_main (fun proc ->
+         let before = Signal_api.mask proc in
+         ignore
+           (Jmp.catch proc (fun buf ->
+                ignore
+                  (Signal_api.set_mask proc `Block (Sigset.singleton Sigset.sigusr1));
+                if true then Jmp.longjmp proc buf 1;
+                0));
+         check bool "mask restored (siglongjmp)" true
+           (Sigset.equal before (Signal_api.mask proc));
+         0));
+  ()
+
+let test_jmp_charges_paper_cost () =
+  ignore
+    (run_main (fun proc ->
+         let t0 = Pthread.now proc in
+         (match Jmp.catch proc (fun buf -> Jmp.longjmp proc buf 1) with
+         | Jmp.Jumped 1 -> ()
+         | _ -> Alcotest.fail "jump");
+         let us = Vm.Clock.us_of_ns (Pthread.now proc - t0) in
+         (* Table 2: setjmp/longjmp pair ~29us on the IPX *)
+         check bool (Printf.sprintf "pair ~29us (got %.1f)" us) true
+           (us > 20.0 && us < 40.0);
+         0));
+  ()
+
+
+let test_tsd_delete_key () =
+  let destroyed = ref 0 in
+  ignore
+    (run_main (fun proc ->
+         let k : int Tsd.key =
+           Tsd.create_key proc ~destructor:(fun _ -> incr destroyed) ()
+         in
+         Tsd.set proc k (Some 5);
+         Tsd.delete_key proc k;
+         (try
+            ignore (Tsd.get proc k);
+            Alcotest.fail "get after delete must raise"
+          with Invalid_argument _ -> ());
+         (try
+            Tsd.set proc k (Some 6);
+            Alcotest.fail "set after delete must raise"
+          with Invalid_argument _ -> ());
+         0));
+  (* the destructor was unregistered before thread exit *)
+  check int "no destructor after delete" 0 !destroyed
+
+let test_cond_wait_for () =
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         let c = Cond.create proc () in
+         Mutex.lock proc m;
+         let t0 = Pthread.now proc in
+         let r = Cond.wait_for proc c m ~timeout_ns:400_000 in
+         check bool "relative timeout" true (r = Cond.Timed_out);
+         check bool "waited about that long" true
+           (Pthread.now proc - t0 >= 400_000);
+         Mutex.unlock proc m;
+         0));
+  ()
+
+let suite =
+  [
+    ( "cleanup",
+      [
+        tc "pop execute" test_cleanup_pop_execute;
+        tc "pop empty rejected" test_cleanup_pop_empty_rejected;
+        tc "run on normal exit" test_cleanup_run_on_normal_exit;
+        tc "run on pthread_exit" test_cleanup_run_on_pthread_exit;
+        tc "protect" test_cleanup_protect;
+      ] );
+    ( "tsd",
+      [
+        tc "per-thread slots" test_tsd_per_thread;
+        tc "clear" test_tsd_clear;
+        tc "destructor on exit" test_tsd_destructor_on_exit;
+        tc "destructor cascade bounded" test_tsd_destructor_cascade;
+        tc "independent keys" test_tsd_two_keys_independent;
+        tc "delete key" test_tsd_delete_key;
+      ] );
+    ( "jmp",
+      [
+        tc "returned" test_jmp_returned;
+        tc "jumped" test_jmp_jumped;
+        tc "nested" test_jmp_nested;
+        tc "stale buffer rejected" test_jmp_stale_buffer_rejected;
+        tc "mask restored" test_jmp_restores_mask;
+        tc "paper cost" test_jmp_charges_paper_cost;
+        tc "cond wait_for" test_cond_wait_for;
+      ] );
+  ]

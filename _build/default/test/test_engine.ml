@@ -1,0 +1,205 @@
+(* Engine-level behaviour: deadlock detection, the Figure 2 deferred-signal
+   path, statistics, ready-queue internals, traces. *)
+
+open Tu
+open Pthreads
+module Trace = Vm.Trace
+
+let test_deadlock_detected () =
+  match
+    Pthread.run (fun proc ->
+        let m1 = Mutex.create proc ~name:"m1" () in
+        let m2 = Mutex.create proc ~name:"m2" () in
+        let t =
+          Pthread.create_unit proc (fun () ->
+              Mutex.lock proc m2;
+              Pthread.delay proc ~ns:50_000;
+              Mutex.lock proc m1;
+              Mutex.unlock proc m1;
+              Mutex.unlock proc m2)
+        in
+        Mutex.lock proc m1;
+        Pthread.delay proc ~ns:100_000;
+        Mutex.lock proc m2;
+        (* classic lock-order deadlock *)
+        ignore (Pthread.join proc t);
+        0)
+  with
+  | exception Types.Process_stopped (Types.Deadlock msg) ->
+      check bool "message names blocked threads" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected deadlock"
+
+let test_self_deadlock_on_join_cycle () =
+  match
+    Pthread.run (fun proc ->
+        let c = Cond.create proc () in
+        let m = Mutex.create proc () in
+        Mutex.lock proc m;
+        (* waiting for a signal no one will ever send *)
+        ignore (Cond.wait proc c m);
+        0)
+  with
+  | exception Types.Process_stopped (Types.Deadlock _) -> ()
+  | _ -> Alcotest.fail "expected deadlock"
+
+(* Figure 2: a signal arriving while the kernel flag is set is logged and
+   handled by the dispatcher on kernel exit. *)
+let test_deferred_signal_in_kernel () =
+  ignore
+    (run_main (fun proc ->
+         let hits = ref 0 in
+         Signal_api.set_action proc Sigset.sigusr1
+           (Types.Sig_handler
+              {
+                h_mask = Sigset.empty;
+                h_fn = (fun ~signo:_ ~code:_ -> incr hits);
+              });
+         (* a timer that expires while main is inside the kernel: arm it,
+            then enter a kernel-heavy operation immediately.  The mutex
+            slow path spends > 40us in the kernel (traps), so the signal
+            lands with the kernel flag set. *)
+         Signal_api.send_to_process proc Sigset.sigusr1;
+         (* entering the kernel before any checkpoint: create does
+            checkpoint first, which delivers it -- either way the handler
+            must run exactly once *)
+         let t = Pthread.create_unit proc (fun () -> ()) in
+         ignore (Pthread.join proc t);
+         Pthread.busy proc ~ns:10_000;
+         check int "signal handled exactly once" 1 !hits;
+         0));
+  ()
+
+let test_stats_switches_counted () =
+  let stats =
+    run_stats (fun proc ->
+        let t = Pthread.create_unit proc (fun () ->
+            for _ = 1 to 5 do Pthread.yield proc done)
+        in
+        for _ = 1 to 5 do Pthread.yield proc done;
+        ignore (Pthread.join proc t);
+        0)
+  in
+  check bool
+    (Printf.sprintf "switches counted (%d)" stats.Engine.switches)
+    true
+    (stats.Engine.switches >= 10)
+
+let test_stats_trap_detail () =
+  let stats = run_stats (fun proc -> Pthread.delay proc ~ns:100_000; 0) in
+  check bool "setitimer recorded" true
+    (List.mem_assoc "setitimer" stats.Engine.trap_detail)
+
+let test_library_init_few_traps () =
+  (* "This implementation makes use of about 20 UNIX services most of which
+     are used for initialization": after init, a pure compute run adds no
+     traps at all. *)
+  ignore
+    (run_main (fun proc ->
+         Pthread.reset_stats proc;
+         Pthread.busy proc ~ns:100_000;
+         let stats = Pthread.stats proc in
+         check int "no traps during quiescent computation" 0
+           stats.Engine.kernel_traps;
+         0));
+  ()
+
+let test_trace_records_and_gantt () =
+  let proc =
+    Pthread.make_proc ~trace:true (fun proc ->
+        let m = Mutex.create proc ~name:"mx" () in
+        let t =
+          Pthread.create_unit proc
+            ~attr:(Attr.with_name "w" Attr.default)
+            (fun () ->
+              Mutex.lock proc m;
+              Pthread.busy proc ~ns:50_000;
+              Mutex.unlock proc m)
+        in
+        ignore (Pthread.join proc t);
+        0)
+  in
+  Pthread.start proc;
+  let events = Pthread.trace_events proc in
+  check bool "events recorded" true (List.length events > 5);
+  check bool "lock event present" true
+    (List.exists
+       (fun e -> match e.Trace.kind with Trace.Mutex_lock "mx" -> true | _ -> false)
+       events);
+  let g = Pthread.gantt proc ~bucket_ns:10_000 in
+  check bool "gantt mentions the worker" true
+    (String.length g > 0
+    && String.split_on_char '\n' g |> List.exists (fun l ->
+           String.length l > 2 && String.sub l 0 1 = "w"))
+
+let test_trace_disabled_by_default () =
+  let proc = Pthread.make_proc (fun proc -> Pthread.yield proc; 0) in
+  Pthread.start proc;
+  check int "no events" 0 (List.length (Pthread.trace_events proc))
+
+let test_virtual_time_monotone_and_deterministic () =
+  let run_once () =
+    let stats =
+      run_stats ~seed:5 (fun proc ->
+          let t = Pthread.create_unit proc (fun () -> Pthread.busy proc ~ns:50_000) in
+          Pthread.busy proc ~ns:30_000;
+          ignore (Pthread.join proc t);
+          0)
+    in
+    stats.Engine.virtual_ns
+  in
+  let a = run_once () and b = run_once () in
+  check bool "time advanced" true (a > 0);
+  check int "bit-for-bit deterministic" a b
+
+let test_aio_sigwait_integration () =
+  (* a thread submits I/O and sigwaits for its completion *)
+  ignore
+    (run_main (fun proc ->
+         let t =
+           Pthread.create proc (fun () ->
+               ignore
+                 (Signal_api.set_mask proc `Block (Sigset.singleton Sigset.sigio));
+               Signal_api.aio_submit proc ~latency_ns:200_000;
+               let s = Signal_api.sigwait proc (Sigset.singleton Sigset.sigio) in
+               if s = Sigset.sigio then 1 else 0)
+         in
+         (match Pthread.join proc t with
+         | Types.Exited 1 -> ()
+         | st -> Alcotest.failf "got %a" Types.pp_exit_status st);
+         0));
+  ()
+
+let test_profile_scales_cost () =
+  let time profile =
+    let _, stats =
+      Pthread.run ~profile (fun proc ->
+          let t = Pthread.create_unit proc (fun () ->
+              for _ = 1 to 10 do Pthread.yield proc done) in
+          for _ = 1 to 10 do Pthread.yield proc done;
+          ignore (Pthread.join proc t);
+          0)
+    in
+    stats.Engine.virtual_ns
+  in
+  let ipx = time Vm.Cost_model.sparc_ipx in
+  let one = time Vm.Cost_model.sparc_1plus in
+  check bool "SPARC 1+ run takes longer" true (one > ipx)
+
+let suite =
+  [
+    ( "engine",
+      [
+        tc "deadlock detected" test_deadlock_detected;
+        tc "lone waiter deadlock" test_self_deadlock_on_join_cycle;
+        tc "deferred signal (fig 2)" test_deferred_signal_in_kernel;
+        tc "switches counted" test_stats_switches_counted;
+        tc "trap detail" test_stats_trap_detail;
+        tc "few traps after init" test_library_init_few_traps;
+        tc "trace + gantt" test_trace_records_and_gantt;
+        tc "trace off by default" test_trace_disabled_by_default;
+        tc "deterministic virtual time" test_virtual_time_monotone_and_deterministic;
+        tc "aio + sigwait" test_aio_sigwait_integration;
+        tc "profile scales cost" test_profile_scales_cost;
+      ] );
+  ]

@@ -1,0 +1,233 @@
+(* Randomized whole-system property tests: generate small multi-threaded
+   programs, run them under every scheduling policy with the live validator
+   and the trace auditor armed, and check global invariants — termination,
+   no invariant violations, determinism per seed, and conservation laws of
+   the workload itself. *)
+
+open Tu
+open Pthreads
+
+(* A tiny program representation: each thread executes a list of ops over a
+   shared pool of mutexes, semaphores and counters. *)
+type op =
+  | Lock of int
+  | Unlock_all  (* release held locks in LIFO order *)
+  | Busy of int
+  | Yield
+  | Delay of int
+  | Sem_post of int
+  | Sem_take_nb of int  (* try_wait *)
+  | Incr_protected of int  (* counter idx; protected by the same-index mutex *)
+  | Checkpoint
+
+let op_gen n_mutexes n_sems n_counters =
+  QCheck2.Gen.(
+    frequency
+      [
+        (3, map (fun i -> Lock (i mod n_mutexes)) small_nat);
+        (3, return Unlock_all);
+        (2, map (fun n -> Busy (1_000 + (n mod 10) * 1_000)) small_nat);
+        (2, return Yield);
+        (1, map (fun n -> Delay (20_000 + (n mod 5) * 20_000)) small_nat);
+        (2, map (fun i -> Sem_post (i mod n_sems)) small_nat);
+        (2, map (fun i -> Sem_take_nb (i mod n_sems)) small_nat);
+        ( 3,
+          map (fun i -> Incr_protected (i mod n_counters)) small_nat );
+        (1, return Checkpoint);
+      ])
+
+type program = { seed : int; threads : (int * op list) list }
+(** each thread: (priority, ops) *)
+
+let program_gen =
+  QCheck2.Gen.(
+    let* n_threads = int_range 2 4 in
+    let* threads =
+      list_repeat n_threads
+        (pair (int_range 2 20) (list_size (int_range 3 12) (op_gen 2 2 2)))
+    in
+    let* seed = int_range 0 10_000 in
+    return { seed; threads })
+
+(* Execute a program; returns (counter values, stats, trace events). *)
+let execute policy prog =
+  let counters = Array.make 2 0 in
+  let mon = ref None in
+  let proc =
+    Pthread.make_proc ~trace:true ~perverted:policy ~seed:prog.seed
+      (fun proc ->
+        let mutexes =
+          Array.init 2 (fun i -> Mutex.create proc ~name:(Printf.sprintf "m%d" i) ())
+        in
+        let sems = Array.init 2 (fun _ -> Psem.Semaphore.create proc 1) in
+        let run_thread ops () =
+          let held = ref [] in
+          let release_all () =
+            List.iter (fun m -> Mutex.unlock proc m) !held;
+            held := []
+          in
+          List.iter
+            (fun op ->
+              match op with
+              | Lock i ->
+                  let m = mutexes.(i) in
+                  if not (List.memq m !held) then begin
+                    Mutex.lock proc m;
+                    held := m :: !held
+                  end
+              | Unlock_all -> release_all ()
+              | Busy ns -> Pthread.busy proc ~ns
+              | Yield -> Pthread.yield proc
+              | Delay ns ->
+                  (* sleeping while holding a mutex is legal (and is what
+                     makes priority inversion possible) *)
+                  Pthread.delay proc ~ns
+              | Sem_post i -> Psem.Semaphore.post proc sems.(i)
+              | Sem_take_nb i -> ignore (Psem.Semaphore.try_wait proc sems.(i) : bool)
+              | Incr_protected ci ->
+                  let m = mutexes.(ci) in
+                  let held_already = List.memq m !held in
+                  if not held_already then Mutex.lock proc m;
+                  let v = counters.(ci) in
+                  Pthread.checkpoint proc;
+                  counters.(ci) <- v + 1;
+                  if not held_already then Mutex.unlock proc m
+              | Checkpoint -> Pthread.checkpoint proc)
+            ops;
+          release_all ()
+        in
+        let ts =
+          List.map
+            (fun (prio, ops) ->
+              Pthread.create_unit proc
+                ~attr:(Attr.with_prio prio Attr.default)
+                (run_thread ops))
+            prog.threads
+        in
+        List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+        0)
+  in
+  mon := Some (Validate.install proc);
+  Pthread.start proc;
+  let stats = Pthread.stats proc in
+  (Array.copy counters, stats, Pthread.trace_events proc, Option.get !mon)
+
+(* Lock i / Lock j can deadlock when two threads take them in opposite
+   orders under a perturbing policy: that is a *property of the program*,
+   not a library bug, so a deadlock stop is an acceptable outcome.  Any
+   other exception is a failure. *)
+let run_ok policy prog =
+  match execute policy prog with
+  | result -> Some result
+  | exception Types.Process_stopped (Types.Deadlock _) -> None
+
+let expected_increments prog =
+  List.fold_left
+    (fun acc (_, ops) ->
+      List.fold_left
+        (fun acc op -> match op with Incr_protected _ -> acc + 1 | _ -> acc)
+        acc ops)
+    0 prog.threads
+
+let policies =
+  [ Types.No_perversion; Types.Mutex_switch; Types.Rr_ordered_switch;
+    Types.Random_switch ]
+
+let pp_op = function
+  | Lock i -> Printf.sprintf "Lock %d" i
+  | Unlock_all -> "Unlock_all"
+  | Busy n -> Printf.sprintf "Busy %d" n
+  | Yield -> "Yield"
+  | Delay n -> Printf.sprintf "Delay %d" n
+  | Sem_post i -> Printf.sprintf "Post %d" i
+  | Sem_take_nb i -> Printf.sprintf "Take %d" i
+  | Incr_protected c -> Printf.sprintf "Incr(%d)" c
+  | Checkpoint -> "Ckpt"
+
+let pp_prog prog =
+  Printf.sprintf "seed=%d threads=[%s]" prog.seed
+    (String.concat " | "
+       (List.map
+          (fun (prio, ops) ->
+            Printf.sprintf "p%d:%s" prio
+              (String.concat ";" (List.map pp_op ops)))
+          prog.threads))
+
+let prop_no_violations =
+  qcheck ~count:60 "fuzz: invariants hold under every policy" program_gen
+    (fun prog ->
+      List.for_all
+        (fun policy ->
+          match run_ok policy prog with
+          | None -> true (* program deadlocked by construction *)
+          | Some (_, _, events, mon) ->
+              let live = Validate.violations mon in
+              let audit = Validate.audit_trace events in
+              if live <> [] || audit <> [] then begin
+                Printf.eprintf "PROG %s\n" (pp_prog prog);
+                List.iter
+                  (fun v ->
+                    Printf.eprintf "  live: %s\n"
+                      (Format.asprintf "%a" Validate.pp_violation v))
+                  live;
+                List.iter
+                  (fun v ->
+                    Printf.eprintf "  audit: %s\n"
+                      (Format.asprintf "%a" Validate.pp_violation v))
+                  audit
+              end;
+              live = [] && audit = [])
+        policies)
+
+let prop_counter_conservation =
+  qcheck ~count:60 "fuzz: protected increments are never lost" program_gen
+    (fun prog ->
+      let expected = expected_increments prog in
+      List.for_all
+        (fun policy ->
+          match run_ok policy prog with
+          | None -> true
+          | Some (counters, _, _, _) ->
+              let total = Array.fold_left ( + ) 0 counters in
+              if total <> expected then
+                Printf.eprintf "CONSERVATION %s: got %d want %d\n"
+                  (pp_prog prog) total expected;
+              total = expected)
+        policies)
+
+let prop_deterministic =
+  qcheck ~count:30 "fuzz: same seed, same run" program_gen (fun prog ->
+      let runs =
+        List.map (fun _ -> run_ok Types.Random_switch prog) [ 1; 2 ]
+      in
+      match runs with
+      | [ None; None ] -> true
+      | [ Some (c1, s1, _, _); Some (c2, s2, _, _) ] ->
+          c1 = c2
+          && s1.Engine.virtual_ns = s2.Engine.virtual_ns
+          && s1.Engine.switches = s2.Engine.switches
+      | _ -> false)
+
+let prop_fifo_vs_perverted_same_result =
+  qcheck ~count:30 "fuzz: policies agree on protected state" program_gen
+    (fun prog ->
+      let outcomes =
+        List.filter_map
+          (fun policy ->
+            Option.map (fun (c, _, _, _) -> c) (run_ok policy prog))
+          policies
+      in
+      match outcomes with
+      | [] -> true
+      | first :: rest -> List.for_all (fun c -> c = first) rest)
+
+let suite =
+  [
+    ( "fuzz",
+      [
+        prop_no_violations;
+        prop_counter_conservation;
+        prop_deterministic;
+        prop_fifo_vs_perverted_same_result;
+      ] );
+  ]

@@ -1,0 +1,48 @@
+(* The Table 2 contract, as a regression net: every metric with a published
+   number must stay within 15% of it on both machine profiles.  Everything
+   is deterministic, so a failure here means a code change moved the
+   evaluation, not noise. *)
+
+open Tu
+module Cost_model = Vm.Cost_model
+
+let check_row profile published measured metric =
+  match published with
+  | None -> ()
+  | Some paper ->
+      let dev = abs_float (measured -. paper) /. paper in
+      check bool
+        (Printf.sprintf "%s [%s]: %.1f vs paper %.1f (%.0f%%)" metric profile
+           measured paper (100.0 *. dev))
+        true (dev <= 0.15)
+
+let test_table2_ipx () =
+  List.iter
+    (fun (r : Metrics.row) ->
+      check_row "IPX" r.paper_ipx (r.measure Cost_model.sparc_ipx) r.metric)
+    Metrics.rows
+
+let test_table2_1plus () =
+  List.iter
+    (fun (r : Metrics.row) ->
+      check_row "1+" r.paper_1plus (r.measure Cost_model.sparc_1plus) r.metric)
+    Metrics.rows
+
+let test_deterministic_measures () =
+  (* the same metric measured twice is identical to the bit *)
+  List.iter
+    (fun (r : Metrics.row) ->
+      check (Alcotest.float 0.0) ("stable: " ^ r.metric)
+        (r.measure Cost_model.sparc_ipx)
+        (r.measure Cost_model.sparc_ipx))
+    Metrics.rows
+
+let suite =
+  [
+    ( "golden",
+      [
+        tc "table 2 IPX within 15%" test_table2_ipx;
+        tc "table 2 SPARC 1+ within 15%" test_table2_1plus;
+        tc "metrics deterministic" test_deterministic_measures;
+      ] );
+  ]

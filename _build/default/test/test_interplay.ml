@@ -1,0 +1,270 @@
+(* Cross-feature integration: protocols under time slicing, handlers at
+   boosted priorities, signal handlers that call the API, longjmp-based
+   aborts out of waits, suspension + shared memory, cross-process priority
+   limits. *)
+
+open Tu
+open Pthreads
+
+(* A signal handler runs at the receiving thread's *effective* (boosted)
+   priority: when the receiver holds a ceiling mutex, its handler outranks
+   a medium-priority thread. *)
+let test_handler_at_boosted_priority () =
+  (* main runs above the ceiling so it can send the signal mid-section *)
+  ignore
+    (run_main ~main_prio:30 (fun proc ->
+         let order = ref [] in
+         Signal_api.set_action proc Sigset.sigusr1
+           (Types.Sig_handler
+              {
+                h_mask = Sigset.empty;
+                h_fn = (fun ~signo:_ ~code:_ -> order := "handler" :: !order);
+              });
+         let m =
+           Mutex.create proc ~protocol:Types.Ceiling_protocol ~ceiling:25 ()
+         in
+         let lo =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 3 Attr.default)
+             (fun () ->
+               Mutex.lock proc m;
+               Pthread.busy proc ~ns:300_000;
+               Mutex.unlock proc m)
+         in
+         Pthread.delay proc ~ns:100_000;
+         (* lo is boosted to 25; signal it, then ready a medium thread *)
+         Signal_api.kill proc lo Sigset.sigusr1;
+         ignore
+           (Pthread.create_unit proc
+              ~attr:(Attr.with_prio 15 Attr.default)
+              (fun () -> order := "medium" :: !order));
+         ignore (Pthread.join proc lo);
+         check bool "handler (at ceiling 25) ran before the medium thread"
+           true
+           (match List.rev !order with
+           | "handler" :: "medium" :: _ -> true
+           | _ -> false);
+         0));
+  ()
+
+(* A signal handler may itself use the library: create a thread. *)
+let test_handler_creates_thread () =
+  ignore
+    (run_main (fun proc ->
+         let born = ref None in
+         Signal_api.set_action proc Sigset.sigusr1
+           (Types.Sig_handler
+              {
+                h_mask = Sigset.empty;
+                h_fn =
+                  (fun ~signo:_ ~code:_ ->
+                    born := Some (Pthread.create proc (fun () -> 17)));
+              });
+         Signal_api.kill proc (Pthread.self proc) Sigset.sigusr1;
+         (match !born with
+         | Some t -> (
+             match Pthread.join proc t with
+             | Types.Exited 17 -> ()
+             | st -> Alcotest.failf "child: %a" Types.pp_exit_status st)
+         | None -> Alcotest.fail "handler did not run");
+         0));
+  ()
+
+(* Ada-style abort: a handler longjmps out of a condition wait; the mutex
+   was reacquired by the wrapper before the handler ran, so the jump target
+   can release it safely. *)
+let test_longjmp_out_of_cond_wait () =
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         let c = Cond.create proc () in
+         let t =
+           Pthread.create proc (fun () ->
+               let buf_ref = ref None in
+               match
+                 Jmp.catch proc (fun buf ->
+                     buf_ref := Some buf;
+                     Signal_api.set_action proc Sigset.sigusr1
+                       (Types.Sig_handler
+                          {
+                            h_mask = Sigset.empty;
+                            h_fn =
+                              (fun ~signo:_ ~code:_ ->
+                                Jmp.longjmp proc (Option.get !buf_ref) 1);
+                          });
+                     Mutex.lock proc m;
+                     ignore (Cond.wait proc c m);
+                     0)
+               with
+               | Jmp.Jumped 1 ->
+                   (* the wrapper reacquired the mutex before the handler *)
+                   if Mutex.owner_tid m = Some (Pthread.self proc) then begin
+                     Mutex.unlock proc m;
+                     99
+                   end
+                   else -1
+               | _ -> -2)
+         in
+         Pthread.delay proc ~ns:50_000;
+         Signal_api.kill proc t Sigset.sigusr1;
+         (match Pthread.join proc t with
+         | Types.Exited 99 -> ()
+         | st -> Alcotest.failf "got %a" Types.pp_exit_status st);
+         check bool "mutex released by the abort path" false (Mutex.is_locked m);
+         0));
+  ()
+
+(* Cancellation unwinds an rwlock-protected section via Cleanup.protect. *)
+let test_cancel_releases_rwlock_via_cleanup () =
+  ignore
+    (run_main (fun proc ->
+         let l = Psem.Rwlock.create proc () in
+         let t =
+           Pthread.create proc (fun () ->
+               Psem.Rwlock.write_lock proc l;
+               Cleanup.push proc (fun () -> Psem.Rwlock.write_unlock proc l);
+               Pthread.delay proc ~ns:10_000_000;
+               Cleanup.pop proc ~execute:true;
+               0)
+         in
+         Pthread.delay proc ~ns:50_000;
+         Cancel.cancel proc t;
+         (match Pthread.join proc t with
+         | Types.Canceled -> ()
+         | st -> Alcotest.failf "got %a" Types.pp_exit_status st);
+         (* the cleanup handler released the lock during unwinding *)
+         check bool "write lock free again" true
+           (Psem.Rwlock.try_write_lock proc l);
+         Psem.Rwlock.write_unlock proc l;
+         0));
+  ()
+
+(* Rendezvous under perverted random scheduling stays correct. *)
+let test_rendezvous_under_perversion () =
+  List.iter
+    (fun seed ->
+      ignore
+        (run_main ~perverted:Types.Random_switch ~seed (fun proc ->
+             let g = Tasking.Task_rt.make_group proc () in
+             let e : (int, int) Tasking.Task_rt.entry =
+               Tasking.Task_rt.entry g ()
+             in
+             let server =
+               Tasking.Task_rt.spawn proc (fun () ->
+                   for _ = 1 to 5 do
+                     Tasking.Task_rt.accept e (fun x -> x * 2)
+                   done)
+             in
+             for i = 1 to 5 do
+               check int "doubled" (2 * i) (Tasking.Task_rt.call e i)
+             done;
+             ignore (Pthread.join proc server);
+             0)))
+    [ 1; 2; 3 ]
+
+(* Suspension of a thread that holds a local mutex: waiters stay blocked
+   until resume (a hazard, like page-faulting in a critical section). *)
+let test_suspend_mutex_holder () =
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         let got = ref false in
+         let holder =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 3 Attr.default)
+             (fun () ->
+               Mutex.lock proc m;
+               Pthread.busy proc ~ns:300_000;
+               Mutex.unlock proc m)
+         in
+         Pthread.delay proc ~ns:100_000;
+         Pthread.suspend proc holder;
+         let contender =
+           Pthread.create_unit proc (fun () ->
+               Mutex.lock proc m;
+               got := true;
+               Mutex.unlock proc m)
+         in
+         Pthread.delay proc ~ns:300_000;
+         check bool "contender stuck while holder suspended" false !got;
+         Pthread.resume proc holder;
+         ignore (Pthread.join proc holder);
+         ignore (Pthread.join proc contender);
+         check bool "released after resume" true !got;
+         0));
+  ()
+
+(* Across processes the shared mutex is FIFO: a high-priority thread in one
+   process does NOT jump a lower-priority waiter from another process —
+   the paper's point that protocols cannot be enforced across processes. *)
+let test_shared_mutex_fifo_not_priority () =
+  let m = Machine.create () in
+  let sm = Shared.mutex_create () in
+  let order = ref [] in
+  let holder_ready = ref false in
+  ignore
+    (Machine.spawn m ~name:"holder" (fun proc ->
+         Shared.lock proc sm;
+         holder_ready := true;
+         Pthread.delay proc ~ns:500_000;
+         Shared.unlock proc sm;
+         0));
+  (* low-priority waiter arrives first *)
+  ignore
+    (Machine.spawn m ~name:"low-first" ~main_prio:2 (fun proc ->
+         Pthread.delay proc ~ns:50_000;
+         Shared.lock proc sm;
+         order := "low" :: !order;
+         Shared.unlock proc sm;
+         0));
+  (* high-priority waiter arrives second *)
+  ignore
+    (Machine.spawn m ~name:"high-second" ~main_prio:28 (fun proc ->
+         Pthread.delay proc ~ns:150_000;
+         Shared.lock proc sm;
+         order := "high" :: !order;
+         Shared.unlock proc sm;
+         0));
+  ignore (Machine.run m);
+  check (Alcotest.list string) "FIFO across processes, not priority"
+    [ "low"; "high" ] (List.rev !order)
+
+(* Per-process scheduling policies coexist on one machine. *)
+let test_mixed_policies_per_process () =
+  let m = Machine.create () in
+  let log = Buffer.create 32 in
+  ignore
+    (Machine.spawn m ~name:"rr-proc" ~policy:(Types.Round_robin 20_000)
+       (fun proc ->
+         let worker c =
+           Pthread.create_unit proc (fun () ->
+               for _ = 1 to 4 do
+                 Pthread.busy proc ~ns:15_000;
+                 Buffer.add_char log c
+               done)
+         in
+         let a = worker 'a' and b = worker 'b' in
+         ignore (Pthread.join proc a);
+         ignore (Pthread.join proc b);
+         0));
+  ignore (Machine.run m);
+  let s = Buffer.contents log in
+  check bool
+    (Printf.sprintf "RR interleaving inside a machine process (%s)" s)
+    true
+    (s <> "aaaabbbb" && s <> "bbbbaaaa")
+
+let suite =
+  [
+    ( "interplay",
+      [
+        tc "handler at boosted priority" test_handler_at_boosted_priority;
+        tc "handler creates thread" test_handler_creates_thread;
+        tc "longjmp out of cond wait" test_longjmp_out_of_cond_wait;
+        tc "cancel releases rwlock" test_cancel_releases_rwlock_via_cleanup;
+        tc "rendezvous under perversion" test_rendezvous_under_perversion;
+        tc "suspend mutex holder" test_suspend_mutex_holder;
+        tc "shared mutex is FIFO" test_shared_mutex_fifo_not_priority;
+        tc "mixed policies per process" test_mixed_policies_per_process;
+      ] );
+  ]

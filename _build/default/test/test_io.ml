@@ -1,0 +1,131 @@
+(* Blocking vs asynchronous kernel I/O — the paper's "Non-Blocking Kernel
+   Calls" open problem. *)
+
+open Tu
+open Pthreads
+
+(* A high-priority thread's timer expires in the middle of the I/O; if the
+   whole process stalls (blocking read) it can only wake after the read
+   completes, while with async I/O it wakes on time. *)
+let wakeup_latency io =
+  let woke_at = ref 0 in
+  ignore
+    (run_main (fun proc ->
+         let hi =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 20 Attr.default)
+             (fun () ->
+               let t0 = Pthread.now proc in
+               Pthread.delay proc ~ns:500_000;
+               woke_at := Pthread.now proc - t0)
+         in
+         Pthread.yield proc;
+         io proc;
+         ignore (Pthread.join proc hi);
+         0));
+  !woke_at
+
+let test_blocking_read_stalls_process () =
+  let lat =
+    wakeup_latency (fun proc -> Signal_api.blocking_read proc ~latency_ns:3_000_000)
+  in
+  check bool
+    (Printf.sprintf "wakeup delayed past the read (%.1f us)" (float_of_int lat /. 1e3))
+    true (lat >= 2_500_000)
+
+let test_aio_read_wakeups_on_time () =
+  let lat =
+    wakeup_latency (fun proc -> Signal_api.aio_read proc ~latency_ns:3_000_000)
+  in
+  check bool
+    (Printf.sprintf "wakeup on time despite async I/O (%.1f us)"
+       (float_of_int lat /. 1e3))
+    true
+    (lat < 1_000_000)
+
+let test_aio_read_lets_others_run () =
+  ignore
+    (run_main (fun proc ->
+         let other_progress = ref 0 in
+         (* lower priority: only runs while main is blocked *)
+         let other =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 3 Attr.default)
+             (fun () ->
+               for _ = 1 to 100 do
+                 Pthread.busy proc ~ns:10_000;
+                 incr other_progress
+               done)
+         in
+         let before = !other_progress in
+         Signal_api.aio_read proc ~latency_ns:2_000_000;
+         let after = !other_progress in
+         check bool "other thread ran during async I/O" true (after > before);
+         ignore (Pthread.join proc other);
+         0));
+  ()
+
+let test_blocking_read_time_accounted () =
+  ignore
+    (run_main (fun proc ->
+         let t0 = Pthread.now proc in
+         Signal_api.blocking_read proc ~latency_ns:1_500_000;
+         check bool "latency charged" true (Pthread.now proc - t0 >= 1_500_000);
+         check bool "stall accounted" true
+           (Vm.Unix_kernel.blocking_io_ns proc.Types.vm >= 1_500_000);
+         0));
+  ()
+
+let test_aio_read_duration () =
+  ignore
+    (run_main (fun proc ->
+         let t0 = Pthread.now proc in
+         Signal_api.aio_read proc ~latency_ns:800_000;
+         check bool "waited for the completion" true
+           (Pthread.now proc - t0 >= 800_000);
+         0));
+  ()
+
+let test_aio_read_preserves_mask () =
+  ignore
+    (run_main (fun proc ->
+         let before = Signal_api.mask proc in
+         Signal_api.aio_read proc ~latency_ns:50_000;
+         check bool "mask restored" true
+           (Sigset.equal before (Signal_api.mask proc));
+         0));
+  ()
+
+let test_two_threads_overlapping_aio () =
+  ignore
+    (run_main (fun proc ->
+         (* two threads overlap their I/O: total < sum of latencies *)
+         let t0 = Pthread.now proc in
+         let mk () =
+           Pthread.create_unit proc (fun () ->
+               Signal_api.aio_read proc ~latency_ns:1_000_000)
+         in
+         let a = mk () and b = mk () in
+         ignore (Pthread.join proc a);
+         ignore (Pthread.join proc b);
+         let elapsed = Pthread.now proc - t0 in
+         check bool
+           (Printf.sprintf "I/O overlapped (%.1f us)" (float_of_int elapsed /. 1e3))
+           true
+           (elapsed < 1_900_000);
+         0));
+  ()
+
+let suite =
+  [
+    ( "io",
+      [
+        tc "blocking read stalls process" test_blocking_read_stalls_process;
+        tc "aio wakeups on time" test_aio_read_wakeups_on_time;
+        tc "aio lets others run" test_aio_read_lets_others_run;
+        tc "blocking time accounted" test_blocking_read_time_accounted;
+        tc "aio duration" test_aio_read_duration;
+        tc "aio preserves mask" test_aio_read_preserves_mask;
+        tc "overlapping aio" test_two_threads_overlapping_aio;
+      ] );
+  ]

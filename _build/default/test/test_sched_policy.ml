@@ -1,0 +1,105 @@
+(* Per-thread scheduling policies (SCHED_FIFO threads in an SCHED_RR
+   process). *)
+
+open Tu
+open Pthreads
+
+let interleaving ~fifo_a =
+  let log = Buffer.create 16 in
+  ignore
+    (run_main ~policy:(Types.Round_robin 20_000) (fun proc ->
+         let attr_a =
+           if fifo_a then Attr.with_sched Types.Sched_fifo Attr.default
+           else Attr.default
+         in
+         let a =
+           Pthread.create_unit proc ~attr:attr_a (fun () ->
+               for _ = 1 to 5 do
+                 Pthread.busy proc ~ns:15_000;
+                 Buffer.add_char log 'a'
+               done)
+         in
+         let b =
+           Pthread.create_unit proc (fun () ->
+               for _ = 1 to 5 do
+                 Pthread.busy proc ~ns:15_000;
+                 Buffer.add_char log 'b'
+               done)
+         in
+         ignore (Pthread.join proc a);
+         ignore (Pthread.join proc b);
+         0));
+  Buffer.contents log
+
+let test_rr_threads_rotate () =
+  let s = interleaving ~fifo_a:false in
+  check bool (Printf.sprintf "interleaved (%s)" s) true
+    (s <> "aaaaabbbbb" && s <> "bbbbbaaaaa")
+
+let test_fifo_thread_exempt_from_slicing () =
+  let s = interleaving ~fifo_a:true in
+  (* the FIFO thread runs to completion despite the expiring slices *)
+  check string "FIFO thread uninterrupted" "aaaaabbbbb" s
+
+let test_fifo_thread_still_preemptible_by_priority () =
+  ignore
+    (run_main ~policy:(Types.Round_robin 20_000) (fun proc ->
+         let order = ref [] in
+         let fifo_lo =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_sched Types.Sched_fifo (Attr.with_prio 5 Attr.default))
+             (fun () ->
+               Pthread.busy proc ~ns:100_000;
+               order := "lo-done" :: !order)
+         in
+         Pthread.delay proc ~ns:30_000;
+         let hi =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 20 Attr.default)
+             (fun () -> order := "hi-done" :: !order)
+         in
+         ignore (Pthread.join proc hi);
+         ignore (Pthread.join proc fifo_lo);
+         check (Alcotest.list string) "priority preemption still applies"
+           [ "hi-done"; "lo-done" ] (List.rev !order);
+         0));
+  ()
+
+let test_explicit_rr_same_as_default_under_rr () =
+  let with_explicit =
+    let log = Buffer.create 16 in
+    ignore
+      (run_main ~policy:(Types.Round_robin 20_000) (fun proc ->
+           let attr = Attr.with_sched Types.Sched_rr Attr.default in
+           let a =
+             Pthread.create_unit proc ~attr (fun () ->
+                 for _ = 1 to 3 do
+                   Pthread.busy proc ~ns:15_000;
+                   Buffer.add_char log 'a'
+                 done)
+           in
+           let b =
+             Pthread.create_unit proc ~attr (fun () ->
+                 for _ = 1 to 3 do
+                   Pthread.busy proc ~ns:15_000;
+                   Buffer.add_char log 'b'
+                 done)
+           in
+           ignore (Pthread.join proc a);
+           ignore (Pthread.join proc b);
+           0));
+    Buffer.contents log
+  in
+  check bool "explicit RR rotates" true
+    (with_explicit <> "aaabbb" && with_explicit <> "bbbaaa")
+
+let suite =
+  [
+    ( "sched_policy",
+      [
+        tc "RR threads rotate" test_rr_threads_rotate;
+        tc "FIFO thread exempt" test_fifo_thread_exempt_from_slicing;
+        tc "FIFO still preemptible" test_fifo_thread_still_preemptible_by_priority;
+        tc "explicit RR" test_explicit_rr_same_as_default_under_rr;
+      ] );
+  ]

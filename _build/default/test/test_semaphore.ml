@@ -1,0 +1,151 @@
+(* Counting semaphores (the layered implementation benchmarked in Table 2). *)
+
+open Tu
+open Pthreads
+module Semaphore = Psem.Semaphore
+
+let test_initial_value () =
+  ignore
+    (run_main (fun proc ->
+         let s = Semaphore.create proc 3 in
+         check int "value" 3 (Semaphore.value proc s);
+         Semaphore.wait proc s;
+         Semaphore.wait proc s;
+         check int "after two P" 1 (Semaphore.value proc s);
+         Semaphore.post proc s;
+         check int "after V" 2 (Semaphore.value proc s);
+         0));
+  ()
+
+let test_negative_rejected () =
+  ignore
+    (run_main (fun proc ->
+         (try
+            ignore (Semaphore.create proc (-1));
+            Alcotest.fail "negative init must raise"
+          with Invalid_argument _ -> ());
+         0));
+  ()
+
+let test_try_wait () =
+  ignore
+    (run_main (fun proc ->
+         let s = Semaphore.create proc 1 in
+         check bool "first succeeds" true (Semaphore.try_wait proc s);
+         check bool "second fails" false (Semaphore.try_wait proc s);
+         Semaphore.post proc s;
+         check bool "after post succeeds" true (Semaphore.try_wait proc s);
+         0));
+  ()
+
+let test_blocking_wait () =
+  ignore
+    (run_main (fun proc ->
+         let s = Semaphore.create proc 0 in
+         let got = ref false in
+         let t =
+           Pthread.create_unit proc (fun () ->
+               Semaphore.wait proc s;
+               got := true)
+         in
+         Pthread.delay proc ~ns:50_000;
+         check bool "still blocked" false !got;
+         Semaphore.post proc s;
+         ignore (Pthread.join proc t);
+         check bool "released" true !got;
+         0));
+  ()
+
+let test_pingpong () =
+  ignore
+    (run_main (fun proc ->
+         let ping = Semaphore.create proc 0 in
+         let pong = Semaphore.create proc 0 in
+         let count = ref 0 in
+         let t =
+           Pthread.create_unit proc (fun () ->
+               for _ = 1 to 10 do
+                 Semaphore.wait proc ping;
+                 incr count;
+                 Semaphore.post proc pong
+               done)
+         in
+         for _ = 1 to 10 do
+           Semaphore.post proc ping;
+           Semaphore.wait proc pong
+         done;
+         ignore (Pthread.join proc t);
+         check int "10 rounds" 10 !count;
+         0));
+  ()
+
+let test_value_never_negative () =
+  ignore
+    (run_main ~perverted:Types.Random_switch ~seed:3 (fun proc ->
+         let s = Semaphore.create proc 2 in
+         let violated = ref false in
+         let body () =
+           for _ = 1 to 5 do
+             Semaphore.wait proc s;
+             if Semaphore.value proc s < 0 then violated := true;
+             Pthread.busy proc ~ns:3_000;
+             Semaphore.post proc s
+           done
+         in
+         let ts = List.init 4 (fun _ -> Pthread.create_unit proc body) in
+         List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+         check bool "value stayed non-negative" false !violated;
+         0));
+  ()
+
+let test_bounded_buffer () =
+  ignore
+    (run_main (fun proc ->
+         let capacity = 3 in
+         let slots = Semaphore.create proc capacity in
+         let items = Semaphore.create proc 0 in
+         let m = Mutex.create proc () in
+         let buf = Queue.create () in
+         let received = ref [] in
+         let producer =
+           Pthread.create_unit proc (fun () ->
+               for i = 1 to 20 do
+                 Semaphore.wait proc slots;
+                 Mutex.lock proc m;
+                 Queue.push i buf;
+                 check bool "capacity respected" true (Queue.length buf <= capacity);
+                 Mutex.unlock proc m;
+                 Semaphore.post proc items
+               done)
+         in
+         let consumer =
+           Pthread.create_unit proc (fun () ->
+               for _ = 1 to 20 do
+                 Semaphore.wait proc items;
+                 Mutex.lock proc m;
+                 received := Queue.pop buf :: !received;
+                 Mutex.unlock proc m;
+                 Semaphore.post proc slots
+               done)
+         in
+         ignore (Pthread.join proc producer);
+         ignore (Pthread.join proc consumer);
+         check (Alcotest.list int) "FIFO, nothing lost"
+           (List.init 20 (fun i -> i + 1))
+           (List.rev !received);
+         0));
+  ()
+
+let suite =
+  [
+    ( "semaphore",
+      [
+        tc "initial value" test_initial_value;
+        tc "negative rejected" test_negative_rejected;
+        tc "try_wait" test_try_wait;
+        tc "blocking wait" test_blocking_wait;
+        tc "ping-pong" test_pingpong;
+        tc "never negative (perverted)" test_value_never_negative;
+        tc "bounded buffer" test_bounded_buffer;
+      ] );
+  ]

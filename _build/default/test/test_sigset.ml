@@ -1,0 +1,74 @@
+open Tu
+module Sigset = Vm.Sigset
+
+let signo_gen = QCheck2.Gen.int_range 1 Sigset.max_signo
+
+let set_gen =
+  QCheck2.Gen.map Sigset.of_list (QCheck2.Gen.small_list signo_gen)
+
+let test_empty_full () =
+  check bool "empty has none" true (Sigset.is_empty Sigset.empty);
+  check int "full cardinality" Sigset.max_signo (Sigset.cardinal Sigset.full);
+  check bool "SIGKILL not maskable" false
+    (Sigset.mem Sigset.all_maskable Sigset.sigkill)
+
+let test_add_remove () =
+  let s = Sigset.add Sigset.empty Sigset.sigusr1 in
+  check bool "added" true (Sigset.mem s Sigset.sigusr1);
+  check bool "others absent" false (Sigset.mem s Sigset.sigusr2);
+  let s = Sigset.remove s Sigset.sigusr1 in
+  check bool "removed" true (Sigset.is_empty s)
+
+let test_roundtrip () =
+  let l = [ Sigset.sighup; Sigset.sigalrm; Sigset.sigcancel ] in
+  check (Alcotest.list int) "of_list/to_list" l (Sigset.to_list (Sigset.of_list l))
+
+let test_names () =
+  check string "usr1" "SIGUSR1" (Sigset.name Sigset.sigusr1);
+  check string "cancel" "SIGCANCEL" (Sigset.name Sigset.sigcancel)
+
+let prop_union_mem =
+  qcheck "union membership" (QCheck2.Gen.pair set_gen set_gen) (fun (a, b) ->
+      let u = Sigset.union a b in
+      List.for_all (fun s -> Sigset.mem u s) (Sigset.to_list a)
+      && List.for_all (fun s -> Sigset.mem u s) (Sigset.to_list b))
+
+let prop_inter =
+  qcheck "intersection" (QCheck2.Gen.pair set_gen set_gen) (fun (a, b) ->
+      let i = Sigset.inter a b in
+      List.for_all
+        (fun s -> Sigset.mem i s = (Sigset.mem a s && Sigset.mem b s))
+        (Sigset.to_list Sigset.full))
+
+let prop_diff =
+  qcheck "difference" (QCheck2.Gen.pair set_gen set_gen) (fun (a, b) ->
+      let d = Sigset.diff a b in
+      List.for_all
+        (fun s -> Sigset.mem d s = (Sigset.mem a s && not (Sigset.mem b s)))
+        (Sigset.to_list Sigset.full))
+
+let prop_de_morgan =
+  qcheck "De Morgan" (QCheck2.Gen.pair set_gen set_gen) (fun (a, b) ->
+      Sigset.equal
+        (Sigset.diff Sigset.full (Sigset.union a b))
+        (Sigset.inter (Sigset.diff Sigset.full a) (Sigset.diff Sigset.full b)))
+
+let prop_roundtrip =
+  qcheck "of_list . to_list = id" set_gen (fun s ->
+      Sigset.equal s (Sigset.of_list (Sigset.to_list s)))
+
+let suite =
+  [
+    ( "vm.sigset",
+      [
+        tc "empty/full" test_empty_full;
+        tc "add/remove" test_add_remove;
+        tc "roundtrip" test_roundtrip;
+        tc "names" test_names;
+        prop_union_mem;
+        prop_inter;
+        prop_diff;
+        prop_de_morgan;
+        prop_roundtrip;
+      ] );
+  ]

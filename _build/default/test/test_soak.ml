@@ -1,0 +1,163 @@
+(* Soak tests: large thread populations, long event chains, heavy churn —
+   confirming the structures behave at scale, not just in micro cases. *)
+
+open Tu
+open Pthreads
+
+let test_thread_churn () =
+  (* waves of creation/join: 500 threads total through a 16-slab pool *)
+  ignore
+    (run_main (fun proc ->
+         let total = ref 0 in
+         for _wave = 1 to 50 do
+           let ts =
+             List.init 10 (fun i ->
+                 Pthread.create proc (fun () ->
+                     Pthread.busy proc ~ns:1_000;
+                     i))
+           in
+           List.iter
+             (fun t ->
+               match Pthread.join proc t with
+               | Types.Exited v -> total := !total + v
+               | _ -> Alcotest.fail "churn thread failed")
+             ts
+         done;
+         check int "all results collected" (50 * 45) !total;
+         check int "population returned to one" 1 (Pthread.thread_count proc);
+         0));
+  ()
+
+let test_many_concurrent_waiters () =
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         let c = Cond.create proc () in
+         let go = ref false in
+         let woken = ref 0 in
+         let n = 120 in
+         let ts =
+           List.init n (fun _ ->
+               Pthread.create_unit proc (fun () ->
+                   Mutex.lock proc m;
+                   while not !go do
+                     ignore (Cond.wait proc c m)
+                   done;
+                   incr woken;
+                   Mutex.unlock proc m))
+         in
+         Pthread.delay proc ~ns:2_000_000;
+         check int "all parked" n (Cond.waiter_count c);
+         Mutex.lock proc m;
+         go := true;
+         Cond.broadcast proc c;
+         Mutex.unlock proc m;
+         List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+         check int "all released" n !woken;
+         0));
+  ()
+
+let test_long_timer_chain () =
+  (* hundreds of sequential timed sleeps: the SIGALRM machinery under
+     sustained load, with interleaved threads *)
+  ignore
+    (run_main (fun proc ->
+         let hops = ref 0 in
+         let ts =
+           List.init 4 (fun _ ->
+               Pthread.create_unit proc (fun () ->
+                   for _ = 1 to 50 do
+                     Pthread.delay proc ~ns:10_000;
+                     incr hops
+                   done))
+         in
+         List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+         check int "every sleep completed" 200 !hops;
+         0));
+  ()
+
+let test_signal_storm () =
+  (* a thousand directed signals against a busy receiver *)
+  ignore
+    (run_main (fun proc ->
+         let hits = ref 0 in
+         Signal_api.set_action proc Sigset.sigusr1
+           (Types.Sig_handler
+              { h_mask = Sigset.empty; h_fn = (fun ~signo:_ ~code:_ -> incr hits) });
+         let receiver =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 3 Attr.default)
+             (fun () -> Pthread.busy proc ~ns:5_000_000)
+         in
+         for _ = 1 to 1000 do
+           Signal_api.kill proc receiver Sigset.sigusr1
+         done;
+         ignore (Pthread.join proc receiver);
+         (* internal signals are not lossy: every one runs the handler *)
+         check int "all delivered" 1000 !hits;
+         0));
+  ()
+
+let test_deep_rendezvous_chain () =
+  (* a pipeline of 20 tasks, each forwarding through a rendezvous *)
+  ignore
+    (run_main (fun proc ->
+         let g = Tasking.Task_rt.make_group proc () in
+         let n = 20 in
+         let entries : (int, int) Tasking.Task_rt.entry array =
+           Array.init n (fun i ->
+               Tasking.Task_rt.entry g ~name:(Printf.sprintf "e%d" i) ())
+         in
+         let stages =
+           List.init (n - 1) (fun i ->
+               Tasking.Task_rt.spawn proc (fun () ->
+                   Tasking.Task_rt.accept entries.(i) (fun v ->
+                       Tasking.Task_rt.call entries.(i + 1) (v + 1))))
+         in
+         let sink =
+           Pthread.create proc (fun () ->
+               let result = ref 0 in
+               Tasking.Task_rt.accept entries.(n - 1) (fun v ->
+                   result := v;
+                   v);
+               !result)
+         in
+         Pthread.yield proc;
+         ignore (Tasking.Task_rt.call entries.(0) 100);
+         List.iter (fun t -> ignore (Pthread.join proc t)) stages;
+         (match Pthread.join proc sink with
+         | Types.Exited v -> check int "value crossed 20 stages" (100 + n - 1) v
+         | _ -> Alcotest.fail "sink failed");
+         0));
+  ()
+
+let test_machine_many_processes () =
+  let m = Machine.create () in
+  let sem = Shared.semaphore_create 3 in
+  let completed = ref 0 in
+  for i = 1 to 10 do
+    ignore
+      (Machine.spawn m ~name:(Printf.sprintf "p%d" i) (fun proc ->
+           for _ = 1 to 5 do
+             Shared.sem_wait proc sem;
+             Pthread.busy proc ~ns:10_000;
+             Shared.sem_post proc sem
+           done;
+           incr completed;
+           0))
+  done;
+  ignore (Machine.run m);
+  check int "ten processes completed" 10 !completed
+
+let suite =
+  [
+    ( "soak",
+      [
+        tc "thread churn (500)" test_thread_churn;
+        tc "120 cond waiters" test_many_concurrent_waiters;
+        tc "timer chain (200 sleeps)" test_long_timer_chain;
+        tc "signal storm (1000)" test_signal_storm;
+        tc "20-stage rendezvous" test_deep_rendezvous_chain;
+        tc "10-process machine" test_machine_many_processes;
+      ] );
+  ]

@@ -1,0 +1,251 @@
+(* Reader-writer locks and barriers (layered synchronization). *)
+
+open Tu
+open Pthreads
+module Rwlock = Psem.Rwlock
+module Barrier = Psem.Barrier
+
+let test_rw_multiple_readers () =
+  ignore
+    (run_main (fun proc ->
+         let l = Rwlock.create proc () in
+         let peak = ref 0 in
+         let reader () =
+           Rwlock.read_lock proc l;
+           peak := max !peak (Rwlock.readers l);
+           Pthread.busy proc ~ns:20_000;
+           Rwlock.read_unlock proc l
+         in
+         Rwlock.read_lock proc l;
+         let ts = List.init 3 (fun _ -> Pthread.create_unit proc reader) in
+         Pthread.delay proc ~ns:50_000;
+         check bool "readers share" true (Rwlock.readers l >= 1);
+         Rwlock.read_unlock proc l;
+         List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+         0));
+  ()
+
+let test_rw_writer_excludes () =
+  ignore
+    (run_main (fun proc ->
+         let l = Rwlock.create proc () in
+         let in_cs = ref 0 and bad = ref false in
+         let writer () =
+           Rwlock.write_lock proc l;
+           incr in_cs;
+           if !in_cs > 1 then bad := true;
+           Pthread.busy proc ~ns:10_000;
+           decr in_cs;
+           Rwlock.write_unlock proc l
+         in
+         let reader () =
+           Rwlock.read_lock proc l;
+           if !in_cs > 0 then bad := true;
+           Rwlock.read_unlock proc l
+         in
+         let ts =
+           List.init 3 (fun _ -> Pthread.create_unit proc writer)
+           @ List.init 3 (fun _ -> Pthread.create_unit proc reader)
+         in
+         List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+         check bool "exclusion held" false !bad;
+         0));
+  ()
+
+let test_rw_writer_preference () =
+  (* once a writer waits, new readers must queue behind it *)
+  ignore
+    (run_main (fun proc ->
+         let l = Rwlock.create proc () in
+         let order = ref [] in
+         Rwlock.read_lock proc l;
+         let w =
+           Pthread.create_unit proc (fun () ->
+               Rwlock.write_lock proc l;
+               order := "writer" :: !order;
+               Rwlock.write_unlock proc l)
+         in
+         Pthread.delay proc ~ns:30_000;
+         let r =
+           Pthread.create_unit proc (fun () ->
+               Rwlock.read_lock proc l;
+               order := "late-reader" :: !order;
+               Rwlock.read_unlock proc l)
+         in
+         Pthread.delay proc ~ns:30_000;
+         check bool "late reader waits behind writer" true
+           (not (Rwlock.try_read_lock proc l));
+         Rwlock.read_unlock proc l;
+         List.iter (fun t -> ignore (Pthread.join proc t)) [ w; r ];
+         check (Alcotest.list string) "writer first" [ "writer"; "late-reader" ]
+           (List.rev !order);
+         0));
+  ()
+
+let test_rw_try_variants () =
+  ignore
+    (run_main (fun proc ->
+         let l = Rwlock.create proc () in
+         check bool "try read on free" true (Rwlock.try_read_lock proc l);
+         check bool "try write blocked by reader" false
+           (Rwlock.try_write_lock proc l);
+         Rwlock.read_unlock proc l;
+         check bool "try write on free" true (Rwlock.try_write_lock proc l);
+         check bool "try read blocked by writer" false
+           (Rwlock.try_read_lock proc l);
+         Rwlock.write_unlock proc l;
+         0));
+  ()
+
+let test_rw_errors () =
+  ignore
+    (run_main (fun proc ->
+         let l = Rwlock.create proc () in
+         (try
+            Rwlock.read_unlock proc l;
+            Alcotest.fail "read_unlock on free must raise"
+          with Invalid_argument _ -> ());
+         (try
+            Rwlock.write_unlock proc l;
+            Alcotest.fail "write_unlock by non-writer must raise"
+          with Invalid_argument _ -> ());
+         0));
+  ()
+
+let test_rw_with_helpers () =
+  ignore
+    (run_main (fun proc ->
+         let l = Rwlock.create proc () in
+         let v = Rwlock.with_read proc l (fun () -> 5) in
+         check int "with_read result" 5 v;
+         check int "released" 0 (Rwlock.readers l);
+         let v = Rwlock.with_write proc l (fun () -> 7) in
+         check int "with_write result" 7 v;
+         check bool "released" true (Rwlock.writer_tid l = None);
+         0));
+  ()
+
+let test_rw_under_perverted () =
+  ignore
+    (run_main ~perverted:Types.Random_switch ~seed:5 (fun proc ->
+         let l = Rwlock.create proc () in
+         let readers_in = ref 0 and writer_in = ref false and bad = ref false in
+         let reader () =
+           for _ = 1 to 3 do
+             Rwlock.read_lock proc l;
+             incr readers_in;
+             if !writer_in then bad := true;
+             Pthread.busy proc ~ns:3_000;
+             decr readers_in;
+             Rwlock.read_unlock proc l
+           done
+         in
+         let writer () =
+           for _ = 1 to 3 do
+             Rwlock.write_lock proc l;
+             writer_in := true;
+             if !readers_in > 0 then bad := true;
+             Pthread.busy proc ~ns:3_000;
+             writer_in := false;
+             Rwlock.write_unlock proc l
+           done
+         in
+         let ts =
+           List.init 3 (fun _ -> Pthread.create_unit proc reader)
+           @ List.init 2 (fun _ -> Pthread.create_unit proc writer)
+         in
+         List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+         check bool "reader/writer exclusion under perversion" false !bad;
+         0));
+  ()
+
+let test_barrier_releases_all () =
+  ignore
+    (run_main (fun proc ->
+         let b = Barrier.create proc 4 in
+         let through = ref 0 and serials = ref 0 in
+         let party () =
+           (match Barrier.wait proc b with
+           | Barrier.Serial -> incr serials
+           | Barrier.Waited -> ());
+           incr through
+         in
+         let ts = List.init 3 (fun _ -> Pthread.create_unit proc party) in
+         Pthread.delay proc ~ns:50_000;
+         check int "none through before full" 0 !through;
+         check int "three waiting" 3 (Barrier.waiting b);
+         party ();
+         List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+         check int "all through" 4 !through;
+         check int "exactly one serial" 1 !serials;
+         0));
+  ()
+
+let test_barrier_cyclic () =
+  ignore
+    (run_main (fun proc ->
+         let b = Barrier.create proc 2 in
+         let phases = ref [] in
+         let t =
+           Pthread.create_unit proc (fun () ->
+               for i = 1 to 3 do
+                 ignore (Barrier.wait proc b);
+                 phases := ("t" ^ string_of_int i) :: !phases
+               done)
+         in
+         for i = 1 to 3 do
+           ignore (Barrier.wait proc b);
+           phases := ("m" ^ string_of_int i) :: !phases
+         done;
+         ignore (Pthread.join proc t);
+         (* both threads complete phase i before either starts i+1 *)
+         let order = List.rev !phases in
+         let phase_of s = int_of_string (String.sub s 1 1) in
+         let rec monotone = function
+           | a :: (b :: _ as rest) -> phase_of b >= phase_of a && monotone rest
+           | _ -> true
+         in
+         check bool "phases in lockstep" true (monotone order);
+         check int "six passages" 6 (List.length order);
+         0));
+  ()
+
+let test_barrier_invalid () =
+  ignore
+    (run_main (fun proc ->
+         (try
+            ignore (Barrier.create proc 0);
+            Alcotest.fail "zero parties must raise"
+          with Invalid_argument _ -> ());
+         0));
+  ()
+
+let test_barrier_single_party () =
+  ignore
+    (run_main (fun proc ->
+         let b = Barrier.create proc 1 in
+         check bool "sole party is serial" true (Barrier.wait proc b = Barrier.Serial);
+         check bool "again" true (Barrier.wait proc b = Barrier.Serial);
+         0));
+  ()
+
+let suite =
+  [
+    ( "rwlock",
+      [
+        tc "multiple readers" test_rw_multiple_readers;
+        tc "writer excludes" test_rw_writer_excludes;
+        tc "writer preference" test_rw_writer_preference;
+        tc "try variants" test_rw_try_variants;
+        tc "errors" test_rw_errors;
+        tc "with helpers" test_rw_with_helpers;
+        tc "exclusion under perversion" test_rw_under_perverted;
+      ] );
+    ( "barrier",
+      [
+        tc "releases all" test_barrier_releases_all;
+        tc "cyclic" test_barrier_cyclic;
+        tc "invalid" test_barrier_invalid;
+        tc "single party" test_barrier_single_party;
+      ] );
+  ]

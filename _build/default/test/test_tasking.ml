@@ -1,0 +1,218 @@
+(* The Ada-style tasking layer: rendezvous, selective accept. *)
+
+open Tu
+open Pthreads
+module Task_rt = Tasking.Task_rt
+
+let test_simple_rendezvous () =
+  ignore
+    (run_main (fun proc ->
+         let g = Task_rt.make_group proc () in
+         let e : (int, int) Task_rt.entry = Task_rt.entry g ~name:"double" () in
+         let server =
+           Task_rt.spawn proc ~name:"server" (fun () ->
+               Task_rt.accept e (fun x -> x * 2))
+         in
+         let r = Task_rt.call e 21 in
+         check int "rendezvous result" 42 r;
+         ignore (Pthread.join proc server);
+         0));
+  ()
+
+let test_caller_blocks_until_accept () =
+  ignore
+    (run_main (fun proc ->
+         let g = Task_rt.make_group proc () in
+         let e : (unit, unit) Task_rt.entry = Task_rt.entry g () in
+         let t0 = Pthread.now proc in
+         let server =
+           Task_rt.spawn proc (fun () ->
+               Pthread.delay proc ~ns:500_000;
+               Task_rt.accept e (fun () -> ()))
+         in
+         Task_rt.call e ();
+         check bool "caller waited for the acceptor" true
+           (Pthread.now proc - t0 >= 500_000);
+         ignore (Pthread.join proc server);
+         0));
+  ()
+
+let test_extended_rendezvous_order () =
+  (* the caller resumes only after the accept body completes *)
+  ignore
+    (run_main (fun proc ->
+         let g = Task_rt.make_group proc () in
+         let e : (unit, unit) Task_rt.entry = Task_rt.entry g () in
+         let log = ref [] in
+         let server =
+           Task_rt.spawn proc (fun () ->
+               Task_rt.accept e (fun () ->
+                   Pthread.busy proc ~ns:50_000;
+                   log := "body-done" :: !log))
+         in
+         Task_rt.call e ();
+         log := "caller-resumed" :: !log;
+         ignore (Pthread.join proc server);
+         check (Alcotest.list string) "body before caller"
+           [ "body-done"; "caller-resumed" ] (List.rev !log);
+         0));
+  ()
+
+let test_priority_queuing_of_callers () =
+  ignore
+    (run_main (fun proc ->
+         let g = Task_rt.make_group proc () in
+         let e : (string, unit) Task_rt.entry = Task_rt.entry g () in
+         let served = ref [] in
+         let caller name prio =
+           Task_rt.spawn proc ~prio ~name (fun () -> Task_rt.call e name)
+         in
+         let c1 = caller "lo" 3 in
+         let c2 = caller "hi" 22 in
+         let c3 = caller "mid" 12 in
+         Pthread.delay proc ~ns:100_000;
+         check int "three queued" 3 (Task_rt.caller_count e);
+         for _ = 1 to 3 do
+           Task_rt.accept e (fun name -> served := name :: !served)
+         done;
+         List.iter (fun t -> ignore (Pthread.join proc t)) [ c1; c2; c3 ];
+         check (Alcotest.list string) "served in priority order"
+           [ "hi"; "mid"; "lo" ] (List.rev !served);
+         0));
+  ()
+
+let test_select_accepts_ready_entry () =
+  ignore
+    (run_main (fun proc ->
+         let g = Task_rt.make_group proc () in
+         let e1 : (unit, unit) Task_rt.entry = Task_rt.entry g ~name:"e1" () in
+         let e2 : (unit, unit) Task_rt.entry = Task_rt.entry g ~name:"e2" () in
+         let c = Task_rt.spawn proc (fun () -> Task_rt.call e2 ()) in
+         Pthread.delay proc ~ns:50_000;
+         (match
+            Task_rt.select g Task_rt.[ (e1 ==> fun () -> ()); (e2 ==> fun () -> ()) ]
+          with
+         | Task_rt.Accepted name -> check string "picked e2" "e2" name
+         | _ -> Alcotest.fail "expected Accepted");
+         ignore (Pthread.join proc c);
+         0));
+  ()
+
+let test_select_guard_closes_alternative () =
+  ignore
+    (run_main (fun proc ->
+         let g = Task_rt.make_group proc () in
+         let e1 : (unit, unit) Task_rt.entry = Task_rt.entry g ~name:"e1" () in
+         let c = Task_rt.spawn proc (fun () -> Task_rt.call e1 ()) in
+         Pthread.delay proc ~ns:50_000;
+         (* e1 has a caller but its guard is closed: else part taken *)
+         (match
+            Task_rt.select g ~else_ready:true
+              [ Task_rt.when_ false Task_rt.(e1 ==> fun () -> ()) ]
+          with
+         | Task_rt.Would_block -> ()
+         | _ -> Alcotest.fail "expected Would_block");
+         (* reopen and serve so the caller can finish *)
+         (match Task_rt.select g [ Task_rt.(e1 ==> fun () -> ()) ] with
+         | Task_rt.Accepted _ -> ()
+         | _ -> Alcotest.fail "expected Accepted");
+         ignore (Pthread.join proc c);
+         0));
+  ()
+
+let test_select_else_when_empty () =
+  ignore
+    (run_main (fun proc ->
+         let g = Task_rt.make_group proc () in
+         let e : (unit, unit) Task_rt.entry = Task_rt.entry g () in
+         (match Task_rt.select g ~else_ready:true [ Task_rt.(e ==> fun () -> ()) ] with
+         | Task_rt.Would_block -> ()
+         | _ -> Alcotest.fail "expected Would_block");
+         0));
+  ()
+
+let test_select_timeout () =
+  ignore
+    (run_main (fun proc ->
+         let g = Task_rt.make_group proc () in
+         let e : (unit, unit) Task_rt.entry = Task_rt.entry g () in
+         let t0 = Pthread.now proc in
+         (match
+            Task_rt.select g ~timeout_ns:300_000 [ Task_rt.(e ==> fun () -> ()) ]
+          with
+         | Task_rt.Timed_out -> ()
+         | _ -> Alcotest.fail "expected Timed_out");
+         check bool "waited the delay" true (Pthread.now proc - t0 >= 300_000);
+         0));
+  ()
+
+let test_select_all_closed_raises () =
+  ignore
+    (run_main (fun proc ->
+         let g = Task_rt.make_group proc () in
+         let e : (unit, unit) Task_rt.entry = Task_rt.entry g () in
+         (try
+            ignore (Task_rt.select g [ Task_rt.when_ false Task_rt.(e ==> fun () -> ()) ]);
+            Alcotest.fail "must raise Program_Error analogue"
+          with Invalid_argument _ -> ());
+         0));
+  ()
+
+let test_producer_consumer_tasks () =
+  ignore
+    (run_main (fun proc ->
+         let g = Task_rt.make_group proc () in
+         let put : (int, unit) Task_rt.entry = Task_rt.entry g ~name:"put" () in
+         let get : (unit, int) Task_rt.entry = Task_rt.entry g ~name:"get" () in
+         (* a buffer task serving put/get with a selective accept *)
+         let buffer =
+           Task_rt.spawn proc ~name:"buffer" (fun () ->
+               let store = Queue.create () in
+               let served = ref 0 in
+               while !served < 20 do
+                 let alts =
+                   [
+                     Task_rt.when_ (Queue.length store < 3)
+                       Task_rt.(put ==> fun v -> Queue.push v store);
+                     Task_rt.when_ (not (Queue.is_empty store))
+                       Task_rt.(get ==> fun () -> Queue.pop store);
+                   ]
+                 in
+                 match Task_rt.select g alts with
+                 | Task_rt.Accepted _ -> incr served
+                 | _ -> ()
+               done)
+         in
+         let producer =
+           Task_rt.spawn proc ~name:"producer" (fun () ->
+               for i = 1 to 10 do
+                 Task_rt.call put i
+               done)
+         in
+         let got = ref [] in
+         for _ = 1 to 10 do
+           got := Task_rt.call get () :: !got
+         done;
+         List.iter (fun t -> ignore (Pthread.join proc t)) [ buffer; producer ];
+         check (Alcotest.list int) "all items in order"
+           (List.init 10 (fun i -> i + 1))
+           (List.rev !got);
+         0));
+  ()
+
+let suite =
+  [
+    ( "tasking",
+      [
+        tc "simple rendezvous" test_simple_rendezvous;
+        tc "caller blocks until accept" test_caller_blocks_until_accept;
+        tc "extended rendezvous order" test_extended_rendezvous_order;
+        tc "priority queuing" test_priority_queuing_of_callers;
+        tc "select: ready entry" test_select_accepts_ready_entry;
+        tc "select: guard closes" test_select_guard_closes_alternative;
+        tc "select: else" test_select_else_when_empty;
+        tc "select: timeout" test_select_timeout;
+        tc "select: all closed raises" test_select_all_closed_raises;
+        tc "producer/consumer tasks" test_producer_consumer_tasks;
+      ] );
+  ]

@@ -1,0 +1,275 @@
+(* Thread management: create, join, exit, detach, lazy creation, once. *)
+
+open Tu
+open Pthreads
+
+let test_create_join () =
+  let v =
+    run_main (fun proc ->
+        let t = Pthread.create proc (fun () -> 41) in
+        match Pthread.join proc t with
+        | Types.Exited v -> v + 1
+        | _ -> -1)
+  in
+  check int "result" 42 v
+
+let test_join_many () =
+  let v =
+    run_main (fun proc ->
+        let ts = List.init 10 (fun i -> Pthread.create proc (fun () -> i)) in
+        List.fold_left
+          (fun acc t ->
+            match Pthread.join proc t with
+            | Types.Exited v -> acc + v
+            | _ -> -1000)
+          0 ts)
+  in
+  check int "sum 0..9" 45 v
+
+let test_exit () =
+  let v =
+    run_main (fun proc ->
+        let t =
+          Pthread.create proc (fun () ->
+              if true then Pthread.exit proc 13 else 0)
+        in
+        match Pthread.join proc t with Types.Exited v -> v | _ -> -1)
+  in
+  check int "pthread_exit value" 13 v
+
+let test_failed_body () =
+  ignore
+    (run_main (fun proc ->
+         let t = Pthread.create proc (fun () -> failwith "boom") in
+         (match Pthread.join proc t with
+         | Types.Failed _ -> ()
+         | st -> Alcotest.failf "expected failure, got %a" Types.pp_exit_status st);
+         0));
+  ()
+
+let test_join_errors () =
+  ignore
+    (run_main (fun proc ->
+         (try
+            ignore (Pthread.join proc (Pthread.self proc));
+            Alcotest.fail "self-join must raise"
+          with Invalid_argument _ -> ());
+         (try
+            ignore (Pthread.join proc 999);
+            Alcotest.fail "unknown tid must raise"
+          with Invalid_argument _ -> ());
+         let t =
+           Pthread.create proc
+             ~attr:(Attr.with_detached true Attr.default)
+             (fun () -> 0)
+         in
+         (try
+            ignore (Pthread.join proc t);
+            Alcotest.fail "joining detached must raise"
+          with Invalid_argument _ -> ());
+         0));
+  ()
+
+let test_double_join_rejected () =
+  ignore
+    (run_main (fun proc ->
+         let t = Pthread.create proc (fun () -> 5) in
+         ignore (Pthread.join proc t);
+         (try
+            ignore (Pthread.join proc t);
+            Alcotest.fail "second join must raise"
+          with Invalid_argument _ -> ());
+         0));
+  ()
+
+let test_detach_after_exit_reaps () =
+  ignore
+    (run_main (fun proc ->
+         let t = Pthread.create proc (fun () -> 1) in
+         Pthread.yield proc;
+         (* t has terminated; detach reaps it *)
+         Pthread.detach proc t;
+         check bool "gone" true (Pthread.state_of proc t = None);
+         0));
+  ()
+
+let test_detached_runs () =
+  let hit = ref false in
+  ignore
+    (run_main (fun proc ->
+         ignore
+           (Pthread.create_unit proc
+              ~attr:(Attr.with_detached true Attr.default)
+              (fun () -> hit := true));
+         Pthread.yield proc;
+         0));
+  check bool "detached thread ran" true !hit
+
+let test_self_equal_names () =
+  ignore
+    (run_main (fun proc ->
+         check int "main is tid 0" 0 (Pthread.self proc);
+         check bool "equal" true (Pthread.equal (Pthread.self proc) 0);
+         let t =
+           Pthread.create proc
+             ~attr:(Attr.with_name "worker" Attr.default)
+             (fun () -> Pthread.self proc)
+         in
+         check (Alcotest.option string) "name" (Some "worker")
+           (Pthread.name_of proc t);
+         (match Pthread.join proc t with
+         | Types.Exited tid -> check int "self inside body" t tid
+         | _ -> Alcotest.fail "join");
+         0));
+  ()
+
+let test_lazy_creation_activate () =
+  let ran = ref false in
+  ignore
+    (run_main (fun proc ->
+         let t =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_deferred true Attr.default)
+             (fun () -> ran := true)
+         in
+         Pthread.yield proc;
+         check bool "not started yet" false !ran;
+         check (Alcotest.option string) "state" (Some "not-yet-activated")
+           (Pthread.state_of proc t);
+         Pthread.activate proc t;
+         Pthread.yield proc;
+         check bool "ran after activation" true !ran;
+         ignore (Pthread.join proc t);
+         0));
+  ()
+
+let test_lazy_creation_join_activates () =
+  ignore
+    (run_main (fun proc ->
+         let t =
+           Pthread.create proc
+             ~attr:(Attr.with_deferred true Attr.default)
+             (fun () -> 77)
+         in
+         (* join makes the thread "needed": it activates it *)
+         (match Pthread.join proc t with
+         | Types.Exited 77 -> ()
+         | st -> Alcotest.failf "got %a" Types.pp_exit_status st);
+         0));
+  ()
+
+let test_lazy_creation_defers_resources () =
+  ignore
+    (run_main ~use_pool:false (fun proc ->
+         let stats0 = Pthread.stats proc in
+         let t =
+           Pthread.create proc
+             ~attr:(Attr.with_deferred true Attr.default)
+             (fun () -> 0)
+         in
+         let stats1 = Pthread.stats proc in
+         check int "no allocation at deferred create"
+           stats0.Engine.heap_allocations stats1.Engine.heap_allocations;
+         Pthread.activate proc t;
+         let stats2 = Pthread.stats proc in
+         check bool "allocation at activation" true
+           (stats2.Engine.heap_allocations > stats1.Engine.heap_allocations);
+         ignore (Pthread.join proc t);
+         0));
+  ()
+
+let test_once () =
+  ignore
+    (run_main (fun proc ->
+         let n = ref 0 in
+         let ctl = Pthread.once_init () in
+         let body () = Pthread.once proc ctl (fun () -> incr n) in
+         let ts = List.init 5 (fun _ -> Pthread.create_unit proc body) in
+         body ();
+         List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+         check int "initializer ran once" 1 !n;
+         0));
+  ()
+
+let test_thread_count () =
+  ignore
+    (run_main (fun proc ->
+         check int "just main" 1 (Pthread.thread_count proc);
+         let t = Pthread.create proc (fun () -> 0) in
+         check int "two live" 2 (Pthread.thread_count proc);
+         ignore (Pthread.join proc t);
+         check int "one live" 1 (Pthread.thread_count proc);
+         0));
+  ()
+
+let test_main_status_returned () =
+  let status, _ = Pthread.run (fun _ -> 123) in
+  check exit_status "main status" (Types.Exited 123)
+    (Option.get status)
+
+let test_run_waits_for_all_threads () =
+  let done_ = ref false in
+  ignore
+    (run_main (fun proc ->
+         ignore
+           (Pthread.create_unit proc (fun () ->
+                Pthread.delay proc ~ns:500_000;
+                done_ := true));
+         0));
+  check bool "process ran until all threads finished" true !done_
+
+let test_create_preempts_when_higher () =
+  ignore
+    (run_main (fun proc ->
+         let order = ref [] in
+         ignore
+           (Pthread.create_unit proc
+              ~attr:(Attr.with_prio 20 Attr.default)
+              (fun () -> order := "hi" :: !order));
+         order := "main" :: !order;
+         Pthread.yield proc;
+         check (Alcotest.list string) "higher thread ran first"
+           [ "hi"; "main" ] (List.rev !order);
+         0));
+  ()
+
+let test_create_does_not_preempt_when_lower () =
+  ignore
+    (run_main (fun proc ->
+         let order = ref [] in
+         let t =
+           Pthread.create_unit proc
+             ~attr:(Attr.with_prio 1 Attr.default)
+             (fun () -> order := "lo" :: !order)
+         in
+         order := "main" :: !order;
+         ignore (Pthread.join proc t);
+         check (Alcotest.list string) "main continued first"
+           [ "main"; "lo" ] (List.rev !order);
+         0));
+  ()
+
+let suite =
+  [
+    ( "thread",
+      [
+        tc "create/join" test_create_join;
+        tc "join many" test_join_many;
+        tc "pthread_exit" test_exit;
+        tc "failed body" test_failed_body;
+        tc "join errors" test_join_errors;
+        tc "double join rejected" test_double_join_rejected;
+        tc "detach after exit reaps" test_detach_after_exit_reaps;
+        tc "detached runs" test_detached_runs;
+        tc "self/equal/names" test_self_equal_names;
+        tc "lazy: explicit activate" test_lazy_creation_activate;
+        tc "lazy: join activates" test_lazy_creation_join_activates;
+        tc "lazy: resources deferred" test_lazy_creation_defers_resources;
+        tc "once" test_once;
+        tc "thread count" test_thread_count;
+        tc "main status" test_main_status_returned;
+        tc "run waits for all" test_run_waits_for_all_threads;
+        tc "create preempts (higher)" test_create_preempts_when_higher;
+        tc "create defers (lower)" test_create_does_not_preempt_when_lower;
+      ] );
+  ]

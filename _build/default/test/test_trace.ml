@@ -1,0 +1,145 @@
+(* The trace layer itself: recording, rendering, Gantt semantics, and
+   shared semaphores / ctime additions. *)
+
+open Tu
+module Trace = Vm.Trace
+open Pthreads
+
+let mk_trace () =
+  let t = Trace.create () in
+  Trace.set_enabled t true;
+  t
+
+let test_record_order_and_find () =
+  let t = mk_trace () in
+  Trace.record t ~t_ns:10 ~tid:1 ~tname:"a" Trace.Dispatch_in;
+  Trace.record t ~t_ns:20 ~tid:1 ~tname:"a" (Trace.Mutex_lock "m");
+  Trace.record t ~t_ns:30 ~tid:1 ~tname:"a" Trace.Dispatch_out;
+  let evs = Trace.events t in
+  check int "three events" 3 (List.length evs);
+  check bool "chronological" true
+    ((List.nth evs 0).Trace.t_ns < (List.nth evs 2).Trace.t_ns);
+  check int "find locks" 1
+    (List.length
+       (Trace.find_all t (fun e ->
+            match e.Trace.kind with Trace.Mutex_lock _ -> true | _ -> false)))
+
+let test_disabled_records_nothing () =
+  let t = Trace.create () in
+  Trace.record t ~t_ns:1 ~tid:1 ~tname:"a" Trace.Dispatch_in;
+  check int "no events" 0 (List.length (Trace.events t))
+
+let test_clear () =
+  let t = mk_trace () in
+  Trace.record t ~t_ns:1 ~tid:1 ~tname:"a" Trace.Dispatch_in;
+  Trace.clear t;
+  check int "cleared" 0 (List.length (Trace.events t))
+
+let test_kind_strings () =
+  check string "lock" "lock m" (Trace.kind_to_string (Trace.Mutex_lock "m"));
+  check string "sent" "sent SIGUSR1"
+    (Trace.kind_to_string (Trace.Signal_sent Tu.Sigset.sigusr1));
+  check string "prio" "prio 3->7" (Trace.kind_to_string (Trace.Prio_change (3, 7)));
+  check bool "pp_event renders" true
+    (String.length
+       (Format.asprintf "%a" Trace.pp_event
+          { Trace.t_ns = 1500; tid = 2; tname = "x"; kind = Trace.Thread_exit })
+    > 10)
+
+(* Gantt semantics on a hand-built trace: running '=', holding '#',
+   blocked 'x', ready '.'. *)
+let test_gantt_symbols () =
+  let t = mk_trace () in
+  Trace.record t ~t_ns:0 ~tid:1 ~tname:"w" (Trace.Thread_create "w");
+  Trace.record t ~t_ns:1000 ~tid:1 ~tname:"w" Trace.Dispatch_in;
+  Trace.record t ~t_ns:2000 ~tid:1 ~tname:"w" (Trace.Mutex_lock "m");
+  Trace.record t ~t_ns:4000 ~tid:1 ~tname:"w" (Trace.Mutex_unlock "m");
+  Trace.record t ~t_ns:5000 ~tid:1 ~tname:"w" Trace.Dispatch_out;
+  Trace.record t ~t_ns:6000 ~tid:1 ~tname:"w" Trace.Dispatch_in;
+  Trace.record t ~t_ns:6500 ~tid:1 ~tname:"w" (Trace.Mutex_block "m2");
+  Trace.record t ~t_ns:7000 ~tid:1 ~tname:"w" Trace.Dispatch_out;
+  Trace.record t ~t_ns:7500 ~tid:1 ~tname:"w" Trace.Dispatch_in;
+  Trace.record t ~t_ns:7600 ~tid:1 ~tname:"w" (Trace.Mutex_lock "m2");
+  Trace.record t ~t_ns:9000 ~tid:1 ~tname:"w" Trace.Dispatch_out;
+  let g = Trace.gantt t ~bucket_ns:1000 in
+  let row =
+    List.find (fun l -> String.length l > 2 && l.[0] = 'w')
+      (String.split_on_char '\n' g)
+  in
+  let cells = String.sub row (String.index row '|' + 1) 9 in
+  (* buckets: 0 ready, 1 running, 2-3 holding, 4 running, 5 ready,
+     6 blocked, 7-8 holding after reacquisition *)
+  check string "gantt cells" ".=##=.x##" cells
+
+let test_trace_stats_empty () =
+  check int "no reports" 0 (List.length (Vm.Trace_stats.per_thread []))
+
+let test_shared_semaphore_cross_process () =
+  let m = Machine.create () in
+  let sem = Shared.semaphore_create 0 in
+  let got = ref 0 in
+  ignore
+    (Machine.spawn m ~name:"poster" (fun proc ->
+         for _ = 1 to 5 do
+           Pthread.delay proc ~ns:50_000;
+           Shared.sem_post proc sem
+         done;
+         0));
+  ignore
+    (Machine.spawn m ~name:"waiter" (fun proc ->
+         for _ = 1 to 5 do
+           Shared.sem_wait proc sem;
+           incr got
+         done;
+         0));
+  ignore (Machine.run m);
+  check int "five tokens crossed processes" 5 !got;
+  check int "drained" 0 (Shared.sem_value sem)
+
+let test_shared_semaphore_try () =
+  let m = Machine.create () in
+  let sem = Shared.semaphore_create 1 in
+  ignore
+    (Machine.spawn m ~name:"p" (fun proc ->
+         check bool "first" true (Shared.sem_try_wait proc sem);
+         check bool "second" false (Shared.sem_try_wait proc sem);
+         Shared.sem_post proc sem;
+         0));
+  ignore (Machine.run m);
+  (try
+     ignore (Shared.semaphore_create (-1));
+     Alcotest.fail "negative must raise"
+   with Invalid_argument _ -> ())
+
+let test_ctime_hazard_and_repair () =
+  ignore
+    (run_main (fun proc ->
+         let first = Libc_r.Ctime_r.ctime proc 1_000_000 in
+         let snapshot = !first in
+         ignore (Libc_r.Ctime_r.ctime proc 2_000_000_000);
+         check bool "static buffer clobbered" true (!first <> snapshot);
+         let a = Libc_r.Ctime_r.ctime_r proc 1_000_000 in
+         let b = Libc_r.Ctime_r.ctime_r proc 2_000_000_000 in
+         check bool "reentrant results independent" true (a <> b);
+         check string "stable" a (Libc_r.Ctime_r.ctime_r proc 1_000_000);
+         0));
+  ()
+
+let suite =
+  [
+    ( "trace",
+      [
+        tc "record/find" test_record_order_and_find;
+        tc "disabled" test_disabled_records_nothing;
+        tc "clear" test_clear;
+        tc "kind strings" test_kind_strings;
+        tc "gantt symbols" test_gantt_symbols;
+        tc "stats empty" test_trace_stats_empty;
+      ] );
+    ( "shared_sem",
+      [
+        tc "cross-process tokens" test_shared_semaphore_cross_process;
+        tc "try-wait" test_shared_semaphore_try;
+      ] );
+    ( "libc_r.ctime", [ tc "hazard and repair" test_ctime_hazard_and_repair ] );
+  ]

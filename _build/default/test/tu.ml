@@ -1,0 +1,45 @@
+(** Test utilities shared by the suites. *)
+
+open Pthreads
+module Sigset = Vm.Sigset
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+(* Run a simulated process and return main's exit code, failing the test on
+   anything but a normal exit. *)
+let run_main ?profile ?policy ?perverted ?seed ?use_pool ?trace ?main_prio
+    ?ceiling_mode f =
+  let status, _stats =
+    Pthread.run ?profile ?policy ?perverted ?seed ?use_pool ?trace ?main_prio
+      ?ceiling_mode f
+  in
+  match status with
+  | Some (Types.Exited v) -> v
+  | Some st -> Alcotest.failf "main did not exit normally: %a" Types.pp_exit_status st
+  | None -> Alcotest.fail "main thread was reaped"
+
+(* Run and also return the statistics. *)
+let run_stats ?policy ?perverted ?seed ?use_pool f =
+  let status, stats = Pthread.run ?policy ?perverted ?seed ?use_pool f in
+  (match status with
+  | Some (Types.Exited _) -> ()
+  | Some st -> Alcotest.failf "main did not exit normally: %a" Types.pp_exit_status st
+  | None -> Alcotest.fail "main thread was reaped");
+  stats
+
+let exit_status : Types.exit_status Alcotest.testable =
+  Alcotest.testable Types.pp_exit_status (fun a b ->
+      match (a, b) with
+      | Types.Exited x, Types.Exited y -> x = y
+      | Types.Canceled, Types.Canceled -> true
+      | Types.Failed _, Types.Failed _ -> true
+      | _ -> false)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)
