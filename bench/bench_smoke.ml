@@ -1,0 +1,129 @@
+(* Scheduler smoke test: the dispatcher's observable behavior must be
+   bit-for-bit identical to the list-based seed implementation.  Four
+   threads contend for one mutex under each scheduling policy; the golden
+   switch counts and dispatch orders below were captured from the seed
+   before the O(1) ready-queue rewrite.  Also runs the scaling
+   microbenchmark at small sizes to make sure the dispatch accounting
+   itself did not drift. *)
+
+open Pthreads
+module Trace = Vm.Trace
+
+let failures = ref 0
+
+let checkf name fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "FAIL %s: %s\n" name msg)
+    fmt
+
+let scenario ?policy ?perverted ?(seed = 7) () =
+  let order = Buffer.create 128 in
+  let eng =
+    Pthread.make_proc ?policy ?perverted ~seed ~trace:true (fun proc ->
+        let m = Mutex.create proc ~name:"m" () in
+        let mk prio n =
+          Pthread.create proc
+            ~attr:(Attr.with_prio prio Attr.default)
+            (fun () ->
+              for _ = 1 to n do
+                Mutex.lock proc m;
+                Pthread.yield proc;
+                Mutex.unlock proc m;
+                Pthread.yield proc
+              done;
+              0)
+        in
+        let ts = [ mk 5 3; mk 9 3; mk 5 3; mk 12 2 ] in
+        List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+        0)
+  in
+  Pthread.start eng;
+  let evs =
+    Trace.find_all eng.Types.trace (fun e -> e.Trace.kind = Trace.Dispatch_in)
+  in
+  List.iter (fun e -> Buffer.add_string order (string_of_int e.Trace.tid)) evs;
+  ((Pthread.stats eng).Engine.switches, Buffer.contents order)
+
+(* Golden values captured from the seed (list-based dispatcher). *)
+let goldens =
+  [
+    ("fifo", None, None, 30, "01111103333333024242424242424242440");
+    ( "round-robin",
+      Some (Types.Round_robin 50_000),
+      None,
+      81,
+      "01111111111111000333333333333333333300024242224242424242424242424242\
+       424242424244440000" );
+    ( "mutex-switch",
+      None,
+      Some Types.Mutex_switch,
+      41,
+      "0111111103333333333024224244242242442422424440" );
+    ( "rr-ordered-switch",
+      None,
+      Some Types.Rr_ordered_switch,
+      95,
+      "0101021102120312203112304123304223102311331431441143433443243223324\
+       324422432433443243223324244224440" );
+    ( "random-switch",
+      None,
+      Some Types.Random_switch,
+      66,
+      "00001223040241221221111333313311113334443443332222244224424222244244\
+       440" );
+  ]
+
+let check_goldens () =
+  List.iter
+    (fun (name, policy, perverted, want_switches, want_order) ->
+      let switches, order = scenario ?policy ?perverted () in
+      if switches <> want_switches then
+        checkf name "switches %d, expected %d" switches want_switches;
+      if order <> want_order then
+        checkf name "dispatch order %s, expected %s" order want_order)
+    goldens
+
+(* Small-size scaling run: the dispatch count at each size is fully
+   determined by the workload, so any divergence means the dispatcher's
+   bookkeeping changed. *)
+let check_dispatch_counts () =
+  List.iter
+    (fun (n_threads, want) ->
+      let yields = 20 in
+      let eng =
+        Pthread.make_proc (fun proc ->
+            let ts =
+              List.init n_threads (fun _ ->
+                  Pthread.create proc (fun () ->
+                      for _ = 1 to yields do
+                        Pthread.yield proc
+                      done;
+                      0))
+            in
+            List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+            0)
+      in
+      let t0 = Unix.gettimeofday () in
+      Pthread.start eng;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let dispatches = Engine.dispatch_count eng in
+      if dispatches <> want then
+        checkf
+          (Printf.sprintf "dispatches@%d" n_threads)
+          "dispatch count %d, expected %d" dispatches want;
+      if elapsed > 10.0 then
+        checkf
+          (Printf.sprintf "latency@%d" n_threads)
+          "%d dispatches took %.1f s" dispatches elapsed)
+    [ (4, 86); (16, 338); (64, 1346) ]
+
+let () =
+  check_goldens ();
+  check_dispatch_counts ();
+  if !failures > 0 then begin
+    Printf.printf "%d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "bench smoke: all goldens match"

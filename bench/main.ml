@@ -3,7 +3,9 @@
 
      dune exec bench/main.exe              -- all sections
      dune exec bench/main.exe -- table2    -- a single section
-     sections: table1 table2 table3 table4 figure5 perverted ablation wall *)
+     dune exec bench/main.exe -- --json F  -- Table 2 + scheduler scaling as JSON
+     sections: table1 table2 table3 table4 figure5 perverted ablation
+               scaling sched ada shared blockingio wall *)
 
 open Pthreads
 module Sigset = Vm.Sigset
@@ -731,6 +733,107 @@ let blockingio () =
      the paper's argument for non-blocking kernel interfaces)"
 
 (* ------------------------------------------------------------------ *)
+(* Scheduler scaling: host wall-clock per dispatch                      *)
+(* ------------------------------------------------------------------ *)
+
+(* N threads yield in a loop; wall-clock per dispatch measures the real
+   (host) cost of the dispatcher's data structures, which the virtual
+   clock deliberately does not model.  With the bitmap ready queue this
+   stays flat as N grows. *)
+let sched_latency n_threads =
+  let yields = 200 in
+  let t0 = ref 0.0 and t1 = ref 0.0 in
+  let eng =
+    Pthread.make_proc (fun proc ->
+        let ts =
+          List.init n_threads (fun _ ->
+              Pthread.create proc (fun () ->
+                  for _ = 1 to yields do
+                    Pthread.yield proc
+                  done;
+                  0))
+        in
+        t0 := Unix.gettimeofday ();
+        List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+        t1 := Unix.gettimeofday ();
+        0)
+  in
+  Pthread.start eng;
+  let dispatches = Engine.dispatch_count eng in
+  let per = (!t1 -. !t0) /. float_of_int dispatches *. 1e9 in
+  (per, dispatches)
+
+let sched_thread_counts = [ 10; 100; 1000 ]
+
+let sched () =
+  sep "Scheduler scaling: host ns per dispatch (bitmap ready queue)";
+  List.iter
+    (fun n ->
+      let per, dispatches = sched_latency n in
+      Printf.printf "threads %5d: %10.1f ns/dispatch (%d dispatches)\n%!" n per
+        dispatches)
+    sched_thread_counts
+
+(* ------------------------------------------------------------------ *)
+(* JSON output: Table 2 metrics + scheduler scaling                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_opt_f = function
+  | Some v -> Printf.sprintf "%.1f" v
+  | None -> "null"
+
+let write_json file =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"table2\": [\n";
+  let n_rows = List.length Metrics.rows in
+  List.iteri
+    (fun i (r : Metrics.row) ->
+      let meas_1plus = r.measure Cost_model.sparc_1plus in
+      let meas_ipx = r.measure Cost_model.sparc_ipx in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"metric\": \"%s\", \"published_sun_1plus_us\": %s, \
+            \"published_1plus_us\": %s, \"published_ipx_us\": %s, \
+            \"published_lynx_ipx_us\": %s, \"measured_sparc_1plus_us\": %.3f, \
+            \"measured_sparc_ipx_us\": %.3f}%s\n"
+           (json_escape r.metric) (json_opt_f r.sun_1plus)
+           (json_opt_f r.paper_1plus) (json_opt_f r.paper_ipx)
+           (json_opt_f r.lynx_ipx) meas_1plus meas_ipx
+           (if i = n_rows - 1 then "" else ",")))
+    Metrics.rows;
+  Buffer.add_string buf "  ],\n  \"sched_scaling\": [\n";
+  let n_counts = List.length sched_thread_counts in
+  List.iteri
+    (fun i n ->
+      let per, dispatches = sched_latency n in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"threads\": %d, \"ns_per_dispatch\": %.1f, \"dispatches\": \
+            %d}%s\n"
+           n per dispatches
+           (if i = n_counts - 1 then "" else ",")))
+    sched_thread_counts;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: wall-clock cost of the implementation itself               *)
 (* ------------------------------------------------------------------ *)
 
@@ -889,6 +992,17 @@ let wall () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
+  let rec json_file = function
+    | [ "--json" ] ->
+        prerr_endline "usage: main.exe -- --json FILE";
+        exit 2
+    | "--json" :: file :: _ -> Some file
+    | _ :: rest -> json_file rest
+    | [] -> None
+  in
+  match json_file args with
+  | Some file -> write_json file
+  | None ->
   let want s = args = [] || List.mem s args in
   if want "table2" then table2 ();
   if want "table1" then table1 ();
@@ -898,6 +1012,7 @@ let () =
   if want "perverted" then perverted ();
   if want "ablation" then ablation ();
   if want "scaling" then scaling ();
+  if want "sched" then sched ();
   if want "ada" then ada ();
   if want "shared" then shared ();
   if want "blockingio" then blockingio ();

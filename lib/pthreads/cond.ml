@@ -9,7 +9,7 @@ let create eng ?name () =
     match name with Some n -> n | None -> "cond-" ^ string_of_int id
   in
   Engine.charge eng Costs.attr_op;
-  { c_id = id; c_name; c_waiters = []; c_mutex = None }
+  { c_id = id; c_name; c_waiters = Wait_queue.create (); c_mutex = None }
 
 let wait_internal eng c m ~deadline =
   Engine.checkpoint eng;
@@ -27,7 +27,7 @@ let wait_internal eng c m ~deadline =
   (* release the mutex atomically with the suspension *)
   Mutex.release_in_kernel eng m;
   self.state <- Blocked (On_cond c);
-  c.c_waiters <- Tcb.insert_by_prio c.c_waiters self;
+  Wait_queue.push_tail c.c_waiters self;
   Engine.trace eng self (Trace.Cond_block c.c_name);
   (match deadline with
   | Some d ->
@@ -61,9 +61,9 @@ let signal eng c =
   Engine.checkpoint eng;
   Engine.enter_kernel eng;
   Engine.charge eng Costs.cond_op;
-  (match c.c_waiters with
-  | [] -> ()
-  | w :: _ ->
+  (match Wait_queue.peek_highest c.c_waiters with
+  | None -> ()
+  | Some w ->
       Engine.trace eng w (Trace.Cond_wake c.c_name);
       Engine.unblock eng w Wake_normal);
   Engine.leave_kernel eng;
@@ -74,9 +74,9 @@ let broadcast eng c =
   Engine.enter_kernel eng;
   Engine.charge eng Costs.cond_op;
   let rec wake_all () =
-    match c.c_waiters with
-    | [] -> ()
-    | w :: _ ->
+    match Wait_queue.peek_highest c.c_waiters with
+    | None -> ()
+    | Some w ->
         Engine.trace eng w (Trace.Cond_wake c.c_name);
         Engine.unblock eng w Wake_normal;
         wake_all ()
@@ -85,7 +85,7 @@ let broadcast eng c =
   Engine.leave_kernel eng;
   Engine.drain_fake_calls eng
 
-let waiter_count c = List.length c.c_waiters
+let waiter_count c = Wait_queue.size c.c_waiters
 
 let wait_for eng c m ~timeout_ns =
   timed_wait eng c m ~deadline_ns:(Engine.now eng + timeout_ns)

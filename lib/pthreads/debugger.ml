@@ -34,7 +34,7 @@ let snapshot t =
 
 let inspect eng tid = Option.map snapshot (Engine.find_thread eng tid)
 
-let all_threads eng = List.map snapshot eng.all_threads
+let all_threads eng = List.map snapshot (Engine.thread_list eng)
 
 let pp_thread ppf ti =
   Format.fprintf ppf "%3d %-12s %-24s prio %2d/%2d  switches %4d%s%s" ti.ti_tid
@@ -61,9 +61,10 @@ let watch_switches eng f =
         })
 
 let collect_switches eng =
-  let acc = ref [] in
-  watch_switches eng (fun e -> acc := !acc @ [ e ]);
-  acc
+  (* accumulate newest-first (O(1) per event), reverse on read *)
+  let rev = ref [] in
+  watch_switches eng (fun e -> rev := e :: !rev);
+  fun () -> List.rev !rev
 
 (* ------------------------------------------------------------------ *)
 (* Wait-for-graph deadlock detection                                    *)
@@ -81,7 +82,7 @@ let wait_edges eng =
               Some { we_thread = snapshot t; we_mutex = m.m_name; we_owner = snapshot o }
           | None -> None)
       | _ -> None)
-    eng.all_threads
+    (Engine.thread_list eng)
 
 let find_deadlocks eng =
   (* follow thread -> owner-of-awaited-mutex edges; a revisit within the
@@ -117,7 +118,7 @@ let find_deadlocks eng =
         in
         walk [] start
       end)
-    eng.all_threads;
+    (Engine.thread_list eng);
   List.rev !cycles
 
 let pp_deadlocks ppf cycles =

@@ -41,9 +41,9 @@ type switch_event = { sw_at_ns : int; sw_tid : int; sw_name : string; sw_prio : 
 val watch_switches : engine -> (switch_event -> unit) -> unit
 (** Invoke the callback at every dispatch. *)
 
-val collect_switches : engine -> switch_event list ref
-(** Convenience: record every switch into a list (returned ref is appended
-    to in dispatch order). *)
+val collect_switches : engine -> unit -> switch_event list
+(** Convenience: record every switch; the returned thunk yields the events
+    collected so far in dispatch order. *)
 
 (** {1 Wait-for-graph analysis}
 

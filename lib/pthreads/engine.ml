@@ -9,13 +9,82 @@ let trace eng t kind =
   Trace.record eng.trace ~t_ns:(Unix_kernel.now eng.vm) ~tid:t.tid
     ~tname:t.tname kind
 
-let add_switch_hook eng hook = eng.switch_hooks <- eng.switch_hooks @ [ hook ]
+(* Hooks are stored newest-first (O(1) registration) and invoked in
+   registration order; the recursion depth is the number of hooks (a
+   handful at most), and no list is allocated per dispatch. *)
+let add_switch_hook eng hook = eng.switch_hooks <- hook :: eng.switch_hooks
+
+let rec run_hooks t = function
+  | [] -> ()
+  | hook :: rest ->
+      run_hooks t rest;
+      hook t
 
 let charge eng n = Unix_kernel.insns eng.vm n
 let now eng = Unix_kernel.now eng.vm
 let current eng = eng.current
 
-let find_thread eng tid = List.find_opt (fun t -> t.tid = tid) eng.all_threads
+(* ------------------------------------------------------------------ *)
+(* The thread table: every live (or unjoined) thread, as an intrusive    *)
+(* doubly-linked list in creation order plus a tid-keyed hash index.     *)
+(* ------------------------------------------------------------------ *)
+
+let find_thread eng tid = Hashtbl.find_opt eng.threads.tt_index tid
+
+let is_registered eng t =
+  match Hashtbl.find_opt eng.threads.tt_index t.tid with
+  | Some t' -> t' == t
+  | None -> false
+
+let thread_table_add eng t =
+  let tt = eng.threads in
+  t.at_prev <- tt.tt_tail;
+  t.at_next <- None;
+  (match tt.tt_tail with
+  | Some tail -> tail.at_next <- Some t
+  | None -> tt.tt_head <- Some t);
+  tt.tt_tail <- Some t;
+  tt.tt_count <- tt.tt_count + 1;
+  Hashtbl.replace tt.tt_index t.tid t
+
+let thread_table_remove eng t =
+  if is_registered eng t then begin
+    let tt = eng.threads in
+    (match t.at_prev with
+    | Some p -> p.at_next <- t.at_next
+    | None -> tt.tt_head <- t.at_next);
+    (match t.at_next with
+    | Some n -> n.at_prev <- t.at_prev
+    | None -> tt.tt_tail <- t.at_prev);
+    t.at_prev <- None;
+    t.at_next <- None;
+    tt.tt_count <- tt.tt_count - 1;
+    Hashtbl.remove tt.tt_index t.tid
+  end
+
+(* Creation order, as the paper's rule-5 linear search requires.  [f] may
+   unblock or modify the visited thread but must not unregister it. *)
+let iter_threads eng f =
+  let rec go = function
+    | None -> ()
+    | Some t ->
+        let next = t.at_next in
+        f t;
+        go next
+  in
+  go eng.threads.tt_head
+
+let fold_threads eng f acc =
+  let rec go acc = function
+    | None -> acc
+    | Some t ->
+        let next = t.at_next in
+        go (f acc t) next
+  in
+  go acc eng.threads.tt_head
+
+let thread_list eng = List.rev (fold_threads eng (fun acc t -> t :: acc) [])
+let thread_count eng = eng.threads.tt_count
 
 let fresh_tid eng =
   let tid = eng.next_tid in
@@ -61,8 +130,9 @@ let rec set_effective_prio eng t new_prio ~at_head =
         | Some p when p > new_prio -> eng.dispatcher_flag <- true
         | Some _ | None -> ())
     | Blocked (On_mutex m) -> (
+        let old_prio = t.prio in
         t.prio <- new_prio;
-        m.m_waiters <- Tcb.resort m.m_waiters;
+        Wait_queue.reposition m.m_waiters t ~old_prio;
         (* Propagate an inheritance boost down the blocking chain. *)
         match (m.m_owner, m.m_protocol) with
         | Some o, Inherit_protocol when o.prio < new_prio ->
@@ -70,8 +140,9 @@ let rec set_effective_prio eng t new_prio ~at_head =
             set_effective_prio eng o new_prio ~at_head:true
         | _ -> ())
     | Blocked (On_cond c) ->
+        let old_prio = t.prio in
         t.prio <- new_prio;
-        c.c_waiters <- Tcb.resort c.c_waiters
+        Wait_queue.reposition c.c_waiters t ~old_prio
     | Blocked (On_join _ | On_sigwait _ | On_sleep | On_start | On_suspend
               | On_shared _)
     | Terminated ->
@@ -84,8 +155,10 @@ let recompute_inherited_prio eng o =
       (fun acc m ->
         charge eng Costs.inherit_search_per_mutex;
         match m.m_protocol with
-        | Inherit_protocol ->
-            List.fold_left (fun a w -> max a w.prio) acc m.m_waiters
+        | Inherit_protocol -> (
+            match Wait_queue.highest_prio m.m_waiters with
+            | Some p -> max acc p
+            | None -> acc)
         | Ceiling_protocol when eng.cfg.ceiling_mode = Recompute ->
             max acc m.m_ceiling
         | Ceiling_protocol | No_protocol -> acc)
@@ -102,15 +175,15 @@ let unblock eng t wake =
   | Blocked reason ->
       (match reason with
       | On_mutex m -> (
-          m.m_waiters <- Tcb.remove_from m.m_waiters t;
+          Wait_queue.remove m.m_waiters t;
           match m.m_owner with
           | Some o when m.m_protocol = Inherit_protocol ->
               recompute_inherited_prio eng o
           | _ -> ())
       | On_cond c ->
-          c.c_waiters <- Tcb.remove_from c.c_waiters t;
-          if c.c_waiters = [] then c.c_mutex <- None
-      | On_join target -> target.joiners <- Tcb.remove_from target.joiners t
+          Wait_queue.remove c.c_waiters t;
+          if Wait_queue.is_empty c.c_waiters then c.c_mutex <- None
+      | On_join target -> Wait_queue.remove target.joiners t
       | On_sigwait _ -> t.sigwait_set <- Sigset.empty
       | On_start ->
           (* lazy creation: resources are allocated at activation time *)
@@ -152,13 +225,11 @@ let eligible t s =
    thread whose deadline has passed, not only the timer's owner. *)
 let wake_expired_sleepers eng =
   let time = Unix_kernel.now eng.vm in
-  List.iter
-    (fun t ->
+  iter_threads eng (fun t ->
       match (t.state, t.wait_deadline) with
       | Blocked (On_sleep | On_cond _), Some d when d <= time ->
           unblock eng t Wake_timeout
       | _ -> ())
-    eng.all_threads
 
 (* Recipient resolution (6 rules) and action resolution (7 rules), straight
    from the paper's "Signal Handling" section. *)
@@ -181,14 +252,15 @@ let rec direct_signal eng p =
     | Unix_kernel.Slice ->
         if eng.current.state = Running then Some eng.current else None
     | Unix_kernel.External ->
-        (* rule 5: linear search of the list of all threads *)
+        (* rule 5: linear search of the list of all threads, in creation
+           order (kept deliberately linear — the paper's design) *)
         let rec search = function
-          | [] -> None
-          | t :: rest ->
+          | None -> None
+          | Some t ->
               charge eng Costs.signal_search_per_thread;
-              if eligible t s then Some t else search rest
+              if eligible t s then Some t else search t.at_next
         in
-        search eng.all_threads
+        search eng.threads.tt_head
   in
   match recipient with
   | Some t -> act_on eng t p
@@ -196,15 +268,16 @@ let rec direct_signal eng p =
       match p.p_origin with
       | Unix_kernel.Slice -> ()
       | _ ->
-          (* rule 6: pend on the process until a thread becomes eligible *)
-          eng.proc_pending <- eng.proc_pending @ [ p ])
+          (* rule 6: pend on the process until a thread becomes eligible
+             (stored newest-first; drained oldest-first) *)
+          eng.proc_pending <- p :: eng.proc_pending)
 
 and act_on eng t p =
   let s = p.p_signo in
   if s = Sigset.sigcancel then handle_cancel_signal eng t
   else if Sigset.mem t.sigmask s && not (Sigset.mem t.sigwait_set s) then
-    (* action rule 1: masked -> pend on the thread *)
-    t.thr_pending <- t.thr_pending @ [ p ]
+    (* action rule 1: masked -> pend on the thread (newest first) *)
+    t.thr_pending <- p :: t.thr_pending
   else begin
     let timer_origin =
       match p.p_origin with
@@ -243,14 +316,12 @@ and act_on eng t p =
          share one (non-queuing) SIGIO, so every thread sigwaiting for
          SIGIO is woken to re-check its own completion state. *)
       let woke_any = ref false in
-      List.iter
-        (fun w ->
+      iter_threads eng (fun w ->
           match w.state with
           | Blocked (On_sigwait set) when Sigset.mem set s ->
               woke_any := true;
               sigwait_deliver eng w s
-          | _ -> ())
-        eng.all_threads;
+          | _ -> ());
       if not !woke_any then
         match eng.actions.(s) with
         | Sig_handler { h_mask; h_fn } ->
@@ -342,12 +413,13 @@ let recheck_thread_pending eng t =
         t.thr_pending
     in
     t.thr_pending <- still;
-    List.iter (fun p -> act_on eng t p) deliverable
+    (* the list is stored newest-first; deliver oldest-first *)
+    List.iter (fun p -> act_on eng t p) (List.rev deliverable)
   end
 
 let recheck_proc_pending eng =
   if eng.proc_pending <> [] then begin
-    let ps = eng.proc_pending in
+    let ps = List.rev eng.proc_pending in
     eng.proc_pending <- [];
     List.iter (fun p -> direct_signal eng p) ps
   end
@@ -553,7 +625,7 @@ let busy eng ~ns =
 (* ------------------------------------------------------------------ *)
 
 let register_thread eng t =
-  eng.all_threads <- eng.all_threads @ [ t ];
+  thread_table_add eng t;
   eng.live_count <- eng.live_count + 1;
   eng.n_created <- eng.n_created + 1;
   trace eng t (Trace.Thread_create t.tname);
@@ -570,7 +642,7 @@ let register_thread eng t =
 let reap_thread eng t =
   charge eng Costs.reap_thread;
   Heap.release_slab eng.heap;
-  eng.all_threads <- Tcb.remove_from eng.all_threads t
+  thread_table_remove eng t
 
 let finish_current eng status =
   let t = eng.current in
@@ -606,11 +678,17 @@ let finish_current eng status =
   eng.live_count <- eng.live_count - 1;
   trace eng t Trace.Thread_exit;
   if t.owned <> [] then trace eng t (Trace.Note "terminated while holding mutexes");
-  List.iter (fun j -> unblock eng j Wake_normal) t.joiners;
-  t.joiners <- [];
+  let rec wake_joiners () =
+    match Wait_queue.pop_highest t.joiners with
+    | Some j ->
+        unblock eng j Wake_normal;
+        wake_joiners ()
+    | None -> ()
+  in
+  wake_joiners ();
   if t.detached then begin
     Heap.release_slab eng.heap;
-    eng.all_threads <- Tcb.remove_from eng.all_threads t
+    thread_table_remove eng t
   end;
   charge eng Costs.kernel_exit;
   eng.kernel_flag <- false
@@ -659,7 +737,7 @@ let resume_thread eng t =
   Unix_kernel.window_underflow eng.vm;
   charge eng Costs.switch_restore;
   trace eng t Trace.Dispatch_in;
-  List.iter (fun hook -> hook t) eng.switch_hooks;
+  run_hooks t eng.switch_hooks;
   eng.in_fiber <- true;
   (match t.cont with
   | Not_started body ->
@@ -674,7 +752,7 @@ let resume_thread eng t =
   eng.in_fiber <- false
 
 let describe_blocked eng =
-  let live = List.filter Tcb.is_live eng.all_threads in
+  let live = List.filter Tcb.is_live (thread_list eng) in
   String.concat "; " (List.map (fun t -> Format.asprintf "%a" Tcb.pp t) live)
 
 let run_scheduler eng =
@@ -704,12 +782,12 @@ let run_scheduler eng =
                process is deadlocked.  On a shared machine, the idle hook
                arbitrates instead: another process may run first. *)
             let deadlines =
-              List.filter_map
-                (fun t ->
+              fold_threads eng
+                (fun acc t ->
                   match (t.state, t.wait_deadline) with
-                  | Blocked (On_sleep | On_cond _), Some d -> Some d
-                  | _ -> None)
-                eng.all_threads
+                  | Blocked (On_sleep | On_cond _), Some d -> d :: acc
+                  | _ -> acc)
+                []
             in
             let engine_next =
               let cands =
@@ -783,8 +861,14 @@ let make ?clock cfg ~main =
       dispatcher_flag = false;
       deferred = [];
       current = main_tcb;
-      ready = Array.make n_prios [];
-      all_threads = [ main_tcb ];
+      ready = Wait_queue.create ();
+      threads =
+        {
+          tt_head = None;
+          tt_tail = None;
+          tt_count = 0;
+          tt_index = Hashtbl.create 64;
+        };
       next_tid = 1;
       next_obj = 1;
       actions = Array.make (Sigset.max_signo + 1) Sig_default;
@@ -828,6 +912,7 @@ let make ?clock cfg ~main =
            ~signo:Sigset.sigalrm ~origin:Unix_kernel.Slice
           : int));
   Heap.acquire_slab heap;
+  thread_table_add eng main_tcb;
   Ready_queue.push_tail eng main_tcb;
   eng
 
@@ -863,6 +948,8 @@ let stats eng =
     threads_created = eng.n_created;
     heap_allocations = Heap.allocations eng.heap;
   }
+
+let dispatch_count eng = eng.n_dispatches
 
 let reset_stats eng =
   Unix_kernel.reset_counters eng.vm;

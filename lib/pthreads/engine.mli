@@ -63,7 +63,22 @@ val force_switch : engine -> unit
 
 val current : engine -> tcb
 val find_thread : engine -> int -> tcb option
-(** Live or terminated-but-unjoined thread by id. *)
+(** Live or terminated-but-unjoined thread by id — O(1) via the tid
+    index. *)
+
+val is_registered : engine -> tcb -> bool
+(** Whether this very TCB is still in the thread table (not reaped). *)
+
+val iter_threads : engine -> (tcb -> unit) -> unit
+(** All registered threads in creation order.  The callback may unblock or
+    mutate the visited thread but must not unregister threads. *)
+
+val fold_threads : engine -> ('a -> tcb -> 'a) -> 'a -> 'a
+val thread_list : engine -> tcb list
+(** Materialized snapshot in creation order (debugger-grade, allocates). *)
+
+val thread_count : engine -> int
+(** Registered (live or unjoined) threads, O(1). *)
 
 val fresh_tid : engine -> int
 val fresh_obj_id : engine -> int
@@ -168,3 +183,7 @@ type stats = {
 val stats : engine -> stats
 val reset_stats : engine -> unit
 val pp_stats : Format.formatter -> stats -> unit
+
+val dispatch_count : engine -> int
+(** Monotone count of thread resumptions (not reset by [reset_stats]);
+    the denominator of the scheduler-scaling microbenchmark. *)

@@ -26,13 +26,16 @@ type mproc = {
 type t = {
   m_clock : Clock.t;
   m_profile : Cost_model.profile;
-  mutable procs : mproc list;
+  mutable procs_rev : mproc list;  (** newest first; see [procs] *)
 }
+
+(* Creation order, reversed on read (tiny list; O(1) registration). *)
+let procs m = List.rev m.procs_rev
 
 exception Machine_deadlock of string
 
 let create ?(profile = Cost_model.sparc_ipx) () =
-  { m_clock = Clock.create (); m_profile = profile; procs = [] }
+  { m_clock = Clock.create (); m_profile = profile; procs_rev = [] }
 
 let clock m = m.m_clock
 
@@ -51,7 +54,7 @@ let make_mproc m ?policy ?perverted ?seed ?main_prio ~name f =
     { mp_name = name; mp_eng = eng; mp_body = body; mp_state = Not_started;
       mp_waiters = [] }
   in
-  m.procs <- m.procs @ [ p ];
+  m.procs_rev <- p :: m.procs_rev;
   p
 
 let spawn m ?policy ?perverted ?seed ?main_prio ~name f =
@@ -99,7 +102,7 @@ let step p =
 
 (* Monotone progress metric: every thread resumption in any process. *)
 let total_dispatches m =
-  List.fold_left (fun acc p -> acc + p.mp_eng.n_dispatches) 0 m.procs
+  List.fold_left (fun acc p -> acc + p.mp_eng.n_dispatches) 0 (procs m)
 
 let run m =
   let last_switches = ref (-1) in
@@ -113,10 +116,10 @@ let run m =
             ran := true;
             step p
         | Idle _ | Done _ -> ())
-      m.procs;
+      (procs m);
     if !ran then loop ()
     else begin
-      let idle = List.filter (fun p -> match p.mp_state with Idle _ -> true | _ -> false) m.procs in
+      let idle = List.filter (fun p -> match p.mp_state with Idle _ -> true | _ -> false) (procs m) in
       if idle = [] then () (* all done *)
       else begin
         let wake_all () =
@@ -125,7 +128,7 @@ let run m =
               match p.mp_state with
               | Idle (_, k) -> p.mp_state <- Runnable k
               | _ -> ())
-            m.procs
+            (procs m)
         in
         let switches = total_dispatches m in
         if switches <> !last_switches then begin
@@ -169,7 +172,8 @@ let run m =
                          (String.concat ", "
                             (List.map
                                (fun t -> Format.asprintf "%a" Tcb.pp t)
-                               (List.filter Tcb.is_live p.mp_eng.all_threads))))
+                               (List.filter Tcb.is_live
+                                  (Engine.thread_list p.mp_eng)))))
                      idle)
               in
               raise (Machine_deadlock desc)
@@ -184,7 +188,7 @@ let run m =
       | Done r -> (p.mp_name, r)
       | Not_started | Runnable _ | Idle _ ->
           (p.mp_name, Stopped (Deadlock "machine stopped early")))
-    m.procs
+    (procs m)
 
 (* ------------------------------------------------------------------ *)
 (* Process control (the paper: "the support is currently being extended

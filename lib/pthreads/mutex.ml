@@ -24,7 +24,7 @@ let create eng ?name ?(protocol = No_protocol) ?ceiling () =
     m_ceiling;
     m_locked = false;
     m_owner = None;
-    m_waiters = [];
+    m_waiters = Wait_queue.create ();
     m_locks = 0;
     m_contended = 0;
   }
@@ -77,7 +77,7 @@ let lock_slow eng m =
   | _ -> ());
   let rec wait () =
     self.state <- Blocked (On_mutex m);
-    m.m_waiters <- Tcb.insert_by_prio m.m_waiters self;
+    Wait_queue.push_tail m.m_waiters self;
     let (_ : wake) = Engine.block eng in
     (* Resumed outside the kernel.  The handler wrapper (fake calls) runs
        only now — a mutex wait is not an interruption point. *)
@@ -141,11 +141,11 @@ let lower_on_unlock eng m =
 
 let release_transfer eng m =
   (* Wake the highest-priority waiter, handing it the mutex directly. *)
-  match m.m_waiters with
-  | [] ->
+  match Wait_queue.peek_highest m.m_waiters with
+  | None ->
       m.m_locked <- false;
       m.m_owner <- None
-  | w :: _ ->
+  | Some w ->
       Engine.charge eng Costs.mutex_transfer;
       m.m_owner <- Some w;
       Engine.unblock eng w Wake_normal
@@ -163,7 +163,7 @@ let do_unlock eng m ~dispatching =
      must restore the saved level but can still avoid the kernel unless the
      restoration makes a preemption necessary. *)
   let uncontended_fast =
-    m.m_waiters = []
+    Wait_queue.is_empty m.m_waiters
     &&
     match m.m_protocol with
     | No_protocol -> true
@@ -174,7 +174,8 @@ let do_unlock eng m ~dispatching =
     m.m_locked <- false;
     m.m_owner <- None
   end
-  else if m.m_waiters = [] && m.m_protocol = Ceiling_protocol then begin
+  else if Wait_queue.is_empty m.m_waiters && m.m_protocol = Ceiling_protocol
+  then begin
     m.m_locked <- false;
     m.m_owner <- None;
     lower_on_unlock eng m;
@@ -203,6 +204,6 @@ let release_in_kernel eng m = do_unlock eng m ~dispatching:false
 
 let owner_tid m = Option.map (fun t -> t.tid) m.m_owner
 let is_locked m = m.m_locked
-let waiter_count m = List.length m.m_waiters
+let waiter_count m = Wait_queue.size m.m_waiters
 let lock_count m = m.m_locks
 let contention_count m = m.m_contended

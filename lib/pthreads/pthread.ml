@@ -108,7 +108,7 @@ let join eng tid =
         if t.state = Terminated then ()
         else begin
           self.state <- Blocked (On_join t);
-          t.joiners <- self :: t.joiners;
+          Wait_queue.push_head t.joiners self;
           let (_ : wake) = Engine.block eng in
           Engine.drain_fake_calls eng;
           Engine.test_cancel eng;
@@ -118,7 +118,7 @@ let join eng tid =
       in
       wait ();
       (* in the kernel; reap *)
-      if not (List.memq t eng.all_threads) then begin
+      if not (Engine.is_registered eng t) then begin
         Engine.leave_kernel eng;
         invalid_arg "Pthread.join: thread was joined concurrently"
       end

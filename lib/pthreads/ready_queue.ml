@@ -1,60 +1,47 @@
 open Types
 module Rng = Import.Rng
 
-let push_tail eng t = eng.ready.(t.prio) <- eng.ready.(t.prio) @ [ t ]
+(* The ready structure is one [Wait_queue.pq]: 32 intrusive FIFO deques
+   plus a bitmap of non-empty levels.  Every operation below is O(1)
+   except [pop_random], which the perverted random policy pays O(n) for a
+   single walk (it used to be O(n^2): List.nth + List.filter per level). *)
 
-let push_head eng t = eng.ready.(t.prio) <- t :: eng.ready.(t.prio)
-
-let push_tail_lowest eng t =
-  eng.ready.(min_prio) <- eng.ready.(min_prio) @ [ t ]
-
-let remove eng t =
-  for p = min_prio to max_prio do
-    eng.ready.(p) <- List.filter (fun x -> x != t) eng.ready.(p)
-  done
-
-let highest_prio eng =
-  let rec go p =
-    if p < min_prio then None
-    else if eng.ready.(p) <> [] then Some p
-    else go (p - 1)
-  in
-  go max_prio
-
-let pop_highest eng =
-  match highest_prio eng with
-  | None -> None
-  | Some p -> (
-      match eng.ready.(p) with
-      | t :: rest ->
-          eng.ready.(p) <- rest;
-          Some t
-      | [] -> assert false)
-
-let size eng =
-  Array.fold_left (fun acc q -> acc + List.length q) 0 eng.ready
+let push_tail eng t = Wait_queue.push_tail eng.ready t
+let push_head eng t = Wait_queue.push_head eng.ready t
+let push_tail_lowest eng t = Wait_queue.push_tail_at eng.ready t min_prio
+let remove eng t = Wait_queue.remove eng.ready t
+let highest_prio eng = Wait_queue.highest_prio eng.ready
+let pop_highest eng = Wait_queue.pop_highest eng.ready
+let size eng = Wait_queue.size eng.ready
+let iter eng f = Wait_queue.iter eng.ready f
 
 let pop_random eng rng =
-  let n = size eng in
+  let q = eng.ready in
+  let n = Wait_queue.size q in
   if n = 0 then None
   else begin
     let idx = Rng.int rng n in
-    (* Walk levels top-down counting until the chosen index. *)
+    (* Walk levels top-down counting until the chosen index — the same
+       order the list implementation counted in, so identical seeds pick
+       identical threads. *)
     let found = ref None in
     let seen = ref 0 in
-    for p = max_prio downto min_prio do
-      if !found = None then begin
-        let len = List.length eng.ready.(p) in
-        if idx < !seen + len then begin
-          let k = idx - !seen in
-          let t = List.nth eng.ready.(p) k in
-          eng.ready.(p) <- List.filter (fun x -> x != t) eng.ready.(p);
-          found := Some t
-        end
-        else seen := !seen + len
+    let p = ref max_prio in
+    while !found = None && !p >= min_prio do
+      let l = q.pq_levels.(!p) in
+      if idx < !seen + l.lv_len then begin
+        let t = ref l.lv_head in
+        for _ = 1 to idx - !seen do
+          t := match !t with Some x -> x.q_next | None -> None
+        done;
+        match !t with
+        | Some t ->
+            Wait_queue.remove q t;
+            found := Some t
+        | None -> assert false
       end
+      else seen := !seen + l.lv_len;
+      decr p
     done;
     !found
   end
-
-let iter eng f = Array.iter (fun q -> List.iter f q) eng.ready

@@ -1,8 +1,10 @@
-(** The dispatcher's ready structure: one FIFO queue per priority level.
+(** The dispatcher's ready structure: one FIFO deque per priority level
+    plus a bitmap of non-empty levels (see {!Wait_queue}).
 
-    The queues live in [engine.ready] (an array indexed by priority, head of
-    each list runs next).  Functions take the engine so the perverted random
-    policy can also remove a uniformly random thread. *)
+    The structure lives in [engine.ready]; the head of each level runs
+    next.  Push, pop, remove and highest-priority lookup are O(1).
+    Functions take the engine so the perverted random policy can also
+    remove a uniformly random thread. *)
 
 open Types
 

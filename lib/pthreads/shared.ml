@@ -4,14 +4,36 @@ open Types
    (the paper expects this to be slower than process-local objects). *)
 let shared_access_insns = 60
 
+(* Amortized-O(1) FIFO (batched queue): push onto [back], pop from [front],
+   reversing [back] only when [front] runs dry. *)
+type 'a fifo = { mutable front : 'a list; mutable back : 'a list }
+
+let fifo_create () = { front = []; back = [] }
+let fifo_push q x = q.back <- x :: q.back
+
+let fifo_pop q =
+  (match q.front with
+  | [] ->
+      q.front <- List.rev q.back;
+      q.back <- []
+  | _ -> ());
+  match q.front with
+  | [] -> None
+  | x :: rest ->
+      q.front <- rest;
+      Some x
+
+let fifo_is_empty q = q.front = [] && q.back = []
+let fifo_length q = List.length q.front + List.length q.back
+
 type mutex = {
   sm_name : string;
   mutable sm_owner : (engine * tcb) option;
-  mutable sm_waiters : (engine * tcb) list;  (** FIFO across processes *)
+  sm_waiters : (engine * tcb) fifo;  (** FIFO across processes *)
 }
 
 let mutex_create ?(name = "shared-mutex") () =
-  { sm_name = name; sm_owner = None; sm_waiters = [] }
+  { sm_name = name; sm_owner = None; sm_waiters = fifo_create () }
 
 let holds proc self sm =
   match sm.sm_owner with
@@ -31,7 +53,7 @@ let lock proc sm =
         sm.sm_owner <- Some (proc, self);
         Engine.trace proc self (Vm.Trace.Mutex_lock sm.sm_name)
     | Some _ ->
-        sm.sm_waiters <- sm.sm_waiters @ [ (proc, self) ];
+        fifo_push sm.sm_waiters (proc, self);
         self.state <- Blocked (On_shared sm.sm_name);
         Engine.trace proc self (Vm.Trace.Mutex_block sm.sm_name);
         let (_ : wake) = Engine.block proc in
@@ -64,10 +86,9 @@ let release_in_kernel proc sm =
     invalid_arg ("Shared.unlock: " ^ sm.sm_name ^ " not held by caller");
   Engine.charge proc shared_access_insns;
   Engine.trace proc self (Vm.Trace.Mutex_unlock sm.sm_name);
-  match sm.sm_waiters with
-  | [] -> sm.sm_owner <- None
-  | (p, t) :: rest ->
-      sm.sm_waiters <- rest;
+  match fifo_pop sm.sm_waiters with
+  | None -> sm.sm_owner <- None
+  | Some (p, t) ->
       sm.sm_owner <- Some (p, t);
       (* wake the waiter in its own process; its scheduler notices at the
          next machine round *)
@@ -89,14 +110,15 @@ let owner sm =
       Some (pname, t.tid)
   | None -> None
 
-let waiter_count sm = List.length sm.sm_waiters
+let waiter_count sm = fifo_length sm.sm_waiters
 
 type cond = {
   sc_name : string;
-  mutable sc_waiters : (engine * tcb) list;  (** FIFO across processes *)
+  sc_waiters : (engine * tcb) fifo;  (** FIFO across processes *)
 }
 
-let cond_create ?(name = "shared-cond") () = { sc_name = name; sc_waiters = [] }
+let cond_create ?(name = "shared-cond") () =
+  { sc_name = name; sc_waiters = fifo_create () }
 
 let wait proc c sm =
   Engine.checkpoint proc;
@@ -108,7 +130,7 @@ let wait proc c sm =
   Engine.charge proc shared_access_insns;
   (* atomically: release the shared mutex and suspend *)
   release_in_kernel proc sm;
-  c.sc_waiters <- c.sc_waiters @ [ (proc, self) ];
+  fifo_push c.sc_waiters (proc, self);
   self.state <- Blocked (On_shared c.sc_name);
   Engine.trace proc self (Vm.Trace.Cond_block c.sc_name);
   let (_ : wake) = Engine.block proc in
@@ -118,10 +140,9 @@ let wait proc c sm =
   Engine.test_cancel proc
 
 let wake_one proc c =
-  match c.sc_waiters with
-  | [] -> ()
-  | (p, t) :: rest ->
-      c.sc_waiters <- rest;
+  match fifo_pop c.sc_waiters with
+  | None -> ()
+  | Some (p, t) ->
       Engine.trace proc t (Vm.Trace.Cond_wake c.sc_name);
       Engine.unblock p t Wake_normal
 
@@ -137,13 +158,13 @@ let broadcast proc c =
   Engine.checkpoint proc;
   Engine.enter_kernel proc;
   Engine.charge proc shared_access_insns;
-  while c.sc_waiters <> [] do
+  while not (fifo_is_empty c.sc_waiters) do
     wake_one proc c
   done;
   Engine.leave_kernel proc;
   Engine.drain_fake_calls proc
 
-let cond_waiter_count c = List.length c.sc_waiters
+let cond_waiter_count c = fifo_length c.sc_waiters
 
 (* Cross-process counting semaphores, layered on the shared mutex and
    condition variable exactly as Psem layers them on the local ones. *)

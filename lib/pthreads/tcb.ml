@@ -22,7 +22,7 @@ let make ~tid ~name ~prio ~detached ~body ~deferred =
     cancel_type = Cancel_controlled;
     cancel_pending = false;
     retval = None;
-    joiners = [];
+    joiners = Wait_queue.create ();
     cont = Not_started body;
     pending_wake = Wake_normal;
     owned = [];
@@ -30,23 +30,17 @@ let make ~tid ~name ~prio ~detached ~body ~deferred =
     suspended = false;
     wait_deadline = None;
     n_switches_in = 0;
+    q_next = None;
+    q_prev = None;
+    q_in = None;
+    q_level = 0;
+    at_next = None;
+    at_prev = None;
   }
 
 let is_blocked t = match t.state with Blocked _ -> true | _ -> false
 
 let is_live t = t.state <> Terminated
-
-let insert_by_prio queue t =
-  let rec go = function
-    | [] -> [ t ]
-    | x :: rest as q -> if t.prio > x.prio then t :: q else x :: go rest
-  in
-  go queue
-
-let remove_from queue t = List.filter (fun x -> x != t) queue
-
-let resort queue =
-  List.stable_sort (fun a b -> compare b.prio a.prio) queue
 
 let pp ppf t =
   Format.fprintf ppf "%s(#%d prio=%d/%d %s)" t.tname t.tid t.prio t.base_prio

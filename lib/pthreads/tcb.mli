@@ -17,17 +17,9 @@ val is_blocked : tcb -> bool
 val is_live : tcb -> bool
 (** Not terminated. *)
 
-val insert_by_prio : tcb list -> tcb -> tcb list
-(** Insert into a wait queue ordered by descending effective priority, FIFO
-    within a level — the order mutex and condition wakeups must honor
-    ("the waiting thread with the highest priority will acquire the
-    mutex"). *)
-
-val remove_from : tcb list -> tcb -> tcb list
-(** Physical-equality removal. *)
-
-val resort : tcb list -> tcb list
-(** Re-establish priority order after an element's priority changed
-    (stable for equal priorities). *)
-
 val pp : Format.formatter -> tcb -> unit
+
+(** Waiter queues (mutex, condition variable, join) are {!Wait_queue}
+    structures ordered by descending effective priority, FIFO within a
+    level — the order mutex and condition wakeups must honor ("the waiting
+    thread with the highest priority will acquire the mutex"). *)

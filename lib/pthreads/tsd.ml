@@ -46,4 +46,4 @@ let delete_key eng k =
   (* the destructor is unregistered and remaining values dropped: POSIX
      makes freeing them the application's responsibility before deleting *)
   eng.tsd_destructors.(k.k_index) <- None;
-  List.iter (fun t -> t.tsd.(k.k_index) <- None) eng.all_threads
+  Engine.iter_threads eng (fun t -> t.tsd.(k.k_index) <- None)

@@ -98,7 +98,9 @@ and tcb = {
   mutable prio : int;  (** effective priority after protocol boosts *)
   mutable boost_stack : int list;  (** ceiling protocol: saved levels *)
   mutable sigmask : Sigset.t;
-  mutable thr_pending : pending_sig list;  (** signals pended on the thread *)
+  mutable thr_pending : pending_sig list;
+      (** signals pended on the thread; newest first, delivered oldest
+          first *)
   mutable sigwait_set : Sigset.t;  (** non-empty only while in [sigwait] *)
   mutable sigwait_result : signo option;
   mutable fake_frames : fake_frame list;  (** newest first *)
@@ -109,7 +111,7 @@ and tcb = {
   mutable cancel_type : cancel_type;
   mutable cancel_pending : bool;
   mutable retval : exit_status option;
-  mutable joiners : tcb list;
+  joiners : pq;  (** threads blocked joining this one *)
   mutable cont : cont_state;
   mutable pending_wake : wake;
   mutable owned : mutex list;  (** mutexes currently held (for inheritance) *)
@@ -121,6 +123,36 @@ and tcb = {
           instead of becoming ready when its wait completes *)
   mutable wait_deadline : int option;  (** absolute ns, for timed waits *)
   mutable n_switches_in : int;
+  (* Intrusive queue links.  A thread occupies at most one priority queue
+     at any time (the ready queue XOR one wait queue), so a single pair of
+     links plus the owning queue suffices for O(1) push/pop/remove. *)
+  mutable q_next : tcb option;
+  mutable q_prev : tcb option;
+  mutable q_in : pq option;  (** the queue currently holding this thread *)
+  mutable q_level : int;
+      (** bucket index within [q_in]; usually [prio], but the perverted
+          policies park threads in the lowest bucket regardless *)
+  (* Intrusive links of the engine's all-threads list (creation order). *)
+  mutable at_next : tcb option;
+  mutable at_prev : tcb option;
+}
+
+(** A priority-bucketed FIFO multiqueue: one intrusive doubly-linked deque
+    per priority level plus a bitmap of non-empty levels.  Used for the
+    dispatcher's ready structure and for every waiter queue (mutex, cond,
+    join), giving O(1) push/pop/remove and O(1) highest-priority lookup
+    (highest-set-bit over [n_prios] bits).  Operations live in
+    [Wait_queue]; [Ready_queue] wraps the engine's instance. *)
+and pq = {
+  pq_levels : pq_level array;  (** length [n_prios], index = priority *)
+  mutable pq_bits : int;  (** bit [p] set iff level [p] is non-empty *)
+  mutable pq_size : int;  (** maintained element count *)
+}
+
+and pq_level = {
+  mutable lv_head : tcb option;  (** runs/wakes first *)
+  mutable lv_tail : tcb option;
+  mutable lv_len : int;
 }
 
 and cont_state =
@@ -135,7 +167,7 @@ and mutex = {
   mutable m_ceiling : int;
   mutable m_locked : bool;
   mutable m_owner : tcb option;
-  mutable m_waiters : tcb list;  (** priority order, FIFO within a level *)
+  m_waiters : pq;  (** priority order, FIFO within a level *)
   mutable m_locks : int;  (** statistics *)
   mutable m_contended : int;
 }
@@ -143,7 +175,7 @@ and mutex = {
 and cond = {
   c_id : int;
   c_name : string;
-  mutable c_waiters : tcb list;  (** priority order, FIFO within a level *)
+  c_waiters : pq;  (** priority order, FIFO within a level *)
   mutable c_mutex : mutex option;  (** bound while waiters exist *)
 }
 
@@ -183,6 +215,17 @@ type stop_reason =
   | Killed_by_signal of signo  (** default action of an unhandled signal *)
   | Deadlock of string
 
+(** All live (or terminated-but-unjoined) threads: an intrusive
+    doubly-linked list in creation order — the order the paper's
+    recipient-resolution rule 5 walks — plus a tid-keyed index so lookups
+    by id ([find_thread], the debugger, signal targeting) are O(1). *)
+type thread_table = {
+  mutable tt_head : tcb option;
+  mutable tt_tail : tcb option;
+  mutable tt_count : int;
+  tt_index : (int, tcb) Hashtbl.t;
+}
+
 type engine = {
   vm : Unix_kernel.t;
   heap : Heap.t;
@@ -191,14 +234,16 @@ type engine = {
   rng : Rng.t;
   mutable kernel_flag : bool;
   mutable dispatcher_flag : bool;
-  mutable deferred : pending_sig list;  (** caught while in the kernel *)
+  mutable deferred : pending_sig list;
+      (** caught while in the kernel; newest first, reversed when drained *)
   mutable current : tcb;
-  mutable ready : tcb list array;  (** index = priority; head runs next *)
-  mutable all_threads : tcb list;
+  ready : pq;  (** the dispatcher's ready structure; head of a level runs next *)
+  threads : thread_table;
   mutable next_tid : int;
   mutable next_obj : int;
   actions : action array;
-  mutable proc_pending : pending_sig list;  (** rule 6: no eligible thread *)
+  mutable proc_pending : pending_sig list;
+      (** rule 6: no eligible thread; newest first, reversed when drained *)
   mutable pick_random_next : bool;
       (** perverted random switch: next dispatch picks uniformly *)
   mutable live_count : int;
@@ -212,7 +257,9 @@ type engine = {
   mutable in_fiber : bool;  (** false while the scheduler loop itself runs *)
   mutable switch_hooks : (tcb -> unit) list;
       (** called on every dispatch with the thread switched in — the
-          paper's "context switches could become visible to the user" *)
+          paper's "context switches could become visible to the user".
+          Stored newest-first (O(1) registration); invoked in registration
+          order. *)
   mutable idle_hook : (int option -> bool) option;
       (** installed by [Machine] when this process shares a machine with
           others: called instead of advancing the clock when no thread is

@@ -31,8 +31,7 @@ let check_dispatch mon t =
            t.tname t.prio p)
   | _ -> ());
   (* mutex record consistency for every thread's held mutexes *)
-  List.iter
-    (fun th ->
+  Engine.iter_threads eng (fun th ->
       List.iter
         (fun m ->
           (match m.m_owner with
@@ -43,17 +42,14 @@ let check_dispatch mon t =
                    th.tname m.m_name));
           if not m.m_locked then
             report mon "ownership" (m.m_name ^ " is owned but not locked");
-          List.iter
-            (fun w ->
+          Wait_queue.iter m.m_waiters (fun w ->
               match w.state with
               | Blocked (On_mutex mw) when mw == m -> ()
               | _ ->
                   report mon "waiters"
                     (Printf.sprintf "%s queued on %s but in state %s" w.tname
-                       m.m_name (state_name w.state)))
-            m.m_waiters)
+                       m.m_name (state_name w.state))))
         th.owned)
-    eng.all_threads
 
 let install eng =
   let mon = { eng; found = []; checks = 0 } in

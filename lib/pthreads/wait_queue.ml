@@ -1,0 +1,136 @@
+open Types
+
+(* Highest set bit of a non-zero [n_prios]-bit word: branchy binary search,
+   constant time, no allocation. *)
+let highest_bit x =
+  let n = ref 0 and x = ref x in
+  if !x land 0xFFFF0000 <> 0 then begin
+    n := !n + 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF00 <> 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF0 <> 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0xC <> 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x2 <> 0 then incr n;
+  !n
+
+let create () =
+  {
+    pq_levels =
+      Array.init n_prios (fun _ ->
+          { lv_head = None; lv_tail = None; lv_len = 0 });
+    pq_bits = 0;
+    pq_size = 0;
+  }
+
+let size q = q.pq_size
+let is_empty q = q.pq_size = 0
+
+let check_free t =
+  match t.q_in with
+  | None -> ()
+  | Some _ -> invalid_arg ("Wait_queue: " ^ t.tname ^ " is already queued")
+
+let push_tail_at q t level =
+  check_free t;
+  let l = q.pq_levels.(level) in
+  t.q_in <- Some q;
+  t.q_level <- level;
+  t.q_next <- None;
+  t.q_prev <- l.lv_tail;
+  (match l.lv_tail with
+  | Some tail -> tail.q_next <- Some t
+  | None -> l.lv_head <- Some t);
+  l.lv_tail <- Some t;
+  l.lv_len <- l.lv_len + 1;
+  q.pq_bits <- q.pq_bits lor (1 lsl level);
+  q.pq_size <- q.pq_size + 1
+
+let push_head_at q t level =
+  check_free t;
+  let l = q.pq_levels.(level) in
+  t.q_in <- Some q;
+  t.q_level <- level;
+  t.q_prev <- None;
+  t.q_next <- l.lv_head;
+  (match l.lv_head with
+  | Some head -> head.q_prev <- Some t
+  | None -> l.lv_tail <- Some t);
+  l.lv_head <- Some t;
+  l.lv_len <- l.lv_len + 1;
+  q.pq_bits <- q.pq_bits lor (1 lsl level);
+  q.pq_size <- q.pq_size + 1
+
+let push_tail q t = push_tail_at q t t.prio
+let push_head q t = push_head_at q t t.prio
+
+let remove q t =
+  match t.q_in with
+  | Some q' when q' == q ->
+      let l = q.pq_levels.(t.q_level) in
+      (match t.q_prev with
+      | Some p -> p.q_next <- t.q_next
+      | None -> l.lv_head <- t.q_next);
+      (match t.q_next with
+      | Some n -> n.q_prev <- t.q_prev
+      | None -> l.lv_tail <- t.q_prev);
+      l.lv_len <- l.lv_len - 1;
+      if l.lv_len = 0 then q.pq_bits <- q.pq_bits land lnot (1 lsl t.q_level);
+      q.pq_size <- q.pq_size - 1;
+      t.q_in <- None;
+      t.q_prev <- None;
+      t.q_next <- None
+  | Some _ | None -> ()
+
+let highest_prio q =
+  if q.pq_bits = 0 then None else Some (highest_bit q.pq_bits)
+
+let peek_highest q =
+  if q.pq_bits = 0 then None
+  else q.pq_levels.(highest_bit q.pq_bits).lv_head
+
+let pop_highest q =
+  match peek_highest q with
+  | None -> None
+  | Some t ->
+      remove q t;
+      Some t
+
+(* Relink after [t.prio] changed from [old_prio] (already updated on the
+   TCB).  Reproduces what [List.stable_sort] on a priority-sorted list did:
+   a rising thread lands after its new equals (they preceded it), a falling
+   thread lands before them (it preceded them). *)
+let reposition q t ~old_prio =
+  match t.q_in with
+  | Some q' when q' == q ->
+      remove q t;
+      if t.prio > old_prio then push_tail q t else push_head q t
+  | Some _ | None -> ()
+
+let iter q f =
+  for p = max_prio downto min_prio do
+    let rec go = function
+      | None -> ()
+      | Some t ->
+          let next = t.q_next in
+          f t;
+          go next
+    in
+    go q.pq_levels.(p).lv_head
+  done
+
+let fold q f acc =
+  let acc = ref acc in
+  iter q (fun t -> acc := f !acc t);
+  !acc
+
+let to_list q = List.rev (fold q (fun acc t -> t :: acc) [])

@@ -71,7 +71,14 @@ let to_list set =
   in
   go [] max_signo
 
-let cardinal set = List.length (to_list set)
+let cardinal set =
+  (* popcount, no intermediate list *)
+  let n = ref 0 and bits = ref set in
+  while !bits <> 0 do
+    bits := !bits land (!bits - 1);
+    incr n
+  done;
+  !n
 
 let equal (a : t) b = a = b
 

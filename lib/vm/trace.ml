@@ -16,19 +16,105 @@ type kind =
 
 type event = { t_ns : int; tid : int; tname : string; kind : kind }
 
-type t = { mutable rev_events : event list; mutable enabled : bool }
+(* Growable ring buffer.  [record] writes into a preallocated slot — no
+   per-event list cell.  Without a capacity bound the array doubles as
+   needed; with one, the ring wraps and the oldest events are dropped
+   (counted in [dropped]). *)
+type t = {
+  mutable buf : event array;
+  mutable start : int;  (** index of the oldest event *)
+  mutable len : int;
+  mutable enabled : bool;
+  mutable cap_limit : int option;
+  mutable dropped : int;
+}
 
-let create () = { rev_events = []; enabled = false }
+let dummy = { t_ns = 0; tid = 0; tname = ""; kind = Note "" }
+let initial_size = 256
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Trace.create: capacity must be positive"
+  | _ -> ());
+  let size =
+    match capacity with Some c -> min c initial_size | None -> initial_size
+  in
+  {
+    buf = Array.make size dummy;
+    start = 0;
+    len = 0;
+    enabled = false;
+    cap_limit = capacity;
+    dropped = 0;
+  }
 
 let enabled t = t.enabled
 let set_enabled t b = t.enabled <- b
 
+let grow t =
+  let cap = Array.length t.buf in
+  let target =
+    match t.cap_limit with Some l -> min l (cap * 2) | None -> cap * 2
+  in
+  if target > cap then begin
+    let buf = Array.make target dummy in
+    for i = 0 to t.len - 1 do
+      buf.(i) <- t.buf.((t.start + i) mod cap)
+    done;
+    t.buf <- buf;
+    t.start <- 0
+  end
+
 let record t ~t_ns ~tid ~tname kind =
-  if t.enabled then t.rev_events <- { t_ns; tid; tname; kind } :: t.rev_events
+  if t.enabled then begin
+    let cap = Array.length t.buf in
+    if t.len = cap then grow t;
+    let cap = Array.length t.buf in
+    if t.len = cap then begin
+      (* at the capacity bound: overwrite the oldest *)
+      t.buf.(t.start) <- { t_ns; tid; tname; kind };
+      t.start <- (t.start + 1) mod cap;
+      t.dropped <- t.dropped + 1
+    end
+    else begin
+      t.buf.((t.start + t.len) mod cap) <- { t_ns; tid; tname; kind };
+      t.len <- t.len + 1
+    end
+  end
 
-let events t = List.rev t.rev_events
+let length t = t.len
+let dropped t = t.dropped
 
-let clear t = t.rev_events <- []
+let set_capacity t capacity =
+  (match capacity with
+  | Some c when c <= 0 ->
+      invalid_arg "Trace.set_capacity: capacity must be positive"
+  | _ -> ());
+  t.cap_limit <- capacity;
+  match capacity with
+  | Some c when t.len > c ->
+      (* shrink: keep the newest [c] events *)
+      let cap = Array.length t.buf in
+      let buf = Array.make c dummy in
+      let skip = t.len - c in
+      for i = 0 to c - 1 do
+        buf.(i) <- t.buf.((t.start + skip + i) mod cap)
+      done;
+      t.buf <- buf;
+      t.start <- 0;
+      t.len <- c;
+      t.dropped <- t.dropped + skip
+  | _ -> ()
+
+let events t =
+  let cap = Array.length t.buf in
+  List.init t.len (fun i -> t.buf.((t.start + i) mod cap))
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.dropped <- 0;
+  Array.fill t.buf 0 (Array.length t.buf) dummy
 
 let kind_to_string = function
   | Dispatch_in -> "dispatch-in"

@@ -25,8 +25,12 @@ type kind =
 type event = { t_ns : int; tid : int; tname : string; kind : kind }
 
 type t
+(** A growable ring buffer of events.  Recording writes into preallocated
+    slots — no per-event allocation beyond the event record itself. *)
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the buffer: once full, recording overwrites the
+    oldest event (counted by {!dropped}).  Unbounded by default. *)
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
@@ -36,6 +40,15 @@ val record : t -> t_ns:int -> tid:int -> tname:string -> kind -> unit
 
 val events : t -> event list
 (** In chronological order. *)
+
+val length : t -> int
+(** Events currently held, O(1). *)
+
+val dropped : t -> int
+(** Events overwritten because of the capacity bound. *)
+
+val set_capacity : t -> int option -> unit
+(** Change the bound; shrinking below {!length} drops the oldest events. *)
 
 val clear : t -> unit
 

@@ -108,6 +108,251 @@ let prop_pop_sorted =
       in
       go max_prio)
 
+(* ------------------------------------------------------------------ *)
+(* Model-based property tests: the bitmap/intrusive implementation vs.
+   the seed's naive list representation.                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference model: level -> tid list, FIFO within a level — exactly the
+   [tcb list array] the ready queue used to be. *)
+module Model = struct
+  type t = int list array
+
+  let create () = Array.make n_prios []
+  let push_tail m p tid = m.(p) <- m.(p) @ [ tid ]
+  let push_head m p tid = m.(p) <- tid :: m.(p)
+  let mem m tid = Array.exists (List.mem tid) m
+  let remove m tid =
+    Array.iteri (fun i l -> m.(i) <- List.filter (( <> ) tid) l) m
+
+  let size m = Array.fold_left (fun a l -> a + List.length l) 0 m
+
+  let pop_highest m =
+    let rec go p =
+      if p < min_prio then None
+      else
+        match m.(p) with
+        | [] -> go (p - 1)
+        | tid :: rest ->
+            m.(p) <- rest;
+            Some tid
+    in
+    go max_prio
+
+  (* The seed's pop_random: one uniform draw over all queued threads,
+     counted from the highest level down. *)
+  let pop_random m rng =
+    let n = size m in
+    if n = 0 then None
+    else begin
+      let idx = Vm.Rng.int rng n in
+      let seen = ref 0 and found = ref None and p = ref max_prio in
+      while !found = None && !p >= min_prio do
+        let l = m.(!p) in
+        let len = List.length l in
+        if idx < !seen + len then begin
+          let tid = List.nth l (idx - !seen) in
+          m.(!p) <- List.filter (( <> ) tid) l;
+          found := Some tid
+        end;
+        seen := !seen + len;
+        decr p
+      done;
+      !found
+    end
+end
+
+let pool_size = 6
+
+(* An op is (kind, thread index, priority); pushes of an already-queued
+   thread are skipped on both sides, like the kernel's invariant that a
+   thread occupies at most one queue. *)
+let gen_ops =
+  QCheck2.Gen.(
+    list_size (int_range 1 60)
+      (triple (int_range 0 4) (int_range 0 (pool_size - 1)) (int_range 0 31)))
+
+let run_model_trace ops ~pop =
+  let eng = mk_engine () in
+  ignore (RQ.pop_highest eng);
+  let model = Model.create () in
+  let pool = Array.init pool_size (fun i -> mk_tcb (i + 1) 0) in
+  let ok = ref true in
+  let record_pop real_tid model_tid =
+    if real_tid <> model_tid then ok := false
+  in
+  let opt_tid = function Some (t : tcb) -> t.tid | None -> -1 in
+  let model_tid = function Some tid -> tid | None -> -1 in
+  List.iter
+    (fun (kind, idx, prio) ->
+      let t = pool.(idx) in
+      let queued = t.q_in <> None in
+      if queued <> Model.mem model t.tid then ok := false;
+      match kind with
+      | 0 ->
+          if not queued then begin
+            t.prio <- prio;
+            RQ.push_tail eng t;
+            Model.push_tail model prio t.tid
+          end
+      | 1 ->
+          if not queued then begin
+            t.prio <- prio;
+            RQ.push_head eng t;
+            Model.push_head model prio t.tid
+          end
+      | 2 ->
+          if not queued then begin
+            t.prio <- prio;
+            RQ.push_tail_lowest eng t;
+            Model.push_tail model min_prio t.tid
+          end
+      | 3 -> record_pop (opt_tid (pop eng)) (model_tid (Model.pop_highest model))
+      | _ ->
+          RQ.remove eng t;
+          Model.remove model t.tid)
+    ops;
+  if RQ.size eng <> Model.size model then ok := false;
+  (* drain both and require identical order *)
+  let rec drain_both () =
+    let r = opt_tid (pop eng) and m = model_tid (Model.pop_highest model) in
+    record_pop r m;
+    if r <> -1 || m <> -1 then drain_both ()
+  in
+  drain_both ();
+  !ok
+
+let prop_model_fifo =
+  qcheck ~count:300 "bitmap queue = list model (Fifo/Rr pop order)" gen_ops
+    (fun ops -> run_model_trace ops ~pop:RQ.pop_highest)
+
+let prop_model_random =
+  qcheck ~count:300
+    "bitmap queue = list model (Random_switch pop order, paired RNG)"
+    QCheck2.Gen.(pair gen_ops (int_range 0 10_000))
+    (fun (ops, seed) ->
+      (* same seed on both sides: the draws must line up exactly *)
+      let rng_real = Vm.Rng.create seed and rng_model = Vm.Rng.create seed in
+      let eng = mk_engine () in
+      ignore (RQ.pop_highest eng);
+      let model = Model.create () in
+      let pool = Array.init pool_size (fun i -> mk_tcb (i + 1) 0) in
+      let ok = ref true in
+      List.iter
+        (fun (kind, idx, prio) ->
+          let t = pool.(idx) in
+          let queued = t.q_in <> None in
+          match kind with
+          | 0 | 1 | 2 ->
+              if not queued then begin
+                t.prio <- prio;
+                RQ.push_tail eng t;
+                Model.push_tail model prio t.tid
+              end
+          | 3 ->
+              let r =
+                match RQ.pop_random eng rng_real with
+                | Some t -> t.tid
+                | None -> -1
+              and m =
+                match Model.pop_random model rng_model with
+                | Some tid -> tid
+                | None -> -1
+              in
+              if r <> m then ok := false
+          | _ ->
+              RQ.remove eng t;
+              Model.remove model t.tid)
+        ops;
+      let rec drain () =
+        let r =
+          match RQ.pop_random eng rng_real with Some t -> t.tid | None -> -1
+        and m =
+          match Model.pop_random model rng_model with
+          | Some tid -> tid
+          | None -> -1
+        in
+        if r <> m then ok := false;
+        if r <> -1 || m <> -1 then drain ()
+      in
+      drain ();
+      !ok)
+
+(* Wait-queue model: the seed kept waiter lists sorted by descending
+   priority (FIFO within a level) via [Tcb.insert_by_prio] and re-sorted
+   with [List.stable_sort] after a priority change.  The bucketed queue
+   must reproduce that order exactly, including after [reposition]. *)
+module WQ = Pthreads.Wait_queue
+
+let prop_wait_queue_model =
+  qcheck ~count:300 "wait queue = insert_by_prio/stable_sort reference"
+    QCheck2.Gen.(
+      list_size (int_range 1 60)
+        (triple (int_range 0 3) (int_range 0 (pool_size - 1)) (int_range 0 31)))
+    (fun ops ->
+      let q = WQ.create () in
+      let pool = Array.init pool_size (fun i -> mk_tcb (i + 1) 0) in
+      (* reference: (tid, prio) list, head = highest priority, oldest first
+         within a level *)
+      let model = ref [] in
+      let ref_insert tid p =
+        let rec go = function
+          | ((_, p') as x) :: rest when p' >= p -> x :: go rest
+          | rest -> (tid, p) :: rest
+        in
+        model := go !model
+      in
+      let ref_resort () =
+        model :=
+          List.stable_sort (fun (_, a) (_, b) -> compare b a) !model
+      in
+      let ok = ref true in
+      let agree () =
+        let real = List.map (fun (t : tcb) -> t.tid) (WQ.to_list q) in
+        let expect = List.map fst !model in
+        if real <> expect then ok := false
+      in
+      List.iter
+        (fun (kind, idx, prio) ->
+          let t = pool.(idx) in
+          let queued = t.q_in <> None in
+          (match kind with
+          | 0 ->
+              if not queued then begin
+                t.prio <- prio;
+                WQ.push_tail q t;
+                ref_insert t.tid prio
+              end
+          | 1 ->
+              WQ.remove q t;
+              model := List.filter (fun (tid, _) -> tid <> t.tid) !model
+          | 2 ->
+              (* priority change of a queued waiter (inheritance/ceiling) *)
+              if queued && t.prio <> prio then begin
+                let old_prio = t.prio in
+                t.prio <- prio;
+                WQ.reposition q t ~old_prio;
+                model :=
+                  List.map
+                    (fun (tid, p) -> if tid = t.tid then (tid, prio) else (tid, p))
+                    !model;
+                ref_resort ()
+              end
+          | _ -> (
+              let r =
+                match WQ.pop_highest q with Some t -> t.tid | None -> -1
+              and m =
+                match !model with
+                | (tid, _) :: rest ->
+                    model := rest;
+                    tid
+                | [] -> -1
+              in
+              if r <> m then ok := false));
+          agree ())
+        ops;
+      !ok)
+
 let suite =
   [
     ( "ready_queue",
@@ -121,5 +366,8 @@ let suite =
         tc "pop random deterministic" test_pop_random_deterministic;
         tc "pop random empty" test_pop_random_empty;
         prop_pop_sorted;
+        prop_model_fifo;
+        prop_model_random;
+        prop_wait_queue_model;
       ] );
   ]

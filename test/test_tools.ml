@@ -131,19 +131,20 @@ let test_debugger_switch_visibility () =
         ignore (Pthread.join proc t);
         0)
   in
-  let switches = Debugger.collect_switches proc in
+  let get_switches = Debugger.collect_switches proc in
   Pthread.start proc;
-  check bool "switches observed" true (List.length !switches >= 6);
+  let switches = get_switches () in
+  check bool "switches observed" true (List.length switches >= 6);
   check bool "both threads appear" true
-    (List.exists (fun e -> e.Debugger.sw_name = "peer") !switches
-    && List.exists (fun e -> e.Debugger.sw_name = "main") !switches);
+    (List.exists (fun e -> e.Debugger.sw_name = "peer") switches
+    && List.exists (fun e -> e.Debugger.sw_name = "main") switches);
   (* timestamps are monotone *)
   let rec monotone = function
     | a :: (b :: _ as rest) ->
         a.Debugger.sw_at_ns <= b.Debugger.sw_at_ns && monotone rest
     | _ -> true
   in
-  check bool "monotone timestamps" true (monotone !switches)
+  check bool "monotone timestamps" true (monotone switches)
 
 let test_trace_stats_accounting () =
   let proc =
