@@ -1,0 +1,106 @@
+(* Explorer throughput and reduction benchmark.
+
+     dune exec bench/bench_explore.exe            # full numbers
+     dune exec bench/bench_explore.exe -- --smoke # reduced CI budget
+
+   Prints one human-readable line per measurement plus a JSON summary line
+   (prefix "BENCH_explore:") in the style of BENCH_sched.json, so CI can
+   scrape throughput regressions. *)
+
+module E = Check.Explore
+module S = Check.Scenarios
+
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
+
+type row = {
+  r_name : string;
+  r_runs : int;
+  r_steps : int;
+  r_secs : float;
+  r_full_runs : int option;  (** full-enumeration run count, when measured *)
+  r_full_capped : bool;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let explore ?config name mk =
+  let result, secs = time (fun () -> E.run ?config mk) in
+  (match result.E.failure with
+  | Some f ->
+      Printf.eprintf "%s: unexpected failure %s\n" name
+        (E.failure_kind_to_string f.E.kind);
+      exit 1
+  | None -> ());
+  (result.E.stats, secs)
+
+let no_reduction = { E.default_config with dpor = false; sleep_sets = false }
+
+let bench ~full_budget (s : S.t) =
+  let stats, secs = explore s.name s.make in
+  (* full enumeration for the reduction ratio; capped where intractable,
+     which makes the reported ratio a lower bound *)
+  let full, _ =
+    explore ~config:{ no_reduction with max_runs = full_budget }
+      (s.name ^ " (full)") s.make
+  in
+  let capped = not full.E.complete in
+  Printf.printf
+    "%-12s dpor: %6d runs, %8d steps, %6.2f s (%.0f schedules/s)\n" s.name
+    stats.E.runs stats.E.steps secs
+    (float_of_int stats.E.runs /. secs);
+  Printf.printf "%-12s full: %6d runs%s  reduction: %s%.1fx\n" ""
+    full.E.runs
+    (if capped then " (budget hit)" else "")
+    (if capped then ">= " else "")
+    (float_of_int full.E.runs /. float_of_int stats.E.runs);
+  {
+    r_name = s.name;
+    r_runs = stats.E.runs;
+    r_steps = stats.E.steps;
+    r_secs = secs;
+    r_full_runs = Some full.E.runs;
+    r_full_capped = capped;
+  }
+
+let json_of_row r =
+  Printf.sprintf
+    "{\"scenario\": %S, \"runs\": %d, \"steps\": %d, \"secs\": %.3f, \
+     \"schedules_per_sec\": %.0f%s}"
+    r.r_name r.r_runs r.r_steps r.r_secs
+    (float_of_int r.r_runs /. r.r_secs)
+    (match r.r_full_runs with
+    | None -> ""
+    | Some n ->
+        Printf.sprintf
+          ", \"full_runs\": %d, \"full_capped\": %b, \"reduction\": %.1f" n
+          r.r_full_capped
+          (float_of_int n /. float_of_int r.r_runs))
+
+let () =
+  let rows = ref [] in
+  let add r = rows := r :: !rows in
+  (* exact ratio: micro-two's full enumeration completes within budget *)
+  add (bench ~full_budget:200_000 S.micro_two);
+  add (bench ~full_budget:20_000 S.ordered_ab);
+  if not smoke then
+    (* 3 threads / 2 mutexes: DPOR exhausts it; full enumeration cannot *)
+    add (bench ~full_budget:100_000 S.three_two)
+  else begin
+    let stats, secs = explore S.three_two.name S.three_two.make in
+    Printf.printf "%-12s dpor: %6d runs, %8d steps, %6.2f s\n"
+      S.three_two.name stats.E.runs stats.E.steps secs;
+    add
+      {
+        r_name = S.three_two.name;
+        r_runs = stats.E.runs;
+        r_steps = stats.E.steps;
+        r_secs = secs;
+        r_full_runs = None;
+        r_full_capped = false;
+      }
+  end;
+  Printf.printf "BENCH_explore: {\"explore\": [%s]}\n"
+    (String.concat ", " (List.rev_map json_of_row !rows))

@@ -1,0 +1,68 @@
+(* Schedule exploration quick-start: exhaustively check a lock-order
+   deadlock, print the shrunk counterexample, and replay it.
+
+     dune exec examples/explore_demo.exe                 # full tour
+     dune exec examples/explore_demo.exe -- --smoke      # CI budget
+     dune exec examples/explore_demo.exe -- --golden DIR # regenerate the
+                                                         # golden .sched files
+*)
+
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
+
+let golden_dir =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = "--golden" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let emit_golden dir =
+  let emit (s : Check.Scenarios.t) file =
+    match (Check.Explore.run s.make).failure with
+    | None ->
+        Printf.eprintf "%s: expected a failure, found none\n" s.name;
+        exit 1
+    | Some f ->
+        let path = Filename.concat dir file in
+        let oc = open_out path in
+        output_string oc (Check.Schedule.to_string f.schedule);
+        Printf.fprintf oc "# scenario: %s\n# fails with: %s\n" s.name
+          (Check.Explore.failure_kind_to_string f.kind);
+        close_out oc;
+        Printf.printf "wrote %s (%d decisions)\n" path
+          (Check.Schedule.length f.schedule)
+  in
+  emit
+    (Check.Scenarios.table4 ~mode:Pthreads.Types.Stack_pop)
+    "table4_mixed.sched";
+  emit (Check.Scenarios.lost_wakeup ~fixed:false) "lost_wakeup.sched"
+
+let explore (s : Check.Scenarios.t) =
+  Printf.printf "== %s: %s\n%!" s.name s.descr;
+  let result = Check.Explore.run s.make in
+  Format.printf "   %a@." Check.Explore.pp_stats result.stats;
+  (match result.failure with
+  | None -> print_endline "   no failure in any schedule"
+  | Some f ->
+      Printf.printf "   FOUND %s\n"
+        (Check.Explore.failure_kind_to_string f.kind);
+      Printf.printf "   first witness: %d decisions, shrunk to %d\n"
+        (Check.Schedule.length f.first_schedule)
+        (Check.Schedule.length f.schedule);
+      Format.printf "   minimal schedule: %a@." Check.Schedule.pp f.schedule;
+      let r = Check.Replay.run s.make f.schedule in
+      Format.printf "   replay: %a@." Check.Replay.pp_report r);
+  print_newline ()
+
+let () =
+  match golden_dir with
+  | Some dir -> emit_golden dir
+  | None ->
+  explore Check.Scenarios.deadlock_ab;
+  explore Check.Scenarios.ordered_ab;
+  if not smoke then begin
+    explore (Check.Scenarios.lost_wakeup ~fixed:false);
+    explore (Check.Scenarios.table4 ~mode:Pthreads.Types.Stack_pop);
+    explore Check.Scenarios.three_two
+  end

@@ -1,0 +1,473 @@
+open Pthreads
+open Pthreads.Types
+module Rng = Vm.Rng
+module IntSet = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type failure_kind =
+  | Deadlocked of string
+  | Killed of int
+  | Invariant_violated of string
+  | Main_raised of string
+  | Bad_exit of int
+
+let failure_kind_to_string = function
+  | Deadlocked m -> "deadlock: " ^ m
+  | Killed s -> "killed by signal " ^ string_of_int s
+  | Invariant_violated m -> "invariant violated: " ^ m
+  | Main_raised m -> "main raised: " ^ m
+  | Bad_exit n -> Printf.sprintf "main exited with status %d" n
+
+type failure = {
+  kind : failure_kind;
+  schedule : Schedule.t;
+  first_schedule : Schedule.t;
+}
+
+type stats = {
+  runs : int;
+  steps : int;
+  max_depth : int;
+  pruned : int;
+  complete : bool;
+}
+
+type result = { failure : failure option; stats : stats }
+
+type config = {
+  max_runs : int;
+  max_steps : int;
+  dpor : bool;
+  sleep_sets : bool;
+  fail_on_nonzero_exit : bool;
+}
+
+let default_config =
+  {
+    max_runs = 100_000;
+    max_steps = 5_000;
+    dpor = true;
+    sleep_sets = true;
+    fail_on_nonzero_exit = true;
+  }
+
+let touch eng id = Engine.touch eng (Engine.key_user id)
+
+(* ------------------------------------------------------------------ *)
+(* Executing one run                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A run is a fresh engine driven to completion with an exploration hook
+   choosing at every scheduling point.  The recorded steps double as the
+   schedule (the chosen tids) and as the dependence trace (the footprints):
+   keys touched between decision [k] and decision [k+1] belong to step
+   [k]. *)
+
+type step = {
+  st_enabled : int list;  (** ready tids at this point, creation order *)
+  st_chosen : int;
+  mutable st_foot : int list;  (** keys the step touched; filled at [k+1] *)
+}
+
+type pick_ctx = {
+  pc_k : int;  (** decision index *)
+  pc_enabled : int list;
+  pc_prev : int option;  (** previously dispatched tid *)
+  pc_sleeping : int -> bool;
+  pc_sleep_add : int -> int list -> unit;
+      (** put a tid to sleep, with the footprint its pending step had when
+          it was explored earlier *)
+}
+
+exception Prune_run
+exception Too_deep
+exception Abort_run of failure_kind
+exception Diverged of int
+
+type run_end =
+  | Completed
+  | Failed_run of failure_kind
+  | Pruned  (** cut short by the sleep-set check *)
+  | Cut  (** exceeded the step budget: exploration no longer exhaustive *)
+
+(* Steps by different threads are dependent iff their footprints intersect,
+   where a step's footprint implicitly includes its executing thread. *)
+let dependent tid1 foot1 tid2 foot2 =
+  tid1 = tid2
+  || List.mem (Engine.key_thread tid1) foot2
+  || List.mem (Engine.key_thread tid2) foot1
+  || List.exists (fun k -> List.mem k foot2) foot1
+
+let default_pick ctx =
+  (* stay on the last-run thread when possible — fewer forced switches, so
+     shrunk counterexamples read naturally — else the lowest awake tid *)
+  let awake = List.filter (fun t -> not (ctx.pc_sleeping t)) ctx.pc_enabled in
+  match awake with
+  | [] -> raise Prune_run
+  | first :: rest -> (
+      match ctx.pc_prev with
+      | Some p when List.mem p awake -> p
+      | _ -> List.fold_left min first rest)
+
+let main_status eng =
+  match Engine.find_thread eng 0 with Some t -> t.retval | None -> None
+
+let exec ~(mk : unit -> engine) ~(cfg : config) ~(pick : pick_ctx -> int) () =
+  let eng = mk () in
+  let steps = ref [] in
+  let depth = ref 0 in
+  let sleep : (int * int list) list ref = ref [] in
+  let prev_tid = ref None in
+  let hook (cands : tcb list) =
+    (* close the previous step: its footprint is everything touched since *)
+    let foot = Engine.take_touched eng in
+    (match !steps with
+    | s :: _ ->
+        s.st_foot <- foot;
+        if cfg.sleep_sets then
+          sleep :=
+            List.filter
+              (fun (t, f) -> not (dependent s.st_chosen foot t f))
+              !sleep
+    | [] -> ());
+    (match Invariant.check eng with
+    | Some v -> raise (Abort_run (Invariant_violated v))
+    | None -> ());
+    if !depth >= cfg.max_steps then raise Too_deep;
+    let enabled = List.map (fun t -> t.tid) cands in
+    let ctx =
+      {
+        pc_k = !depth;
+        pc_enabled = enabled;
+        pc_prev = !prev_tid;
+        pc_sleeping = (fun tid -> List.mem_assoc tid !sleep);
+        pc_sleep_add =
+          (fun tid f ->
+            if not (List.mem_assoc tid !sleep) then sleep := (tid, f) :: !sleep);
+      }
+    in
+    let chosen = pick ctx in
+    incr depth;
+    prev_tid := Some chosen;
+    steps := { st_enabled = enabled; st_chosen = chosen; st_foot = [] } :: !steps;
+    match List.find_opt (fun t -> t.tid = chosen) cands with
+    | Some t -> t
+    | None -> invalid_arg "Explore: picked a tid that is not enabled"
+  in
+  Engine.set_explore_hook eng (Some hook);
+  let finish () =
+    let foot = Engine.take_touched eng in
+    (match !steps with
+    | s :: _ -> s.st_foot <- s.st_foot @ foot
+    | [] -> ());
+    match Invariant.check_final eng with
+    | Some v -> Failed_run (Invariant_violated v)
+    | None -> (
+        match main_status eng with
+        | Some (Failed e) -> Failed_run (Main_raised (Printexc.to_string e))
+        | Some (Exited n) when n <> 0 && cfg.fail_on_nonzero_exit ->
+            Failed_run (Bad_exit n)
+        | Some (Exited _ | Canceled) | None -> Completed)
+  in
+  let outcome =
+    try
+      Pthread.start eng;
+      finish ()
+    with
+    | Process_stopped (Deadlock msg) -> Failed_run (Deadlocked msg)
+    | Process_stopped (Killed_by_signal s) -> Failed_run (Killed s)
+    | Abort_run kind -> Failed_run kind
+    | Prune_run -> Pruned
+    | Too_deep -> Cut
+  in
+  (List.rev !steps, outcome)
+
+let schedule_of steps = Schedule.of_list (List.map (fun s -> s.st_chosen) steps)
+
+(* ------------------------------------------------------------------ *)
+(* Forced runs (replay, shrinking)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_forced ?(config = default_config) mk (sched : Schedule.t) ~strict =
+  let diverged = ref None in
+  let pick ctx =
+    if ctx.pc_k < Array.length sched then begin
+      let c = sched.(ctx.pc_k) in
+      if List.mem c ctx.pc_enabled then c
+      else if strict then raise (Diverged ctx.pc_k)
+      else begin
+        if !diverged = None then diverged := Some ctx.pc_k;
+        default_pick ctx
+      end
+    end
+    else default_pick ctx
+  in
+  let cfg = { config with sleep_sets = false } in
+  match exec ~mk ~cfg ~pick () with
+  | steps, outcome -> (steps, outcome, !diverged)
+  | exception Diverged k -> ([], Completed, Some k)
+
+let replay ?(config = default_config) mk sched =
+  let steps, outcome, diverged = run_forced ~config mk sched ~strict:false in
+  let kind = match outcome with Failed_run k -> Some k | _ -> None in
+  (kind, List.length steps, diverged)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A failing run is reproduced by forcing its full decision list; shorter
+   prefixes (with the deterministic default policy filling the tail) often
+   still fail.  Find the shortest failing prefix by binary search, then try
+   dropping individual decisions, and finally re-record the complete
+   decision list of the shrunk run so the emitted schedule replays without
+   any reliance on the default policy. *)
+
+let shrink ~cfg ~mk kind0 (full : Schedule.t) =
+  let fails (prefix : Schedule.t) =
+    match run_forced ~config:cfg mk prefix ~strict:true with
+    | _, Failed_run _, None -> true
+    | _ -> false
+  in
+  let sub a l = Array.sub a 0 l in
+  let lo = ref 0 and hi = ref (Array.length full) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fails (sub full mid) then hi := mid else lo := mid + 1
+  done;
+  let prefix =
+    (* failure depth need not be monotone in the prefix length; verify the
+       binary-search answer and fall back to the full list *)
+    if fails (sub full !lo) then sub full !lo else full
+  in
+  let prefix = ref prefix in
+  (* greedy pass: drop single decisions (the rest of the schedule usually
+     diverges, but when it does not the counterexample gets shorter) *)
+  let i = ref (Array.length !prefix - 1) in
+  while !i >= 0 do
+    let cand =
+      Array.append (Array.sub !prefix 0 !i)
+        (Array.sub !prefix (!i + 1) (Array.length !prefix - !i - 1))
+    in
+    if fails cand then prefix := cand;
+    decr i
+  done;
+  match run_forced ~config:cfg mk !prefix ~strict:true with
+  | steps, Failed_run kind, None -> (kind, schedule_of steps)
+  | _ -> (kind0, full) (* cannot happen: [prefix] was just verified *)
+
+let make_failure ~cfg ~mk kind steps =
+  let first_schedule = schedule_of steps in
+  if Array.length first_schedule = 0 then
+    { kind; schedule = first_schedule; first_schedule }
+  else
+    let kind', schedule = shrink ~cfg ~mk kind first_schedule in
+    { kind = kind'; schedule; first_schedule }
+
+(* ------------------------------------------------------------------ *)
+(* Systematic exploration (DPOR + sleep sets)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One cell per depth of the current exploration path, in the style of
+   dscheck's stateless DFS: the cell remembers which choices were taken
+   ([c_done]), which the race analysis demands ([c_backtrack]), and the
+   footprint each explored child had ([c_foot] — the sleep-set wake
+   condition for later branches). *)
+
+type cell = {
+  c_enabled : int list;
+  mutable c_chosen : int;
+  mutable c_done : IntSet.t;
+  mutable c_backtrack : IntSet.t;
+  c_foot : (int, int list) Hashtbl.t;
+}
+
+let run ?(config = default_config) mk =
+  let cfg = config in
+  let tbl : (int, cell) Hashtbl.t = Hashtbl.create 256 in
+  let len = ref 0 in
+  let prefix_len = ref 0 in
+  let runs = ref 0 and total_steps = ref 0 in
+  let max_depth = ref 0 and pruned = ref 0 in
+  let incomplete = ref false in
+  let failure = ref None in
+  let pick ctx =
+    if ctx.pc_k < !prefix_len then begin
+      let cell = Hashtbl.find tbl ctx.pc_k in
+      let c = cell.c_chosen in
+      if not (List.mem c ctx.pc_enabled) then
+        invalid_arg
+          "Explore: program is not deterministic (forced choice not enabled)";
+      (* siblings explored earlier go to sleep for this branch; a branch
+         whose own choice is already asleep is redundant *)
+      if cfg.sleep_sets then
+        IntSet.iter
+          (fun d ->
+            if d <> c then
+              match Hashtbl.find_opt cell.c_foot d with
+              | Some f -> ctx.pc_sleep_add d f
+              | None -> ())
+          cell.c_done;
+      if ctx.pc_sleeping c then raise Prune_run;
+      c
+    end
+    else default_pick ctx
+  in
+  let merge steps =
+    List.iteri
+      (fun k (s : step) ->
+        if k < !len then
+          Hashtbl.replace (Hashtbl.find tbl k).c_foot s.st_chosen s.st_foot
+        else begin
+          let cell =
+            {
+              c_enabled = s.st_enabled;
+              c_chosen = s.st_chosen;
+              c_done = IntSet.singleton s.st_chosen;
+              c_backtrack =
+                (if cfg.dpor then IntSet.empty
+                 else IntSet.of_list s.st_enabled);
+              c_foot = Hashtbl.create 4;
+            }
+          in
+          Hashtbl.replace cell.c_foot s.st_chosen s.st_foot;
+          Hashtbl.replace tbl k cell;
+          incr len
+        end)
+      steps
+  in
+  let analyze steps =
+    (* Flanagan–Godefroid backtrack updates, dscheck-style: for each step,
+       the last earlier dependent step by another thread is a race; demand
+       that the later thread be tried at the earlier point (or, if it was
+       not enabled there, everything that was). *)
+    if cfg.dpor then begin
+      let arr = Array.of_list steps in
+      let last : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      Array.iteri
+        (fun j (s : step) ->
+          let keys = Engine.key_thread s.st_chosen :: s.st_foot in
+          let race =
+            List.fold_left
+              (fun acc key ->
+                match Hashtbl.find_opt last key with
+                | Some i when arr.(i).st_chosen <> s.st_chosen -> (
+                    match acc with Some a when a >= i -> acc | _ -> Some i)
+                | _ -> acc)
+              None keys
+          in
+          (match race with
+          | Some i ->
+              let cell = Hashtbl.find tbl i in
+              if List.mem s.st_chosen cell.c_enabled then
+                cell.c_backtrack <- IntSet.add s.st_chosen cell.c_backtrack
+              else
+                cell.c_backtrack <-
+                  IntSet.union cell.c_backtrack (IntSet.of_list cell.c_enabled)
+          | None -> ());
+          List.iter (fun key -> Hashtbl.replace last key j) keys)
+        arr
+    end
+  in
+  let select () =
+    let rec go k =
+      if k < 0 then false
+      else
+        let cell = Hashtbl.find tbl k in
+        let pending = IntSet.diff cell.c_backtrack cell.c_done in
+        if IntSet.is_empty pending then go (k - 1)
+        else begin
+          let c = IntSet.min_elt pending in
+          cell.c_chosen <- c;
+          cell.c_done <- IntSet.add c cell.c_done;
+          for i = k + 1 to !len - 1 do
+            Hashtbl.remove tbl i
+          done;
+          len := k + 1;
+          prefix_len := k + 1;
+          true
+        end
+    in
+    go (!len - 1)
+  in
+  let rec driver () =
+    if !runs >= cfg.max_runs then incomplete := true
+    else begin
+      incr runs;
+      let steps, outcome = exec ~mk ~cfg ~pick () in
+      let n = List.length steps in
+      total_steps := !total_steps + n;
+      if n > !max_depth then max_depth := n;
+      merge steps;
+      analyze steps;
+      match outcome with
+      | Failed_run kind -> failure := Some (make_failure ~cfg ~mk kind steps)
+      | Completed | Pruned | Cut ->
+          if outcome = Pruned then incr pruned;
+          if outcome = Cut then incomplete := true;
+          if select () then driver ()
+    end
+  in
+  driver ();
+  {
+    failure = !failure;
+    stats =
+      {
+        runs = !runs;
+        steps = !total_steps;
+        max_depth = !max_depth;
+        pruned = !pruned;
+        complete = (not !incomplete) && !failure = None;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Random sampling                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sample ?(config = default_config) ?(runs = 100) ~seed mk =
+  let master = Rng.create seed in
+  let total_steps = ref 0 and max_depth = ref 0 in
+  let failure = ref None in
+  let done_runs = ref 0 in
+  let cfg = { config with sleep_sets = false } in
+  (try
+     for i = 0 to runs - 1 do
+       (* each walk gets its own stream, re-derivable from (seed, i) *)
+       let rng = Rng.fork master i in
+       let pick ctx =
+         List.nth ctx.pc_enabled (Rng.int rng (List.length ctx.pc_enabled))
+       in
+       incr done_runs;
+       let steps, outcome = exec ~mk ~cfg ~pick () in
+       let n = List.length steps in
+       total_steps := !total_steps + n;
+       if n > !max_depth then max_depth := n;
+       match outcome with
+       | Failed_run kind ->
+           failure := Some (make_failure ~cfg ~mk kind steps);
+           raise Exit
+       | Completed | Pruned | Cut -> ()
+     done
+   with Exit -> ());
+  {
+    failure = !failure;
+    stats =
+      {
+        runs = !done_runs;
+        steps = !total_steps;
+        max_depth = !max_depth;
+        pruned = 0;
+        complete = false;
+      };
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d run%s (%d pruned), %d steps, deepest %d, %s" s.runs
+    (if s.runs = 1 then "" else "s")
+    s.pruned s.steps s.max_depth
+    (if s.complete then "exhaustive" else "not exhaustive")

@@ -1,0 +1,85 @@
+(** Systematic schedule exploration over the Pthreads simulator.
+
+    The engine drives {!Pthreads.Engine}'s exploration hook: at every
+    scheduling point (kernel exit, checkpoint, blocking call) the running
+    thread is requeued and the hook chooses which ready thread runs next.
+    Because the whole simulation is deterministic, a run is identified by
+    its decision list — a {!Schedule.t} — and can be re-executed exactly.
+
+    {!run} enumerates interleavings depth-first, pruned with dynamic
+    partial-order reduction (persistent/backtrack sets in the style of
+    Flanagan–Godefroid, keyed on the objects each step touches) plus sleep
+    sets.  {!sample} random-walks instead, for state spaces too large to
+    exhaust.  Both check {!Invariant} at every decision point and shrink
+    any failing schedule to a minimal replayable counterexample. *)
+
+type failure_kind =
+  | Deadlocked of string  (** the dispatcher found no runnable thread *)
+  | Killed of int  (** fatal signal (e.g. a simulated SIGSEGV) *)
+  | Invariant_violated of string  (** see {!Invariant} *)
+  | Main_raised of string  (** uncaught exception in the main thread *)
+  | Bad_exit of int  (** main returned nonzero (assertion-style failures) *)
+
+val failure_kind_to_string : failure_kind -> string
+
+type failure = {
+  kind : failure_kind;
+  schedule : Schedule.t;  (** minimal shrunk counterexample *)
+  first_schedule : Schedule.t;  (** the schedule as first discovered *)
+}
+
+type stats = {
+  runs : int;  (** schedules executed (including pruned/shrinking ones) *)
+  steps : int;  (** total scheduling decisions taken *)
+  max_depth : int;  (** longest run, in decisions *)
+  pruned : int;  (** runs cut short by sleep sets *)
+  complete : bool;  (** state space exhausted (no failure, no budget cut) *)
+}
+
+type result = { failure : failure option; stats : stats }
+
+type config = {
+  max_runs : int;  (** exploration budget; exceeding it clears [complete] *)
+  max_steps : int;  (** per-run decision budget (guards non-termination) *)
+  dpor : bool;  (** partial-order reduction (off = enumerate everything) *)
+  sleep_sets : bool;
+  fail_on_nonzero_exit : bool;  (** treat [main <> 0] as a failure *)
+}
+
+val default_config : config
+
+val run : ?config:config -> (unit -> Pthreads.Types.engine) -> result
+(** [run mk] explores the program built by [mk] (typically
+    [fun () -> Pthread.make_proc body]) until the state space is exhausted,
+    a failure is found, or the budget runs out.  [mk] is called once per
+    run and must build a fresh, not-yet-started process each time. *)
+
+val sample :
+  ?config:config ->
+  ?runs:int ->
+  seed:int ->
+  (unit -> Pthreads.Types.engine) ->
+  result
+(** Random-walk sampling: [runs] independent runs, each choosing uniformly
+    among the ready threads with a stream forked from [seed].  Stops at the
+    first failure; [stats.complete] is always [false]. *)
+
+val replay :
+  ?config:config ->
+  (unit -> Pthreads.Types.engine) ->
+  Schedule.t ->
+  failure_kind option * int * int option
+(** [replay mk sched] re-executes [sched] and returns
+    [(outcome, steps, diverged_at)]: the failure it reproduced (if any),
+    the number of decisions taken, and the first index where the recorded
+    decision was not enabled ([None] for a faithful replay — which is what
+    a schedule recorded by this module always gives, determinism being the
+    point).  Prefer the {!Replay} wrapper in tests. *)
+
+val touch : Pthreads.Types.engine -> int -> unit
+(** Annotate the current step as touching user object [id].  Needed when a
+    racy interaction goes through plain OCaml state the library cannot see
+    (e.g. a shared flag); without the annotation DPOR may soundly skip the
+    racing interleavings of those steps. *)
+
+val pp_stats : Format.formatter -> stats -> unit

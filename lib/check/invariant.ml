@@ -1,0 +1,97 @@
+open Pthreads
+open Pthreads.Types
+
+(* All checks report through an early-exit reference: the first violation
+   found is the one the explorer attributes to the schedule, so the walk
+   order below is deliberately stable (mutexes, then conds, then threads,
+   each in creation order — the registries are newest-first). *)
+
+let find_violation eng ~final =
+  let bad = ref None in
+  let report msg = if !bad = None then bad := Some msg in
+  let owns_recorded o m = List.exists (fun x -> x == m) o.owned in
+  let check_mutex m =
+    (match (m.m_locked, m.m_owner) with
+    | true, None -> report (m.m_name ^ " is locked but has no owner")
+    | false, Some o ->
+        report (m.m_name ^ " has owner " ^ o.tname ^ " but is not locked")
+    | _ -> ());
+    (match m.m_owner with
+    | Some o when m.m_locked ->
+        if o.state = Terminated then
+          report
+            (Printf.sprintf "%s leaked: owner %s terminated while holding it"
+               m.m_name o.tname)
+        else if owns_recorded o m then begin
+          (* Discipline checks only once the owner has completed its
+             acquisition bookkeeping: a direct hand-off (release_transfer)
+             names the new owner before that thread has run again. *)
+          (match m.m_protocol with
+          | Inherit_protocol -> (
+              match Wait_queue.highest_prio m.m_waiters with
+              | Some p when o.prio < p ->
+                  report
+                    (Printf.sprintf
+                       "inheritance discipline violated: %s holds %s at prio \
+                        %d while a waiter has prio %d"
+                       o.tname m.m_name o.prio p)
+              | Some _ | None -> ())
+          | Ceiling_protocol ->
+              if o.prio < m.m_ceiling then
+                report
+                  (Printf.sprintf
+                     "ceiling discipline violated: %s holds %s at prio %d \
+                      below ceiling %d"
+                     o.tname m.m_name o.prio m.m_ceiling)
+          | No_protocol -> ())
+        end
+    | _ -> ());
+    Wait_queue.iter m.m_waiters (fun w ->
+        match w.state with
+        | Blocked (On_mutex m') when m' == m -> ()
+        | _ ->
+            report
+              (Printf.sprintf "%s is queued on %s but is %s" w.tname m.m_name
+                 (state_name w.state)));
+    if final && m.m_locked then
+      report
+        (m.m_name ^ " still locked at process exit"
+        ^ match m.m_owner with Some o -> " (owner " ^ o.tname ^ ")" | None -> "")
+  in
+  let check_cond c =
+    (match c.c_mutex with
+    | Some _ when Wait_queue.is_empty c.c_waiters ->
+        report (c.c_name ^ " is bound to a mutex but has no waiters")
+    | None when not (Wait_queue.is_empty c.c_waiters) ->
+        report (c.c_name ^ " has waiters but no bound mutex")
+    | _ -> ());
+    Wait_queue.iter c.c_waiters (fun w ->
+        match w.state with
+        | Blocked (On_cond c') when c' == c -> ()
+        | _ ->
+            report
+              (Printf.sprintf "%s is queued on %s but is %s" w.tname c.c_name
+                 (state_name w.state)))
+  in
+  let check_thread t =
+    if t.prio < min_prio || t.prio > max_prio then
+      report (Printf.sprintf "%s has out-of-range prio %d" t.tname t.prio);
+    List.iter
+      (fun m ->
+        (match m.m_owner with
+        | Some o when o == t -> ()
+        | _ ->
+            report
+              (Printf.sprintf "%s lists %s as held but is not its owner"
+                 t.tname m.m_name));
+        if not m.m_locked then
+          report (m.m_name ^ " is in an owned list but not locked"))
+      t.owned
+  in
+  List.iter check_mutex (List.rev eng.all_mutexes);
+  List.iter check_cond (List.rev eng.all_conds);
+  Engine.iter_threads eng check_thread;
+  !bad
+
+let check eng = find_violation eng ~final:false
+let check_final eng = find_violation eng ~final:true

@@ -1,0 +1,28 @@
+(** Safety invariants of the Pthreads library, checkable at any scheduling
+    point.
+
+    These encode the paper's core correctness claims as state predicates so
+    the {!Explore} engine can test them in {e every} reachable interleaving
+    rather than on one lucky trace:
+
+    - mutex ownership: a locked mutex has exactly one owner, owner records
+      and mutex records agree, and every queued waiter is blocked on that
+      mutex (mutual exclusion + queue consistency);
+    - no leaked locks: no thread terminates while holding a mutex — the
+      Table 1 cancellation rows combined with cleanup handlers promise
+      this for cancellation during [Cond.wait];
+    - condition binding: a condition variable is bound to a mutex exactly
+      while it has waiters (the atomic unlock/suspend of the paper);
+    - inheritance discipline: the owner of a priority-inheritance mutex
+      runs at least at the priority of its highest waiter;
+    - ceiling discipline (Table 3, SRP): the owner of a ceiling mutex runs
+      at least at the mutex ceiling — the predicate the paper's Table 4
+      shows breaking when protocols are mixed under the stack-pop
+      restoration. *)
+
+val check : Pthreads.Types.engine -> string option
+(** First violated invariant, if any.  Safe to call from scheduler context
+    (the explorer calls it at every decision point). *)
+
+val check_final : Pthreads.Types.engine -> string option
+(** [check] plus end-of-run obligations: every mutex unlocked. *)

@@ -1,0 +1,28 @@
+type report = {
+  outcome : Explore.failure_kind option;
+  steps : int;
+  diverged_at : int option;
+}
+
+let run ?config mk sched =
+  let outcome, steps, diverged_at = Explore.replay ?config mk sched in
+  { outcome; steps; diverged_at }
+
+let of_file ?config mk path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match Schedule.of_string text with
+  | Error e -> Error (path ^ ": " ^ e)
+  | Ok sched -> Ok (run ?config mk sched)
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s in %d steps%s"
+    (match r.outcome with
+    | Some k -> Explore.failure_kind_to_string k
+    | None -> "completed cleanly")
+    r.steps
+    (match r.diverged_at with
+    | None -> ""
+    | Some k -> Printf.sprintf " (diverged at decision %d)" k)

@@ -1,0 +1,30 @@
+(** Deterministic re-execution of explored schedules.
+
+    A {!Schedule.t} recorded by {!Explore} is a complete decision list, so
+    replaying it on a freshly built process reproduces the exact same run —
+    including the failure it witnesses.  [diverged_at] is the first
+    decision index where the recorded tid was not enabled; it is [None]
+    for any schedule this library produced against the same program, and
+    non-[None] signals that the program under test changed since the
+    schedule was recorded (a stale golden file). *)
+
+type report = {
+  outcome : Explore.failure_kind option;  (** [None] = ran to completion *)
+  steps : int;  (** decisions taken during the replay *)
+  diverged_at : int option;  (** first unforceable decision, if any *)
+}
+
+val run :
+  ?config:Explore.config ->
+  (unit -> Pthreads.Types.engine) ->
+  Schedule.t ->
+  report
+
+val of_file :
+  ?config:Explore.config ->
+  (unit -> Pthreads.Types.engine) ->
+  string ->
+  (report, string) result
+(** Parse a golden schedule file and replay it. *)
+
+val pp_report : Format.formatter -> report -> unit

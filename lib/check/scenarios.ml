@@ -1,0 +1,298 @@
+open Pthreads
+
+(* Each scenario builds a {e fresh} not-yet-started process per call: the
+   explorer runs [make] once per schedule, so all shared state must be
+   created inside the closure. *)
+
+type t = {
+  name : string;
+  descr : string;
+  make : unit -> Types.engine;
+}
+
+let mk name descr body = { name; descr; make = (fun () -> Pthread.make_proc body) }
+
+(* ------------------------------------------------------------------ *)
+(* Lock-order deadlocks                                                *)
+(* ------------------------------------------------------------------ *)
+
+let deadlock_ab =
+  mk "deadlock-ab" "two threads take two mutexes in opposite order"
+    (fun proc ->
+      let a = Mutex.create proc ~name:"a" () in
+      let b = Mutex.create proc ~name:"b" () in
+      let pair x y =
+        Pthread.create proc (fun () ->
+            Mutex.lock proc x;
+            Mutex.lock proc y;
+            Mutex.unlock proc y;
+            Mutex.unlock proc x;
+            0)
+      in
+      let t1 = pair a b in
+      let t2 = pair b a in
+      ignore (Pthread.join proc t1);
+      ignore (Pthread.join proc t2);
+      0)
+
+let ordered_ab =
+  mk "ordered-ab" "two threads take two mutexes in the same order (safe)"
+    (fun proc ->
+      let a = Mutex.create proc ~name:"a" () in
+      let b = Mutex.create proc ~name:"b" () in
+      let worker () =
+        Pthread.create proc (fun () ->
+            Mutex.lock proc a;
+            Mutex.lock proc b;
+            Mutex.unlock proc b;
+            Mutex.unlock proc a;
+            0)
+      in
+      let t1 = worker () in
+      let t2 = worker () in
+      ignore (Pthread.join proc t1);
+      ignore (Pthread.join proc t2);
+      0)
+
+let micro_two =
+  mk "micro-two" "one worker and main contend for a single mutex (safe)"
+    (fun proc ->
+      let m = Mutex.create proc ~name:"m" () in
+      let t =
+        Pthread.create proc (fun () ->
+            Mutex.lock proc m;
+            Mutex.unlock proc m;
+            0)
+      in
+      Mutex.lock proc m;
+      Mutex.unlock proc m;
+      ignore (Pthread.join proc t);
+      0)
+
+let three_two =
+  mk "three-two"
+    "three threads over two mutexes, consistent lock order (safe)"
+    (fun proc ->
+      let a = Mutex.create proc ~name:"a" () in
+      let b = Mutex.create proc ~name:"b" () in
+      let shared = ref 0 in
+      let worker () =
+        Pthread.create proc (fun () ->
+            Mutex.lock proc a;
+            incr shared;
+            Mutex.unlock proc a;
+            Mutex.lock proc b;
+            incr shared;
+            Mutex.unlock proc b;
+            0)
+      in
+      let ts = [ worker (); worker (); worker () ] in
+      List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+      if !shared = 6 then 0 else 1)
+
+(* ------------------------------------------------------------------ *)
+(* Data race on unprotected state                                      *)
+(* ------------------------------------------------------------------ *)
+
+let racy_counter =
+  mk "racy-counter"
+    "two threads increment a plain ref non-atomically (lost update)"
+    (fun proc ->
+      let counter = ref 0 in
+      let worker () =
+        Pthread.create proc (fun () ->
+            (* read / reschedule / write: the classic lost update.  The
+               counter is invisible to the library, so the race is
+               declared with [Explore.touch]. *)
+            Explore.touch proc 1;
+            let v = !counter in
+            Pthread.checkpoint proc;
+            Explore.touch proc 1;
+            counter := v + 1;
+            0)
+      in
+      let t1 = worker () in
+      let t2 = worker () in
+      ignore (Pthread.join proc t1);
+      ignore (Pthread.join proc t2);
+      if !counter = 2 then 0 else 1)
+
+(* ------------------------------------------------------------------ *)
+(* Lost wakeup                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lost_wakeup ~fixed =
+  let name = if fixed then "lost-wakeup-fixed" else "lost-wakeup" in
+  let descr =
+    if fixed then "producer sets the flag under the mutex (safe)"
+    else "producer signals without holding the mutex: wakeup can be lost"
+  in
+  mk name descr (fun proc ->
+      let m = Mutex.create proc ~name:"m" () in
+      let c = Cond.create proc ~name:"c" () in
+      let ready = ref false in
+      let consumer =
+        Pthread.create proc (fun () ->
+            Mutex.lock proc m;
+            Explore.touch proc 1;
+            while not !ready do
+              ignore (Cond.wait proc c m);
+              Explore.touch proc 1
+            done;
+            Mutex.unlock proc m;
+            0)
+      in
+      let producer =
+        Pthread.create proc (fun () ->
+            if fixed then begin
+              Mutex.lock proc m;
+              Explore.touch proc 1;
+              ready := true;
+              Cond.signal proc c;
+              Mutex.unlock proc m
+            end
+            else begin
+              (* the bug: flag write and signal race with the consumer's
+                 test-and-suspend *)
+              Explore.touch proc 1;
+              ready := true;
+              Cond.signal proc c
+            end;
+            0)
+      in
+      ignore (Pthread.join proc consumer);
+      ignore (Pthread.join proc producer);
+      0)
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: mixed inheritance/ceiling protocols                        *)
+(* ------------------------------------------------------------------ *)
+
+let table4 ~mode =
+  let name =
+    match mode with
+    | Types.Stack_pop -> "table4-stack-pop"
+    | Types.Recompute -> "table4-recompute"
+  in
+  let descr =
+    "nested inheritance + ceiling mutexes (paper Table 4); the stack-pop \
+     unlock loses the inherited boost"
+  in
+  {
+    name;
+    descr;
+    make =
+      (fun () ->
+        Pthread.make_proc ~ceiling_mode:mode ~main_prio:0 (fun proc ->
+            let inht =
+              Mutex.create proc ~name:"inht" ~protocol:Types.Inherit_protocol ()
+            in
+            let ceil =
+              Mutex.create proc ~name:"ceil" ~protocol:Types.Ceiling_protocol
+                ~ceiling:1 ()
+            in
+            Mutex.lock proc inht;
+            Mutex.lock proc ceil;
+            let hi =
+              Pthread.create_unit proc
+                ~attr:(Attr.with_prio 2 Attr.default)
+                (fun () ->
+                  Mutex.lock proc inht;
+                  Mutex.unlock proc inht)
+            in
+            Mutex.unlock proc ceil;
+            Mutex.unlock proc inht;
+            ignore (Pthread.join proc hi);
+            0));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cancellation during Cond.wait (paper Table 1)                       *)
+(* ------------------------------------------------------------------ *)
+
+let cancel_cond_wait ~with_cleanup =
+  let name =
+    if with_cleanup then "cancel-cond-wait" else "cancel-cond-wait-leak"
+  in
+  let descr =
+    if with_cleanup then
+      "cancellation during Cond.wait; cleanup handler releases the \
+       reacquired mutex (safe in every schedule)"
+    else
+      "cancellation during Cond.wait without a cleanup handler: the \
+       canceled thread leaks the mutex"
+  in
+  mk name descr (fun proc ->
+      let m = Mutex.create proc ~name:"m" () in
+      let c = Cond.create proc ~name:"c" () in
+      let victim =
+        Pthread.create proc (fun () ->
+            Mutex.lock proc m;
+            if with_cleanup then begin
+              Cleanup.push proc (fun () -> Mutex.unlock proc m);
+              ignore (Cond.wait proc c m);
+              Cleanup.pop proc ~execute:true
+            end
+            else begin
+              ignore (Cond.wait proc c m);
+              Mutex.unlock proc m
+            end;
+            0)
+      in
+      let killer =
+        Pthread.create proc (fun () ->
+            Cancel.cancel proc victim;
+            0)
+      in
+      ignore (Pthread.join proc victim);
+      ignore (Pthread.join proc killer);
+      0)
+
+(* ------------------------------------------------------------------ *)
+(* Nested ceiling mutexes (paper Table 3 discipline)                   *)
+(* ------------------------------------------------------------------ *)
+
+let ceiling_nested =
+  mk "ceiling-nested"
+    "two threads nest two ceiling mutexes; SRP discipline holds in every \
+     schedule"
+    (fun proc ->
+      let a =
+        Mutex.create proc ~name:"a" ~protocol:Types.Ceiling_protocol
+          ~ceiling:2 ()
+      in
+      let b =
+        Mutex.create proc ~name:"b" ~protocol:Types.Ceiling_protocol
+          ~ceiling:2 ()
+      in
+      let worker prio =
+        Pthread.create proc
+          ~attr:(Attr.with_prio prio Attr.default)
+          (fun () ->
+            Mutex.lock proc a;
+            Mutex.lock proc b;
+            Mutex.unlock proc b;
+            Mutex.unlock proc a;
+            0)
+      in
+      let t1 = worker 1 in
+      let t2 = worker 2 in
+      ignore (Pthread.join proc t1);
+      ignore (Pthread.join proc t2);
+      0)
+
+let all =
+  [
+    deadlock_ab;
+    ordered_ab;
+    micro_two;
+    three_two;
+    racy_counter;
+    lost_wakeup ~fixed:false;
+    lost_wakeup ~fixed:true;
+    table4 ~mode:Types.Stack_pop;
+    table4 ~mode:Types.Recompute;
+    cancel_cond_wait ~with_cleanup:true;
+    cancel_cond_wait ~with_cleanup:false;
+    ceiling_nested;
+  ]

@@ -1,0 +1,52 @@
+(** Canonical concurrency scenarios for the schedule explorer: the bugs
+    the paper's perverted scheduling was designed to flush out, plus their
+    fixed counterparts, packaged so tests, benchmarks and the demo all
+    explore the same programs.
+
+    Every [make] builds a fresh not-yet-started process (shared state is
+    allocated inside the closure), as {!Explore.run} requires. *)
+
+type t = {
+  name : string;
+  descr : string;
+  make : unit -> Pthreads.Types.engine;
+}
+
+val deadlock_ab : t
+(** Two threads, two mutexes, opposite lock order — a reachable deadlock. *)
+
+val ordered_ab : t
+(** Same program with a consistent lock order: exhaustively safe. *)
+
+val micro_two : t
+(** Two threads, one mutex: small enough that {e full} enumeration is
+    tractable, so tests and benchmarks can measure the exact DPOR
+    reduction ratio against it. *)
+
+val three_two : t
+(** Three threads over two mutexes (the acceptance benchmark program). *)
+
+val racy_counter : t
+(** Non-atomic increments of a plain ref; uses {!Explore.touch} so DPOR
+    sees the race.  Fails with [Bad_exit 1] when an update is lost. *)
+
+val lost_wakeup : fixed:bool -> t
+(** The classic lost wakeup: the producer sets the flag and signals without
+    holding the mutex, racing the consumer's test-and-suspend.  The buggy
+    variant deadlocks on some schedules; [~fixed:true] is safe. *)
+
+val table4 : mode:Pthreads.Types.ceiling_unlock_mode -> t
+(** The paper's Table 4: an inheritance mutex nested around a ceiling
+    mutex.  Under [Stack_pop] some schedule violates the inheritance
+    discipline (the pop discards the inherited boost); [Recompute] is
+    exhaustively safe. *)
+
+val cancel_cond_wait : with_cleanup:bool -> t
+(** Cancellation racing [Cond.wait] (paper Table 1): the canceled thread
+    reacquires the mutex before unwinding, so without a cleanup handler
+    every cancellation schedule leaks the mutex. *)
+
+val ceiling_nested : t
+(** Nested ceiling mutexes; Table 3 SRP discipline holds everywhere. *)
+
+val all : t list

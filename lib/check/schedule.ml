@@ -1,0 +1,53 @@
+type t = int array
+
+let header = "# pthreads-explore schedule v1"
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+let length = Array.length
+let equal (a : t) (b : t) = a = b
+
+let to_string (t : t) =
+  let b = Buffer.create (String.length header + (Array.length t * 3) + 2) in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  Array.iteri
+    (fun i tid ->
+      (* wrap lines so long schedules stay diffable *)
+      if i > 0 then Buffer.add_char b (if i mod 20 = 0 then '\n' else ' ');
+      Buffer.add_string b (string_of_int tid))
+    t;
+  if Array.length t > 0 then Buffer.add_char b '\n';
+  Buffer.contents b
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  (* the first non-blank line must be the versioned header; later comment
+     lines are ignored so golden files can carry provenance notes *)
+  let rec split_header = function
+    | [] -> Error "empty schedule"
+    | l :: rest ->
+        if String.trim l = "" then split_header rest
+        else if String.trim l = header then Ok rest
+        else Error ("unrecognized schedule header: " ^ String.trim l)
+  in
+  match split_header lines with
+  | Error _ as e -> e
+  | Ok body -> (
+      let tokens =
+        List.concat_map
+          (fun line ->
+            let line = String.trim line in
+            if line = "" || line.[0] = '#' then []
+            else
+              List.filter
+                (fun tok -> tok <> "")
+                (String.split_on_char ' ' line))
+          body
+      in
+      try Ok (Array.of_list (List.map int_of_string tokens))
+      with Failure _ -> Error "malformed decision list")
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "[%s]"
+    (String.concat " " (List.map string_of_int (Array.to_list t)))

@@ -9,12 +9,16 @@ let create eng ?name () =
     match name with Some n -> n | None -> "cond-" ^ string_of_int id
   in
   Engine.charge eng Costs.attr_op;
-  { c_id = id; c_name; c_waiters = Wait_queue.create (); c_mutex = None }
+  let c = { c_id = id; c_name; c_waiters = Wait_queue.create (); c_mutex = None } in
+  eng.all_conds <- c :: eng.all_conds;
+  c
 
 let wait_internal eng c m ~deadline =
   Engine.checkpoint eng;
   Engine.test_cancel eng;
   let self = Engine.current eng in
+  Engine.touch eng (Engine.key_cond c.c_id);
+  Engine.touch eng (Engine.key_mutex m.m_id);
   (match m.m_owner with
   | Some o when o == self -> ()
   | _ -> invalid_arg ("Cond.wait: mutex " ^ m.m_name ^ " not held by caller"));
@@ -59,6 +63,7 @@ let timed_wait eng c m ~deadline_ns =
 
 let signal eng c =
   Engine.checkpoint eng;
+  Engine.touch eng (Engine.key_cond c.c_id);
   Engine.enter_kernel eng;
   Engine.charge eng Costs.cond_op;
   (match Wait_queue.peek_highest c.c_waiters with
@@ -71,6 +76,7 @@ let signal eng c =
 
 let broadcast eng c =
   Engine.checkpoint eng;
+  Engine.touch eng (Engine.key_cond c.c_id);
   Engine.enter_kernel eng;
   Engine.charge eng Costs.cond_op;
   let rec wake_all () =

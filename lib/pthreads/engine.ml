@@ -25,6 +25,50 @@ let now eng = Unix_kernel.now eng.vm
 let current eng = eng.current
 
 (* ------------------------------------------------------------------ *)
+(* Schedule-exploration support                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Object keys: a step's footprint is the set of synchronization objects it
+   may read or write, encoded as ints (kind in the high byte, object id
+   below) so the explorer can intersect footprints without allocation.
+   Two steps are dependent iff their footprints intersect; every step also
+   implicitly touches its executing thread's key (added by the explorer). *)
+
+let key_kind_mutex = 1
+let key_kind_cond = 2
+let key_kind_thread = 3
+let key_kind_signal = 4
+let key_kind_user = 5
+let key_mutex id = (key_kind_mutex lsl 24) lor id
+let key_cond id = (key_kind_cond lsl 24) lor id
+let key_thread tid = (key_kind_thread lsl 24) lor tid
+let key_signal s = (key_kind_signal lsl 24) lor s
+let key_user id = (key_kind_user lsl 24) lor (id land 0xFFFFFF)
+
+let key_to_string k =
+  let id = k land 0xFFFFFF in
+  match k lsr 24 with
+  | 1 -> Printf.sprintf "mutex:%d" id
+  | 2 -> Printf.sprintf "cond:%d" id
+  | 3 -> Printf.sprintf "thread:%d" id
+  | 4 -> Printf.sprintf "signal:%d" id
+  | 5 -> Printf.sprintf "user:%d" id
+  | _ -> Printf.sprintf "key:%x" k
+
+let exploring eng = eng.explore_hook <> None
+
+let touch eng key =
+  if eng.explore_hook <> None then
+    eng.explore_touched <- key :: eng.explore_touched
+
+let take_touched eng =
+  let ks = eng.explore_touched in
+  eng.explore_touched <- [];
+  ks
+
+let set_explore_hook eng h = eng.explore_hook <- h
+
+(* ------------------------------------------------------------------ *)
 (* The thread table: every live (or unjoined) thread, as an intrusive    *)
 (* doubly-linked list in creation order plus a tid-keyed hash index.     *)
 (* ------------------------------------------------------------------ *)
@@ -116,6 +160,10 @@ let default_config profile =
 let rec set_effective_prio eng t new_prio ~at_head =
   if new_prio <> t.prio then begin
     trace eng t (Trace.Prio_change (t.prio, new_prio));
+    (* priority changes are cross-thread interactions (inheritance boosts,
+       ceiling pops): the explorer must consider reordering them against
+       the affected thread's steps, so they join the footprint *)
+    touch eng (key_thread t.tid);
     match t.state with
     | Ready ->
         Ready_queue.remove eng t;
@@ -376,6 +424,7 @@ and sigwait_deliver eng t s =
 
 and handle_cancel_signal eng t =
   trace eng t Trace.Cancel_request;
+  touch eng (key_thread t.tid);
   t.cancel_pending <- true;
   match (t.cancel_state, t.cancel_type) with
   | Cancel_disabled, _ -> () (* Table 1: pends until enabled *)
@@ -515,19 +564,29 @@ let enter_kernel eng =
 let apply_perversion eng =
   let cur = eng.current in
   if cur.state = Running && eng.in_fiber && eng.live_count > 1 then
-    match eng.cfg.perverted with
-    | No_perversion | Mutex_switch -> ()
-    | Rr_ordered_switch ->
-        cur.state <- Ready;
-        Ready_queue.push_tail_lowest eng cur;
-        eng.dispatcher_flag <- true
-    | Random_switch ->
-        if Rng.bool eng.rng then begin
+    if eng.explore_hook <> None then begin
+      (* exploration: every kernel exit / checkpoint is a decision point —
+         the running thread is requeued unconditionally and the explorer's
+         pick in the scheduler loop decides who runs next (the bucket it
+         parks in is irrelevant: the pick ignores priority) *)
+      cur.state <- Ready;
+      Ready_queue.push_tail_lowest eng cur;
+      eng.dispatcher_flag <- true
+    end
+    else
+      match eng.cfg.perverted with
+      | No_perversion | Mutex_switch -> ()
+      | Rr_ordered_switch ->
           cur.state <- Ready;
           Ready_queue.push_tail_lowest eng cur;
-          eng.pick_random_next <- true;
           eng.dispatcher_flag <- true
-        end
+      | Random_switch ->
+          if Rng.bool eng.rng then begin
+            cur.state <- Ready;
+            Ready_queue.push_tail_lowest eng cur;
+            eng.pick_random_next <- true;
+            eng.dispatcher_flag <- true
+          end
 
 let leave_kernel eng =
   charge eng Costs.kernel_exit;
@@ -625,6 +684,9 @@ let busy eng ~ns =
 (* ------------------------------------------------------------------ *)
 
 let register_thread eng t =
+  (* no [touch] here: a thread can never be scheduled before its creation,
+     so creation needs no race analysis — recording it would only make the
+     explorer backtrack over unreorderable pairs *)
   thread_table_add eng t;
   eng.live_count <- eng.live_count + 1;
   eng.n_created <- eng.n_created + 1;
@@ -673,6 +735,7 @@ let finish_current eng status =
   let rec passes n = if n > 0 && pass () then passes (n - 1) in
   passes 4;
   enter_kernel eng;
+  touch eng (key_thread t.tid);
   t.retval <- Some status;
   t.state <- Terminated;
   eng.live_count <- eng.live_count - 1;
@@ -730,6 +793,12 @@ let start_fiber eng t body =
     }
 
 let resume_thread eng t =
+  (* Switch hooks fire *before* the dispatch is committed: [t] is still
+     [Ready] and [eng.current] still names the outgoing thread, so a hook
+     (the debugger's watchers, the schedule explorer, validators) observes
+     the decision at a point where it can still veto or redirect the
+     switch by raising.  See [add_switch_hook] in the interface. *)
+  run_hooks t eng.switch_hooks;
   t.state <- Running;
   t.n_switches_in <- t.n_switches_in + 1;
   eng.n_dispatches <- eng.n_dispatches + 1;
@@ -737,7 +806,6 @@ let resume_thread eng t =
   Unix_kernel.window_underflow eng.vm;
   charge eng Costs.switch_restore;
   trace eng t Trace.Dispatch_in;
-  run_hooks t eng.switch_hooks;
   eng.in_fiber <- true;
   (match t.cont with
   | Not_started body ->
@@ -765,11 +833,34 @@ let run_scheduler eng =
       if eng.stop_reason <> None then ()
       else begin
         let next =
-          if eng.pick_random_next then begin
-            eng.pick_random_next <- false;
-            Ready_queue.pop_random eng eng.rng
-          end
-          else Ready_queue.pop_highest eng
+          match eng.explore_hook with
+          | Some choose -> (
+              (* exploration pick: candidates are every ready thread, in
+                 creation order; the hook chooses (and may abort the whole
+                 run by raising).  Priorities are deliberately ignored —
+                 the explorer enumerates interleavings the dispatcher
+                 would never produce on its own. *)
+              let candidates =
+                List.rev
+                  (fold_threads eng
+                     (fun acc t -> if t.state = Ready then t :: acc else acc)
+                     [])
+              in
+              match candidates with
+              | [] -> None
+              | cs ->
+                  let t = choose cs in
+                  Ready_queue.remove eng t;
+                  trace eng t
+                    (Trace.Sched_decision
+                       (List.map (fun c -> c.tid) cs, t.tid));
+                  Some t)
+          | None ->
+              if eng.pick_random_next then begin
+                eng.pick_random_next <- false;
+                Ready_queue.pop_random eng eng.rng
+              end
+              else Ready_queue.pop_highest eng
         in
         match next with
         | Some t ->
@@ -830,11 +921,16 @@ let run_scheduler eng =
 
 let send_signal eng signo ~code ~origin =
   trace eng eng.current (Trace.Signal_sent signo);
+  touch eng (key_signal signo);
+  (match origin with
+  | Unix_kernel.Directed tid -> touch eng (key_thread tid)
+  | _ -> ());
   direct_signal eng { p_signo = signo; p_code = code; p_origin = origin };
   eng.dispatcher_flag <- true
 
 let post_external eng signo ?(code = 0) () =
   trace eng eng.current (Trace.Signal_sent signo);
+  touch eng (key_signal signo);
   Unix_kernel.kill eng.vm signo ~code ~origin:Unix_kernel.External ()
 
 (* ------------------------------------------------------------------ *)
@@ -885,6 +981,10 @@ let make ?clock cfg ~main =
       in_fiber = false;
       switch_hooks = [];
       idle_hook = None;
+      explore_hook = None;
+      explore_touched = [];
+      all_mutexes = [];
+      all_conds = [];
     }
   in
   (* Library initialization: a universal handler for all maskable UNIX

@@ -161,8 +161,50 @@ val trace : engine -> tcb -> Vm.Trace.kind -> unit
 
 val add_switch_hook : engine -> (tcb -> unit) -> unit
 (** Register a callback invoked at every dispatch with the thread being
-    switched in (runs in scheduler context, before the thread resumes).
-    Used by [Debugger] and [Validate]. *)
+    switched in.  Ordering contract: hooks fire {e before} the dispatch
+    decision is committed — the argument thread is still [Ready] and
+    [current] still names the outgoing thread — so a hook can observe the
+    decision and veto or redirect the switch by raising.  Hooks run in
+    scheduler context (never inside a fiber).  Used by [Debugger],
+    [Validate] and the schedule explorer. *)
+
+(** {1 Schedule exploration}
+
+    Support for the [Check.Explore] model checker: an exploration hook
+    replaces the dispatcher's priority-based pick with an arbitrary choice
+    among the ready threads, and [touch]/[take_touched] let synchronization
+    modules report which objects each step accessed (the footprints that
+    drive partial-order reduction). *)
+
+val set_explore_hook : engine -> (tcb list -> tcb) option -> unit
+(** Install (or clear) the exploration chooser.  While set: every kernel
+    exit and checkpoint requeues the running thread, and every scheduler
+    pick calls the hook with the ready threads in creation order.  The hook
+    returns the thread to run next; it may abort the run by raising (the
+    exception propagates out of [run_scheduler]). *)
+
+val exploring : engine -> bool
+
+val touch : engine -> int -> unit
+(** Record that the current step accessed the object with the given key.
+    No-op unless an exploration hook is installed. *)
+
+val take_touched : engine -> int list
+(** Drain the keys recorded since the last call (unordered, may contain
+    duplicates). *)
+
+val key_mutex : int -> int
+val key_cond : int -> int
+val key_thread : int -> int
+val key_signal : int -> int
+
+val key_user : int -> int
+(** Encode an object identity as a footprint key.  [key_user] is for
+    program-level annotations ([Check.Explore.touch]): marking the shared
+    data a critical section protects lets the explorer see dependencies
+    through plain [ref]s that the library cannot observe. *)
+
+val key_to_string : int -> string
 
 (** {1 Statistics} *)
 

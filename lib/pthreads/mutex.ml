@@ -17,17 +17,21 @@ let create eng ?name ?(protocol = No_protocol) ?ceiling () =
     | (No_protocol | Inherit_protocol), _ -> 0
   in
   Engine.charge eng Costs.attr_op;
-  {
-    m_id = id;
-    m_name;
-    m_protocol = protocol;
-    m_ceiling;
-    m_locked = false;
-    m_owner = None;
-    m_waiters = Wait_queue.create ();
-    m_locks = 0;
-    m_contended = 0;
-  }
+  let m =
+    {
+      m_id = id;
+      m_name;
+      m_protocol = protocol;
+      m_ceiling;
+      m_locked = false;
+      m_owner = None;
+      m_waiters = Wait_queue.create ();
+      m_locks = 0;
+      m_contended = 0;
+    }
+  in
+  eng.all_mutexes <- m :: eng.all_mutexes;
+  m
 
 let holds self m = match m.m_owner with Some o -> o == self | None -> false
 
@@ -97,6 +101,7 @@ let lock_slow eng m =
 
 let do_lock eng m =
   let self = Engine.current eng in
+  Engine.touch eng (Engine.key_mutex m.m_id);
   if holds self m then
     invalid_arg ("Mutex.lock: " ^ m.m_name ^ " already held by caller");
   if acquire_fast eng m then on_acquired eng m else lock_slow eng m
@@ -110,6 +115,7 @@ let lock_after_wait eng m = do_lock eng m
 let try_lock eng m =
   Engine.checkpoint eng;
   let self = Engine.current eng in
+  Engine.touch eng (Engine.key_mutex m.m_id);
   if holds self m then invalid_arg "Mutex.try_lock: already held by caller";
   if acquire_fast eng m then begin
     on_acquired eng m;
@@ -152,6 +158,7 @@ let release_transfer eng m =
 
 let do_unlock eng m ~dispatching =
   let self = Engine.current eng in
+  Engine.touch eng (Engine.key_mutex m.m_id);
   if not (holds self m) then
     invalid_arg ("Mutex.unlock: " ^ m.m_name ^ " not held by caller");
   Engine.charge eng Costs.mutex_fast_unlock;

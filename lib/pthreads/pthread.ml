@@ -85,6 +85,7 @@ let create_unit eng ?attr body =
 
 let activate eng tid =
   Engine.checkpoint eng;
+  Engine.touch eng (Engine.key_thread tid);
   Engine.enter_kernel eng;
   (match Engine.find_thread eng tid with
   | Some t when t.state = Blocked On_start -> Engine.unblock eng t Wake_normal
@@ -95,6 +96,7 @@ let activate eng tid =
 let join eng tid =
   Engine.checkpoint eng;
   Engine.test_cancel eng;
+  Engine.touch eng (Engine.key_thread tid);
   let self = Engine.current eng in
   match Engine.find_thread eng tid with
   | None -> invalid_arg "Pthread.join: no such thread (already joined?)"
@@ -146,6 +148,7 @@ let exit _eng code = raise (Thread_exit_exn (Exited code))
 
 let suspend eng tid =
   Engine.checkpoint eng;
+  Engine.touch eng (Engine.key_thread tid);
   Engine.enter_kernel eng;
   match Engine.find_thread eng tid with
   | None ->
@@ -174,6 +177,7 @@ let suspend eng tid =
 
 let resume eng tid =
   Engine.checkpoint eng;
+  Engine.touch eng (Engine.key_thread tid);
   Engine.enter_kernel eng;
   (match Engine.find_thread eng tid with
   | Some t when t.suspended ->

@@ -266,6 +266,21 @@ type engine = {
           ready (argument: this process's next event time, if any).
           Returning [true] means "retry" (another process ran or the
           machine advanced the clock). *)
+  mutable explore_hook : (tcb list -> tcb) option;
+      (** installed by the schedule explorer ([Check.Explore]): when set,
+          the dispatcher requeues the running thread at every kernel exit /
+          checkpoint and asks the hook to choose among the enabled (ready)
+          threads, given in creation order.  The hook may abort the run by
+          raising. *)
+  mutable explore_touched : int list;
+      (** encoded object keys (see [Engine.key_mutex] etc.) touched by the
+          current thread since the explorer last drained them; used to
+          compute step dependencies for partial-order reduction *)
+  mutable all_mutexes : mutex list;
+      (** every mutex created on this engine, newest first — the invariant
+          checker's census (engines are per-run in exploration, so the list
+          stays small and is never pruned) *)
+  mutable all_conds : cond list;  (** ditto for condition variables *)
 }
 
 (** The single scheduling effect: performed by a thread to return control to

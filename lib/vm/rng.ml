@@ -28,3 +28,11 @@ let float t bound =
   bound *. (v /. 9007199254740992.0 (* 2^53 *))
 
 let split t = { state = bits64 t }
+
+let fork t i =
+  (* Hash-combine without advancing [t]: the [i]th fork of a given
+     generator state is a pure function of (state, i), so a consumer that
+     derives one stream per task (the schedule explorer derives one walker
+     per sampled run) can re-create any single stream from the master seed
+     and the index alone. *)
+  { state = mix (Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1)))) }

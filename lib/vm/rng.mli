@@ -31,3 +31,10 @@ val float : t -> float -> float
 
 val split : t -> t
 (** Derive an independent generator (for per-thread streams). *)
+
+val fork : t -> int -> t
+(** [fork t i] derives the [i]th child generator {e without} advancing
+    [t]: the child's stream is a pure function of [t]'s current state and
+    [i].  The schedule explorer uses this to give every sampled run its own
+    stream, so a failing run [i] can be re-derived from the master seed and
+    [i] alone. *)

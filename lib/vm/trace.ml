@@ -12,6 +12,7 @@ type kind =
   | Signal_delivered of int
   | Prio_change of int * int
   | Cancel_request
+  | Sched_decision of int list * int
   | Note of string
 
 type event = { t_ns : int; tid : int; tname : string; kind : kind }
@@ -130,6 +131,10 @@ let kind_to_string = function
   | Signal_delivered s -> "delivered " ^ Sigset.name s
   | Prio_change (a, b) -> Printf.sprintf "prio %d->%d" a b
   | Cancel_request -> "cancel-request"
+  | Sched_decision (enabled, chosen) ->
+      Printf.sprintf "decision [%s] -> %d"
+        (String.concat "," (List.map string_of_int enabled))
+        chosen
   | Note s -> s
 
 let pp_event ppf e =
@@ -186,7 +191,7 @@ let gantt t ~bucket_ns =
           | Mutex_block _ -> status := Blocked_mutex
           | Cond_block _ -> status := Absent
           | Signal_sent _ | Signal_delivered _ | Prio_change _
-          | Cancel_request | Note _ ->
+          | Cancel_request | Sched_decision _ | Note _ ->
               ()
         end
       in

@@ -20,6 +20,11 @@ type kind =
   | Signal_delivered of int  (** a thread-level handler/action ran *)
   | Prio_change of int * int  (** old and new effective priority *)
   | Cancel_request
+  | Sched_decision of int list * int
+      (** schedule-exploration decision point: the tids enabled (ready) at
+          the scheduling point and the tid picked to run — recorded by the
+          engine when an exploration hook is installed, so a traced run
+          doubles as a replayable decision list *)
   | Note of string
 
 type event = { t_ns : int; tid : int; tname : string; kind : kind }

@@ -1,0 +1,174 @@
+(* The schedule explorer (lib/check): systematic interleaving coverage with
+   DPOR pruning, minimal replayable counterexamples, and the paper's bug
+   catalogue (lock-order deadlock, lost wakeup, Table 4 protocol mixing,
+   Table 1 cancellation during Cond.wait) reproduced as *found* bugs. *)
+
+open Tu
+open Pthreads
+module E = Check.Explore
+module S = Check.Scenarios
+
+let found (r : E.result) =
+  match r.failure with
+  | Some f -> f
+  | None -> Alcotest.fail "expected the explorer to find a failure"
+
+let safe name (r : E.result) =
+  (match r.failure with
+  | Some f ->
+      Alcotest.failf "%s should be safe, found %s" name
+        (E.failure_kind_to_string f.kind)
+  | None -> ());
+  check bool (name ^ " explored exhaustively") true r.stats.complete
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+(* -------------------------------------------------------------------- *)
+
+let test_deadlock_found_and_replayed () =
+  let f = found (E.run S.deadlock_ab.make) in
+  (match f.kind with
+  | E.Deadlocked _ -> ()
+  | k -> Alcotest.failf "expected a deadlock, got %s" (E.failure_kind_to_string k));
+  check bool "shrunk is no longer than the first witness" true
+    (Check.Schedule.length f.schedule
+    <= Check.Schedule.length f.first_schedule);
+  (* determinism: two replays of the minimal schedule agree exactly *)
+  let r1 = Check.Replay.run S.deadlock_ab.make f.schedule in
+  let r2 = Check.Replay.run S.deadlock_ab.make f.schedule in
+  (match (r1.outcome, r2.outcome) with
+  | Some (E.Deadlocked a), Some (E.Deadlocked b) ->
+      check string "same deadlock both times" a b
+  | _ -> Alcotest.fail "replay did not reproduce the deadlock");
+  check int "same step count" r1.steps r2.steps;
+  check bool "no divergence" true (r1.diverged_at = None && r2.diverged_at = None)
+
+let test_ordered_safe () = safe "ordered-ab" (E.run S.ordered_ab.make)
+
+let test_three_two_exhaustive () =
+  (* the acceptance program: 3 threads over 2 mutexes, exhausted with DPOR *)
+  let r = E.run S.three_two.make in
+  safe "three-two" r;
+  check bool "DPOR actually pruned" true (r.stats.pruned > 0)
+
+let test_racy_counter_found () =
+  let f = found (E.run S.racy_counter.make) in
+  match f.kind with
+  | E.Bad_exit 1 -> ()
+  | k -> Alcotest.failf "expected lost update (exit 1), got %s"
+           (E.failure_kind_to_string k)
+
+let test_lost_wakeup_found () =
+  let f = found (E.run (S.lost_wakeup ~fixed:false).make) in
+  match f.kind with
+  | E.Deadlocked msg ->
+      check bool "consumer stuck on the condition" true
+        (contains msg "blocked-on-cond")
+  | k -> Alcotest.failf "expected a lost-wakeup deadlock, got %s"
+           (E.failure_kind_to_string k)
+
+let test_lost_wakeup_fixed_safe () =
+  safe "lost-wakeup-fixed" (E.run (S.lost_wakeup ~fixed:true).make)
+
+let test_table4_stack_pop_found () =
+  (* the paper's Table 4 divergence, rediscovered as a counterexample *)
+  let f = found (E.run (S.table4 ~mode:Types.Stack_pop).make) in
+  match f.kind with
+  | E.Invariant_violated msg ->
+      check bool "names the inheritance discipline" true
+        (contains msg "inheritance")
+  | k -> Alcotest.failf "expected an invariant violation, got %s"
+           (E.failure_kind_to_string k)
+
+let test_table4_recompute_safe () =
+  safe "table4-recompute" (E.run (S.table4 ~mode:Types.Recompute).make)
+
+let test_ceiling_nested_safe () =
+  safe "ceiling-nested" (E.run S.ceiling_nested.make)
+
+(* Satellite: exhaustive cancellation x Cond.wait (paper Table 1).  With a
+   cleanup handler no schedule leaks the mutex; without one, the canceled
+   thread keeps the reacquired mutex and the explorer pins the leak. *)
+let test_cancel_cond_wait_clean () =
+  safe "cancel-cond-wait" (E.run (S.cancel_cond_wait ~with_cleanup:true).make)
+
+let test_cancel_cond_wait_leak_found () =
+  let f = found (E.run (S.cancel_cond_wait ~with_cleanup:false).make) in
+  match f.kind with
+  | E.Invariant_violated msg ->
+      check bool "reports the leaked mutex" true
+        (contains msg "leaked" || contains msg "still locked")
+  | k -> Alcotest.failf "expected a leaked-mutex violation, got %s"
+           (E.failure_kind_to_string k)
+
+(* -------------------------------------------------------------------- *)
+
+(* Exact reduction measurement on a 2-thread program: full enumeration
+   (DPOR and sleep sets off) visits every interleaving; DPOR must agree on
+   the verdict while running strictly fewer schedules. *)
+let test_dpor_reduction () =
+  let full =
+    E.run ~config:{ E.default_config with dpor = false; sleep_sets = false }
+      S.micro_two.make
+  in
+  let dpor = E.run S.micro_two.make in
+  safe "micro (full enumeration)" full;
+  safe "micro (DPOR)" dpor;
+  check bool "full enumeration is not trivial" true (full.stats.runs > 10);
+  check bool
+    (Printf.sprintf "DPOR explores fewer schedules (%d < %d)" dpor.stats.runs
+       full.stats.runs)
+    true
+    (dpor.stats.runs < full.stats.runs)
+
+let test_sampling_finds_deadlock () =
+  let r = E.sample ~runs:200 ~seed:7 S.deadlock_ab.make in
+  let f = found r in
+  check bool "sampling is never exhaustive" false r.stats.complete;
+  let rep = Check.Replay.run S.deadlock_ab.make f.schedule in
+  match rep.outcome with
+  | Some (E.Deadlocked _) -> check bool "replay faithful" true (rep.diverged_at = None)
+  | _ -> Alcotest.fail "sampled counterexample did not replay"
+
+(* -------------------------------------------------------------------- *)
+
+let schedule = Alcotest.testable Check.Schedule.pp Check.Schedule.equal
+
+let test_schedule_roundtrip () =
+  let s = Check.Schedule.of_list [ 0; 0; 1; 2; 0; 17; 3 ] in
+  (match Check.Schedule.of_string (Check.Schedule.to_string s) with
+  | Ok s' -> check schedule "roundtrip" s s'
+  | Error e -> Alcotest.fail e);
+  (match
+     Check.Schedule.of_string
+       "\n# pthreads-explore schedule v1\n0 1 2\n# trailing comment\n3 4\n"
+   with
+  | Ok s' -> check schedule "comments ignored" (Check.Schedule.of_list [ 0; 1; 2; 3; 4 ]) s'
+  | Error e -> Alcotest.fail e);
+  match Check.Schedule.of_string "0 1 2\n" with
+  | Ok _ -> Alcotest.fail "missing header must be rejected"
+  | Error _ -> ()
+
+let suite =
+  [
+    ( "explore",
+      [
+        tc "deadlock found, shrunk, replayed" test_deadlock_found_and_replayed;
+        tc "ordered locking exhaustively safe" test_ordered_safe;
+        tc "3 threads / 2 mutexes exhausted" test_three_two_exhaustive;
+        tc "racy counter: lost update found" test_racy_counter_found;
+        tc "lost wakeup found" test_lost_wakeup_found;
+        tc "lost wakeup fixed: safe" test_lost_wakeup_fixed_safe;
+        tc "Table 4 stack-pop violation found" test_table4_stack_pop_found;
+        tc "Table 4 recompute: safe" test_table4_recompute_safe;
+        tc "nested ceilings: safe" test_ceiling_nested_safe;
+        tc "cancel in Cond.wait: cleanup never leaks" test_cancel_cond_wait_clean;
+        tc "cancel in Cond.wait: leak found" test_cancel_cond_wait_leak_found;
+        tc "DPOR beats full enumeration" test_dpor_reduction;
+        tc "random sampling + replay" test_sampling_finds_deadlock;
+        tc "schedule text roundtrip" test_schedule_roundtrip;
+      ] );
+  ]

@@ -154,7 +154,7 @@ let pp_prog prog =
           prog.threads))
 
 let prop_no_violations =
-  qcheck ~count:60 "fuzz: invariants hold under every policy" program_gen
+  qcheck ~count:60 ~seed_key:"fuzz" "fuzz: invariants hold under every policy" program_gen
     (fun prog ->
       List.for_all
         (fun policy ->
@@ -180,7 +180,7 @@ let prop_no_violations =
         policies)
 
 let prop_counter_conservation =
-  qcheck ~count:60 "fuzz: protected increments are never lost" program_gen
+  qcheck ~count:60 ~seed_key:"fuzz" "fuzz: protected increments are never lost" program_gen
     (fun prog ->
       let expected = expected_increments prog in
       List.for_all
@@ -196,7 +196,7 @@ let prop_counter_conservation =
         policies)
 
 let prop_deterministic =
-  qcheck ~count:30 "fuzz: same seed, same run" program_gen (fun prog ->
+  qcheck ~count:30 ~seed_key:"fuzz" "fuzz: same seed, same run" program_gen (fun prog ->
       let runs =
         List.map (fun _ -> run_ok Types.Random_switch prog) [ 1; 2 ]
       in
@@ -209,7 +209,7 @@ let prop_deterministic =
       | _ -> false)
 
 let prop_fifo_vs_perverted_same_result =
-  qcheck ~count:30 "fuzz: policies agree on protected state" program_gen
+  qcheck ~count:30 ~seed_key:"fuzz" "fuzz: policies agree on protected state" program_gen
     (fun prog ->
       let outcomes =
         List.filter_map

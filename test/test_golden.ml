@@ -37,6 +37,42 @@ let test_deterministic_measures () =
         (r.measure Cost_model.sparc_ipx))
     Metrics.rows
 
+(* Golden counterexamples: schedules the explorer once found, committed as
+   .sched files (regenerate with `explore_demo --golden test/golden`).  A
+   replay must reproduce the recorded failure without diverging — if it
+   diverges, the library's scheduling-point structure changed and the file
+   is stale. *)
+
+let replay_golden file (scenario : Check.Scenarios.t) expect =
+  match Check.Replay.of_file scenario.make ("golden/" ^ file) with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      (match r.diverged_at with
+      | None -> ()
+      | Some k ->
+          Alcotest.failf "%s is stale: replay diverged at decision %d" file k);
+      (match r.outcome with
+      | Some kind -> expect kind
+      | None -> Alcotest.failf "%s replayed without failing" file)
+
+let test_golden_table4 () =
+  replay_golden "table4_mixed.sched"
+    (Check.Scenarios.table4 ~mode:Pthreads.Types.Stack_pop)
+    (function
+      | Check.Explore.Invariant_violated _ -> ()
+      | k ->
+          Alcotest.failf "expected the Table 4 violation, got %s"
+            (Check.Explore.failure_kind_to_string k))
+
+let test_golden_lost_wakeup () =
+  replay_golden "lost_wakeup.sched"
+    (Check.Scenarios.lost_wakeup ~fixed:false)
+    (function
+      | Check.Explore.Deadlocked _ -> ()
+      | k ->
+          Alcotest.failf "expected the lost-wakeup deadlock, got %s"
+            (Check.Explore.failure_kind_to_string k))
+
 let suite =
   [
     ( "golden",
@@ -44,5 +80,7 @@ let suite =
         tc "table 2 IPX within 15%" test_table2_ipx;
         tc "table 2 SPARC 1+ within 15%" test_table2_1plus;
         tc "metrics deterministic" test_deterministic_measures;
+        tc "table 4 counterexample replays" test_golden_table4;
+        tc "lost-wakeup counterexample replays" test_golden_lost_wakeup;
       ] );
   ]

@@ -91,7 +91,7 @@ let expected prog =
     0 prog.procs
 
 let prop_cross_process_exclusion =
-  qcheck ~count:40 "machine fuzz: exclusion + conservation" mprogram_gen
+  qcheck ~count:40 ~seed_key:"machine_fuzz" "machine fuzz: exclusion + conservation" mprogram_gen
     (fun prog ->
       match execute prog with
       | None -> true (* no lock nesting here, but accept machine deadlock *)
@@ -99,7 +99,7 @@ let prop_cross_process_exclusion =
           ok && Array.fold_left ( + ) 0 counters = expected prog)
 
 let prop_machine_deterministic =
-  qcheck ~count:20 "machine fuzz: deterministic" mprogram_gen (fun prog ->
+  qcheck ~count:20 ~seed_key:"machine_fuzz" "machine fuzz: deterministic" mprogram_gen (fun prog ->
       match (execute prog, execute prog) with
       | None, None -> true
       | Some (c1, ok1), Some (c2, ok2) -> c1 = c2 && ok1 = ok2

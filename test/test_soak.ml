@@ -149,11 +149,47 @@ let test_machine_many_processes () =
   ignore (Machine.run m);
   check int "ten processes completed" 10 !completed
 
+(* Randomized churn under the perverted random-switch policy, pinned to the
+   shared seed table so a failure names its seed. *)
+let test_random_churn () =
+  let seed = Tu.seed_of "soak" in
+  let rng = Vm.Rng.create seed in
+  for round = 1 to 8 do
+    let run_seed = Vm.Rng.int rng 1_000_000 in
+    let nthreads = 4 + Vm.Rng.int rng 12 in
+    let v =
+      try
+        run_main ~perverted:Types.Random_switch ~seed:run_seed (fun proc ->
+            let m = Mutex.create proc () in
+            let hits = ref 0 in
+            let ts =
+              List.init nthreads (fun _ ->
+                  Pthread.create proc (fun () ->
+                      for _ = 1 to 20 do
+                        Mutex.lock proc m;
+                        incr hits;
+                        Mutex.unlock proc m;
+                        Pthread.yield proc
+                      done;
+                      0))
+            in
+            List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+            if !hits = nthreads * 20 then 0 else 1)
+      with e ->
+        Alcotest.failf "random churn blew up (seed %#x, round %d): %s" seed
+          round (Printexc.to_string e)
+    in
+    if v <> 0 then
+      Alcotest.failf "random churn lost updates (seed %#x, round %d)" seed
+        round
+  done
+
 let suite =
   [
     ( "soak",
       [
         tc "thread churn (500)" test_thread_churn;
+        tc "random churn (seeded)" test_random_churn;
         tc "120 cond waiters" test_many_concurrent_waiters;
         tc "timer chain (200 sleeps)" test_long_timer_chain;
         tc "signal storm (1000)" test_signal_storm;

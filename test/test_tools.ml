@@ -146,6 +146,50 @@ let test_debugger_switch_visibility () =
   in
   check bool "monotone timestamps" true (monotone switches)
 
+(* Switch hooks fire *before* the dispatch commits: the incoming thread is
+   still Ready and not yet [Engine.current], so a hook can veto or redirect
+   the decision (the schedule explorer's contract, see
+   Engine.add_switch_hook). *)
+let test_switch_hooks_fire_before_commit () =
+  let observed = ref 0 in
+  let bad = ref [] in
+  let proc =
+    Pthread.make_proc (fun proc ->
+        let t = Pthread.create_unit proc (fun () -> Pthread.yield proc) in
+        Pthread.yield proc;
+        ignore (Pthread.join proc t);
+        0)
+  in
+  Engine.add_switch_hook proc (fun t ->
+      incr observed;
+      if t.Types.state <> Types.Ready then
+        bad := Types.state_name t.Types.state :: !bad;
+      if Engine.current proc == t && t.Types.state = Types.Running then
+        bad := "already committed" :: !bad);
+  Pthread.start proc;
+  check bool "hook saw dispatches" true (!observed >= 2);
+  check (Alcotest.list string) "incoming thread still Ready at hook time" []
+    !bad
+
+exception Vetoed
+
+let test_switch_hook_can_veto () =
+  (* a hook that raises aborts the dispatch: the exception surfaces out of
+     the run before the target thread ever becomes current *)
+  let proc =
+    Pthread.make_proc (fun proc ->
+        let t = Pthread.create_unit proc (fun () -> ()) in
+        ignore (Pthread.join proc t);
+        0)
+  in
+  Engine.add_switch_hook proc (fun t ->
+      if t.Types.tname <> "main" then raise Vetoed);
+  (try
+     Pthread.start proc;
+     Alcotest.fail "vetoing hook must abort the run"
+   with Vetoed -> ());
+  ()
+
 let test_trace_stats_accounting () =
   let proc =
     Pthread.make_proc ~trace:true (fun proc ->
@@ -265,6 +309,8 @@ let suite =
       [
         tc "inspect TCBs" test_debugger_inspect;
         tc "switch visibility" test_debugger_switch_visibility;
+        tc "hooks fire pre-commit" test_switch_hooks_fire_before_commit;
+        tc "hooks can veto a dispatch" test_switch_hook_can_veto;
         tc "wait-for graph: cycle" test_wait_for_graph_detects_partial_deadlock;
         tc "wait-for graph: clean" test_wait_for_graph_clean_when_no_cycle;
       ] );

@@ -40,6 +40,26 @@ let exit_status : Types.exit_status Alcotest.testable =
 
 let tc name f = Alcotest.test_case name `Quick f
 
-let qcheck ?(count = 200) name gen prop =
-  QCheck_alcotest.to_alcotest
-    (QCheck2.Test.make ~name ~count gen prop)
+(* One table of pinned seeds for every randomized suite.  A failure in a
+   randomized test must be reproducible from the test output alone, so the
+   seed is part of the test name (Alcotest prints it on failure) and a
+   deliberate reseed is a visible one-line diff here, not an invisible
+   change of [Random] self-initialization. *)
+let seeds =
+  [ ("fuzz", 0x5EED_F022); ("machine_fuzz", 0x5EED_ACE1); ("soak", 0x5EED_50AD) ]
+
+let seed_of key =
+  match List.assoc_opt key seeds with
+  | Some s -> s
+  | None -> invalid_arg ("Tu.seed_of: unknown seed key " ^ key)
+
+let qcheck ?(count = 200) ?seed_key name gen prop =
+  let name, rand =
+    match seed_key with
+    | None -> (name, None)
+    | Some key ->
+        let s = seed_of key in
+        ( Printf.sprintf "%s [seed %#x]" name s,
+          Some (Random.State.make [| s |]) )
+  in
+  QCheck_alcotest.to_alcotest ?rand (QCheck2.Test.make ~name ~count gen prop)
