@@ -164,6 +164,98 @@ let lost_wakeup ~fixed =
       ignore (Pthread.join proc producer);
       0)
 
+(* The fault injector's quarry: the consumer tests the predicate with a
+   single [if], so {e any} wakeup — including an injected spurious one —
+   is trusted to mean "ready".  Under clean schedules the program always
+   exits 0: the consumer outranks main, parks on the condition before
+   main's busy window, and is only woken by the real signal.  A spurious
+   wakeup injected during the window wakes it (preempting main, whom it
+   outranks) with the flag still false. *)
+let lost_wakeup_no_loop =
+  mk "lost-wakeup-no-loop"
+    "consumer tests the predicate with 'if', not 'while': an injected \
+     spurious wakeup slips through"
+    (fun proc ->
+      let m = Mutex.create proc ~name:"m" () in
+      let c = Cond.create proc ~name:"c" () in
+      let ready = ref false in
+      let consumer =
+        Pthread.create proc
+          ~attr:(Attr.with_prio (Types.default_prio + 1) Attr.default)
+          (fun () ->
+            Mutex.lock proc m;
+            (* BUG: no predicate loop *)
+            if not !ready then ignore (Cond.wait proc c m);
+            let ok = !ready in
+            Mutex.unlock proc m;
+            if ok then 0 else 1)
+      in
+      Pthread.busy proc ~ns:20_000;
+      Mutex.lock proc m;
+      ready := true;
+      Cond.signal proc c;
+      Mutex.unlock proc m;
+      match Pthread.join proc consumer with Types.Exited v -> v | _ -> 2)
+
+(* ------------------------------------------------------------------ *)
+(* Timed waits against the virtual clock                               *)
+(* ------------------------------------------------------------------ *)
+
+let timed_consumer =
+  mk "timed-consumer"
+    "consumer in a predicate loop around Cond.wait_until; tolerates \
+     timeouts, spurious wakeups and clock jumps"
+    (fun proc ->
+      let m = Mutex.create proc ~name:"m" () in
+      let c = Cond.create proc ~name:"c" () in
+      let ready = ref false in
+      let consumer =
+        Pthread.create proc (fun () ->
+            Mutex.lock proc m;
+            let deadline_ns = Pthread.now proc + 1_000_000 in
+            let rec loop () =
+              if !ready then ()
+              else
+                match Cond.wait_until proc c m ~deadline_ns with
+                | Cond.Timed_out -> () (* give up gracefully *)
+                | Cond.Signaled | Cond.Interrupted -> loop ()
+            in
+            loop ();
+            Mutex.unlock proc m;
+            0)
+      in
+      Pthread.busy proc ~ns:50_000;
+      Mutex.lock proc m;
+      ready := true;
+      Cond.signal proc c;
+      Mutex.unlock proc m;
+      ignore (Pthread.join proc consumer);
+      0)
+
+(* ------------------------------------------------------------------ *)
+(* Cancellation interruptibility states (paper Table 1)                *)
+(* ------------------------------------------------------------------ *)
+
+let cancel_states =
+  mk "cancel-states"
+    "worker cycles through disabled / controlled / asynchronous \
+     interruptibility; an injected cancellation is clean at every point"
+    (fun proc ->
+      let worker =
+        Pthread.create proc (fun () ->
+            ignore (Cancel.set_state proc Types.Cancel_disabled);
+            Pthread.busy proc ~ns:10_000 (* requests pend here *);
+            ignore (Cancel.set_state proc Types.Cancel_enabled);
+            Pthread.busy proc ~ns:10_000;
+            Cancel.test proc (* pended controlled requests act here *);
+            ignore (Cancel.set_type proc Types.Cancel_asynchronous);
+            Pthread.busy proc ~ns:10_000 (* requests act immediately *);
+            0)
+      in
+      match Pthread.join proc worker with
+      | Types.Exited 0 | Types.Canceled -> 0
+      | _ -> 1)
+
 (* ------------------------------------------------------------------ *)
 (* Table 4: mixed inheritance/ceiling protocols                        *)
 (* ------------------------------------------------------------------ *)
@@ -290,6 +382,9 @@ let all =
     racy_counter;
     lost_wakeup ~fixed:false;
     lost_wakeup ~fixed:true;
+    lost_wakeup_no_loop;
+    timed_consumer;
+    cancel_states;
     table4 ~mode:Types.Stack_pop;
     table4 ~mode:Types.Recompute;
     cancel_cond_wait ~with_cleanup:true;

@@ -35,6 +35,22 @@ val lost_wakeup : fixed:bool -> t
     holding the mutex, racing the consumer's test-and-suspend.  The buggy
     variant deadlocks on some schedules; [~fixed:true] is safe. *)
 
+val lost_wakeup_no_loop : t
+(** The fault injector's seeded bug: the consumer wraps [Cond.wait] in an
+    [if] instead of a [while], trusting any wakeup.  Safe under every
+    clean schedule — only an {e injected} spurious wakeup (or a handler
+    run) exposes it, with [Bad_exit 1]. *)
+
+val timed_consumer : t
+(** Predicate loop around [Cond.wait_until] with a graceful-timeout path:
+    robust to spurious wakeups, timeouts and virtual-clock jumps. *)
+
+val cancel_states : t
+(** A worker cycling through the three interruptibility states of the
+    paper's Table 1 (disabled, enabled-controlled, enabled-asynchronous),
+    holding no resources: an injected cancellation at any fault point must
+    leave the process clean, whichever row it lands on. *)
+
 val table4 : mode:Pthreads.Types.ceiling_unlock_mode -> t
 (** The paper's Table 4: an inheritance mutex nested around a ceiling
     mutex.  Under [Stack_pop] some schedule violates the inheritance

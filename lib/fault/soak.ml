@@ -1,0 +1,207 @@
+open Pthreads
+module E = Check.Explore
+
+type config = {
+  seeds : int list;
+  budget : int;
+  kinds : Plan.kinds;
+  check_invariants : bool;
+}
+
+let default_config =
+  {
+    seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+    budget = 6;
+    kinds = Plan.safe_kinds;
+    check_invariants = true;
+  }
+
+type failure = {
+  f_scenario : string;
+  f_seed : int;
+  f_kind : E.failure_kind;
+  f_plan : Plan.t;
+  f_first_plan : Plan.t;
+}
+
+type report = {
+  r_scenarios : int;
+  r_runs : int;
+  r_points : int;
+  r_injected : int;
+  r_failures : failure list;
+}
+
+let main_status eng =
+  match Engine.find_thread eng 0 with Some t -> t.Types.retval | None -> None
+
+let run_one ?(check_invariants = true) ~mk (plan : Plan.t) =
+  let eng = mk () in
+  (* The first invariant violation wins regardless of how the run ends:
+     injected faults routinely push a broken program into a secondary
+     deadlock after the interesting state, and reporting that would bury
+     the signal. *)
+  let violation = ref None in
+  let on_point _k =
+    if check_invariants && !violation = None then
+      match Check.Invariant.check eng with
+      | Some v -> violation := Some v
+      | None -> ()
+  in
+  let inj = Inject.install ~on_point eng plan in
+  let outcome =
+    try
+      Pthread.start eng;
+      match Check.Invariant.check_final eng with
+      | Some v -> Some (E.Invariant_violated v)
+      | None -> (
+          match main_status eng with
+          | Some (Types.Failed e) -> Some (E.Main_raised (Printexc.to_string e))
+          | Some (Types.Exited n) when n <> 0 -> Some (E.Bad_exit n)
+          | Some (Types.Exited _ | Types.Canceled) | None -> None)
+    with
+    | Types.Process_stopped (Types.Deadlock m) -> Some (E.Deadlocked m)
+    | Types.Process_stopped (Types.Killed_by_signal s) -> Some (E.Killed s)
+  in
+  let outcome =
+    match !violation with
+    | Some v -> Some (E.Invariant_violated v)
+    | None -> outcome
+  in
+  (outcome, Inject.points inj, Inject.injected inj)
+
+let shrink ?(check_invariants = true) ~mk (plan0 : Plan.t) =
+  let fails p =
+    match run_one ~check_invariants ~mk p with
+    | Some _, _, _ -> true
+    | None, _, _ -> false
+  in
+  (* shortest failing prefix, by binary search *)
+  let arr = Array.of_list plan0 in
+  let prefix k = Array.to_list (Array.sub arr 0 k) in
+  let lo = ref 1 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fails (prefix mid) then hi := mid else lo := mid + 1
+  done;
+  let cur = ref (prefix !lo) in
+  (* greedy single-injection drops until nothing more can go *)
+  let again = ref true in
+  while !again do
+    again := false;
+    let n = List.length !cur in
+    let i = ref 0 in
+    while (not !again) && !i < n do
+      let candidate = List.filteri (fun j _ -> j <> !i) !cur in
+      if fails candidate then begin
+        cur := candidate;
+        again := true
+      end
+      else incr i
+    done
+  done;
+  match run_one ~check_invariants ~mk !cur with
+  | Some kind, _, _ -> (!cur, kind)
+  | None, _, _ ->
+      (* cannot happen: [cur] failed on its last [fails] check and runs
+         are deterministic *)
+      assert false
+
+let soak ?(config = default_config) (scenarios : Check.Scenarios.t list) =
+  let failures = ref [] in
+  let runs = ref 0 and points = ref 0 and injected = ref 0 in
+  let record f = failures := f :: !failures in
+  List.iter
+    (fun (s : Check.Scenarios.t) ->
+      let mk = s.Check.Scenarios.make in
+      let check_invariants = config.check_invariants in
+      let base_outcome, base_points, _ = run_one ~check_invariants ~mk [] in
+      incr runs;
+      points := !points + base_points;
+      match base_outcome with
+      | Some kind ->
+          (* the scenario fails with no faults at all: that is a finding in
+             itself, reported with an empty plan *)
+          record
+            {
+              f_scenario = s.Check.Scenarios.name;
+              f_seed = -1;
+              f_kind = kind;
+              f_plan = [];
+              f_first_plan = [];
+            }
+      | None ->
+          List.iter
+            (fun seed ->
+              let plan =
+                Plan.random ~seed ~points:base_points ~budget:config.budget
+                  config.kinds
+              in
+              let outcome, pts, inj = run_one ~check_invariants ~mk plan in
+              incr runs;
+              points := !points + pts;
+              injected := !injected + inj;
+              match outcome with
+              | None -> ()
+              | Some _ ->
+                  let shrunk, kind = shrink ~check_invariants ~mk plan in
+                  record
+                    {
+                      f_scenario = s.Check.Scenarios.name;
+                      f_seed = seed;
+                      f_kind = kind;
+                      f_plan = shrunk;
+                      f_first_plan = plan;
+                    })
+            config.seeds)
+    scenarios;
+  {
+    r_scenarios = List.length scenarios;
+    r_runs = !runs;
+    r_points = !points;
+    r_injected = !injected;
+    r_failures = List.rev !failures;
+  }
+
+let default_suite =
+  [
+    Check.Scenarios.ordered_ab;
+    Check.Scenarios.micro_two;
+    Check.Scenarios.three_two;
+    Check.Scenarios.lost_wakeup ~fixed:true;
+    Check.Scenarios.ceiling_nested;
+    Check.Scenarios.cancel_cond_wait ~with_cleanup:true;
+    Check.Scenarios.timed_consumer;
+    Check.Scenarios.cancel_states;
+  ]
+
+let json_of_failure f =
+  Printf.sprintf
+    "{\"scenario\": %S, \"seed\": %d, \"kind\": %S, \"injections\": %d}"
+    f.f_scenario f.f_seed
+    (E.failure_kind_to_string f.f_kind)
+    (Plan.length f.f_plan)
+
+let json_of_report r =
+  Printf.sprintf
+    "{\"soak\": {\"scenarios\": %d, \"runs\": %d, \"points\": %d, \
+     \"injected\": %d, \"failures\": [%s]}}"
+    r.r_scenarios r.r_runs r.r_points r.r_injected
+    (String.concat ", " (List.map json_of_failure r.r_failures))
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%d scenario(s), %d run(s): %d fault point(s), %d fault(s) injected@ "
+    r.r_scenarios r.r_runs r.r_points r.r_injected;
+  (match r.r_failures with
+  | [] -> Format.fprintf ppf "no failures"
+  | fs ->
+      Format.fprintf ppf "%d failure(s):" (List.length fs);
+      List.iter
+        (fun f ->
+          Format.fprintf ppf "@   %s (seed %d): %s, %d injection(s)"
+            f.f_scenario f.f_seed
+            (E.failure_kind_to_string f.f_kind)
+            (Plan.length f.f_plan))
+        fs);
+  Format.fprintf ppf "@]"

@@ -21,12 +21,12 @@ let wait_internal eng c m ~deadline =
   Engine.touch eng (Engine.key_mutex m.m_id);
   (match m.m_owner with
   | Some o when o == self -> ()
-  | _ -> invalid_arg ("Cond.wait: mutex " ^ m.m_name ^ " not held by caller"));
+  | _ -> raise (Error (Errno.EPERM, "Cond.wait: mutex " ^ m.m_name ^ " not held by caller")));
   Engine.enter_kernel eng;
   Engine.charge eng Costs.cond_op;
   (match c.c_mutex with
   | Some bound when bound != m ->
-      invalid_arg ("Cond.wait: " ^ c.c_name ^ " is bound to " ^ bound.m_name)
+      raise (Error (Errno.EINVAL, "Cond.wait: " ^ c.c_name ^ " is bound to " ^ bound.m_name))
   | Some _ | None -> c.c_mutex <- Some m);
   (* release the mutex atomically with the suspension *)
   Mutex.release_in_kernel eng m;
@@ -92,6 +92,8 @@ let broadcast eng c =
   Engine.drain_fake_calls eng
 
 let waiter_count c = Wait_queue.size c.c_waiters
+
+let wait_until = timed_wait
 
 let wait_for eng c m ~timeout_ns =
   timed_wait eng c m ~deadline_ns:(Engine.now eng + timeout_ns)

@@ -19,14 +19,26 @@ val create : engine -> ?name:string -> unit -> cond
 
 val wait : engine -> cond -> mutex -> wait_result
 (** The caller must hold the mutex.  An interruption point for controlled
-    cancellation.  @raise Invalid_argument if the mutex is not held, or if
-    the condition variable is already bound to a different mutex. *)
+    cancellation.  @raise Types.Error with [Errno.EPERM] if the mutex is
+    not held, [Errno.EINVAL] if the condition variable is already bound to
+    a different mutex. *)
 
 val timed_wait : engine -> cond -> mutex -> deadline_ns:int -> wait_result
-(** [deadline_ns] is absolute virtual time. *)
+(** Historical name for {!wait_until}. *)
+
+val wait_until : engine -> cond -> mutex -> deadline_ns:int -> wait_result
+(** Timed wait with an {e absolute} deadline, in virtual-clock nanoseconds
+    (the same clock [Engine.now]/[Pthread.now] read — no other clock
+    exists here).  This matches [pthread_cond_timedwait]'s [abstime]
+    contract, so a virtual-clock jump past the deadline times the wait out
+    at the next poll.  A deadline already in the past still releases and
+    reacquires the mutex atomically, then reports [Timed_out]: the caller's
+    predicate re-test stays mandatory. *)
 
 val wait_for : engine -> cond -> mutex -> timeout_ns:int -> wait_result
-(** {!timed_wait} with a relative timeout. *)
+(** {!wait_until} with a {e relative} timeout: the deadline is
+    [Engine.now + timeout_ns], fixed at call time — a later clock jump
+    shortens the remaining wait rather than extending it. *)
 
 val signal : engine -> cond -> unit
 (** Make the highest-priority waiter ready (no-op when none). *)

@@ -561,6 +561,13 @@ let enter_kernel eng =
   charge eng Costs.kernel_enter;
   eng.kernel_flag <- true
 
+(* Fault-injection hook: fired at the same points the explorer treats as
+   decision points (every kernel exit and every checkpoint).  The hook only
+   mutates state and sets [dispatcher_flag]; the enclosing point performs
+   any switch it requested. *)
+let fire_fault_hook eng =
+  match eng.fault_hook with Some h when eng.in_fiber -> h () | _ -> ()
+
 let apply_perversion eng =
   let cur = eng.current in
   if cur.state = Running && eng.in_fiber && eng.live_count > 1 then
@@ -590,6 +597,7 @@ let apply_perversion eng =
 
 let leave_kernel eng =
   charge eng Costs.kernel_exit;
+  fire_fault_hook eng;
   apply_perversion eng;
   if eng.dispatcher_flag then ignore (dispatch eng : wake)
   else eng.kernel_flag <- false
@@ -642,6 +650,7 @@ let checkpoint eng =
      implementation could leave the kernel, so the perverted reordering
      policies hook here as well — otherwise programs that stay on the
      kernel-free fast paths would never be perturbed. *)
+  if not eng.kernel_flag then fire_fault_hook eng;
   if not eng.kernel_flag then apply_perversion eng;
   if eng.dispatcher_flag && not eng.kernel_flag then begin
     eng.kernel_flag <- true;
@@ -934,6 +943,64 @@ let post_external eng signo ?(code = 0) () =
   Unix_kernel.kill eng.vm signo ~code ~origin:Unix_kernel.External ()
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection primitives                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Each primitive runs from inside the fault hook, i.e. at a kernel exit or
+   a checkpoint.  They take the kernel flag themselves (the universal
+   handler must see the library as busy while queues are edited), never
+   dispatch inline — requested switches happen when the enclosing point
+   checks [dispatcher_flag] — and count every applied fault. *)
+
+let set_fault_hook eng h = eng.fault_hook <- h
+let note_fault eng = eng.n_faults_injected <- eng.n_faults_injected + 1
+
+let in_kernel eng f =
+  let saved = eng.kernel_flag in
+  eng.kernel_flag <- true;
+  Fun.protect ~finally:(fun () -> eng.kernel_flag <- saved) f
+
+let inject_preempt eng =
+  let cur = eng.current in
+  if cur.state = Running && eng.live_count > 1 then begin
+    note_fault eng;
+    trace eng cur (Trace.Note "fault: forced preemption");
+    cur.state <- Ready;
+    Ready_queue.push_tail_lowest eng cur;
+    eng.dispatcher_flag <- true
+  end
+
+let inject_wakeup eng t =
+  match t.state with
+  | Blocked (On_cond _) ->
+      note_fault eng;
+      trace eng t (Trace.Note "fault: spurious wakeup");
+      in_kernel eng (fun () -> unblock eng t Wake_interrupted)
+  | _ -> ()
+
+let inject_signal eng signo ~target =
+  note_fault eng;
+  match target with
+  | `Process -> post_external eng signo ()
+  | `Thread t ->
+      in_kernel eng (fun () ->
+          send_signal eng signo ~code:0 ~origin:(Unix_kernel.Directed t.tid))
+
+let inject_cancel eng t =
+  if t.state <> Terminated then begin
+    note_fault eng;
+    trace eng t (Trace.Note "fault: cancellation request");
+    in_kernel eng (fun () ->
+        send_signal eng Sigset.sigcancel ~code:0
+          ~origin:(Unix_kernel.Directed t.tid))
+  end
+
+let inject_clock_jump eng ~ns =
+  note_fault eng;
+  trace eng eng.current (Trace.Note "fault: clock jump");
+  Unix_kernel.advance eng.vm ns
+
+(* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -985,6 +1052,8 @@ let make ?clock cfg ~main =
       explore_touched = [];
       all_mutexes = [];
       all_conds = [];
+      fault_hook = None;
+      n_faults_injected = 0;
     }
   in
   (* Library initialization: a universal handler for all maskable UNIX
@@ -1032,6 +1101,7 @@ type stats = {
   thread_handler_runs : int;
   threads_created : int;
   heap_allocations : int;
+  faults_injected : int;
 }
 
 let stats eng =
@@ -1047,6 +1117,7 @@ let stats eng =
     thread_handler_runs = eng.n_thread_signals;
     threads_created = eng.n_created;
     heap_allocations = Heap.allocations eng.heap;
+    faults_injected = eng.n_faults_injected + Unix_kernel.trap_faults eng.vm;
   }
 
 let dispatch_count eng = eng.n_dispatches
@@ -1055,14 +1126,16 @@ let reset_stats eng =
   Unix_kernel.reset_counters eng.vm;
   eng.n_switches <- 0;
   eng.n_created <- 0;
-  eng.n_thread_signals <- 0
+  eng.n_thread_signals <- 0;
+  eng.n_faults_injected <- 0
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>virtual time: %.1f us@ context switches: %d@ kernel traps: %d \
      (sigsetmask: %d)@ signals: %d posted, %d delivered, %d lost, %d \
-     handler runs@ threads created: %d; heap allocations: %d@]"
+     handler runs@ threads created: %d; heap allocations: %d@ faults \
+     injected: %d@]"
     (Clock.us_of_ns s.virtual_ns)
     s.switches s.kernel_traps s.sigsetmask_calls s.signals_posted
     s.signals_delivered_unix s.signals_lost s.thread_handler_runs
-    s.threads_created s.heap_allocations
+    s.threads_created s.heap_allocations s.faults_injected

@@ -198,6 +198,42 @@ val key_cond : int -> int
 val key_thread : int -> int
 val key_signal : int -> int
 
+val set_fault_hook : engine -> (unit -> unit) option -> unit
+(** {2:fault Fault injection}
+
+    Install (or clear) the fault hook.  While set, it is called at every
+    kernel exit and every checkpoint — the same decision points the
+    explorer uses — with the current thread outside any half-finished
+    kernel operation.  The hook perturbs the run through the primitives
+    below; it must not dispatch itself (requested switches happen when the
+    enclosing point examines the dispatcher flag). *)
+
+val inject_preempt : engine -> unit
+(** Force a context switch: requeue the running thread at the tail of the
+    lowest priority bucket (as the perverted policies do) and request
+    dispatch.  Safe to call from the fault hook, outside the kernel. *)
+
+val inject_wakeup : engine -> tcb -> unit
+(** Spurious condition wakeup: if the thread is blocked on a condition
+    variable, wake it with [Wake_interrupted] — exactly what a signal
+    handler run does to a waiter, so a correct program's predicate loop
+    absorbs it.  No-op otherwise. *)
+
+val inject_signal : engine -> signo -> target:[ `Process | `Thread of tcb ] -> unit
+(** Post a signal: [`Process] generates it at the simulated UNIX kernel
+    (demultiplexed by the universal handler at the next poll); [`Thread]
+    directs it through the thread-level delivery model. *)
+
+val inject_cancel : engine -> tcb -> unit
+(** Request cancellation of a thread (sends the internal SIGCANCEL), which
+    lands at whatever interruptibility state the thread is in — Table 1's
+    rows become reachable by timing. *)
+
+val inject_clock_jump : engine -> ns:int -> unit
+(** Advance the virtual clock by [ns] without running anybody: models NTP
+    steps / suspend-resume racing timed waits.  Expired timers fire at the
+    next signal poll. *)
+
 val key_user : int -> int
 (** Encode an object identity as a footprint key.  [key_user] is for
     program-level annotations ([Check.Explore.touch]): marking the shared
@@ -220,6 +256,9 @@ type stats = {
   thread_handler_runs : int;
   threads_created : int;
   heap_allocations : int;
+  faults_injected : int;
+      (** faults applied by the injection primitives plus injected trap
+          failures (see {!section-fault}) *)
 }
 
 val stats : engine -> stats

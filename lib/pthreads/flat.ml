@@ -2,23 +2,27 @@ open Types
 
 type status = int
 
+(* Status codes are the wire representation of [Errno.t]: the numbers are
+   unchanged from the bare-int days, but they are now derived from the
+   typed constructors rather than being their own source of truth. *)
 let ok = 0
-let eperm = 1
-let esrch = 3
-let ebusy = 16
-let einval = 22
-let edeadlk = 35
-let etimedout = 60
+let eperm = Errno.to_int Errno.EPERM
+let esrch = Errno.to_int Errno.ESRCH
+let eintr = Errno.to_int Errno.EINTR
+let eagain = Errno.to_int Errno.EAGAIN
+let ebusy = Errno.to_int Errno.EBUSY
+let einval = Errno.to_int Errno.EINVAL
+let edeadlk = Errno.to_int Errno.EDEADLK
+let etimedout = Errno.to_int Errno.ETIMEDOUT
+let errno_of_status s = Errno.of_int s
+let status_of_errno = Errno.to_int
 
 let strstatus = function
   | 0 -> "OK"
-  | 1 -> "EPERM"
-  | 3 -> "ESRCH"
-  | 16 -> "EBUSY"
-  | 22 -> "EINVAL"
-  | 35 -> "EDEADLK"
-  | 60 -> "ETIMEDOUT"
-  | n -> "E#" ^ string_of_int n
+  | n -> (
+      match Errno.of_int n with
+      | Some e -> Errno.to_string e
+      | None -> "E#" ^ string_of_int n)
 
 type handle = int
 
@@ -56,7 +60,7 @@ let mutex_init eng ?(protocol = `None) () =
     | `Inherit -> Ok (Mutex.create eng ~protocol:Inherit_protocol ())
     | `Ceiling c -> (
         try Ok (Mutex.create eng ~protocol:Ceiling_protocol ~ceiling:c ())
-        with Invalid_argument _ -> Error einval)
+        with Types.Error (e, _) -> Error (Errno.to_int e))
   with
   | Ok m ->
       let h = fresh tb in
@@ -85,19 +89,19 @@ let mutex_lock eng h =
       try
         Mutex.lock eng m;
         ok
-      with Invalid_argument _ -> edeadlk)
+      with Types.Error (e, _) -> Errno.to_int e)
 
 let mutex_trylock eng h =
   with_mutex eng h (fun m ->
       try if Mutex.try_lock eng m then ok else ebusy
-      with Invalid_argument _ -> edeadlk)
+      with Types.Error (e, _) -> Errno.to_int e)
 
 let mutex_unlock eng h =
   with_mutex eng h (fun m ->
       try
         Mutex.unlock eng m;
         ok
-      with Invalid_argument _ -> eperm)
+      with Types.Error (e, _) -> Errno.to_int e)
 
 (* ---------------- condition variables ---------------- *)
 
@@ -128,9 +132,14 @@ let cond_wait eng hc hm =
   with_cond eng hc (fun c ->
       with_mutex eng hm (fun m ->
           try
-            ignore (Cond.wait eng c m : Cond.wait_result);
-            ok
-          with Invalid_argument _ -> eperm))
+            match Cond.wait eng c m with
+            | Cond.Signaled -> ok
+            (* DCE-draft semantics: an interrupted wait (handler run,
+               injected spurious wakeup) reports EINTR so the caller knows
+               to re-evaluate the predicate *)
+            | Cond.Interrupted -> eintr
+            | Cond.Timed_out -> etimedout (* unreachable for untimed waits *)
+          with Types.Error (e, _) -> Errno.to_int e))
 
 let cond_timedwait eng hc hm ~deadline_ns =
   with_cond eng hc (fun c ->
@@ -138,8 +147,9 @@ let cond_timedwait eng hc hm ~deadline_ns =
           try
             match Cond.timed_wait eng c m ~deadline_ns with
             | Cond.Timed_out -> etimedout
-            | Cond.Signaled | Cond.Interrupted -> ok
-          with Invalid_argument _ -> eperm))
+            | Cond.Signaled -> ok
+            | Cond.Interrupted -> eintr
+          with Types.Error (e, _) -> Errno.to_int e))
 
 let cond_signal eng h =
   with_cond eng h (fun c ->
@@ -173,7 +183,7 @@ let thr_join eng tid =
         match Pthread.join eng tid with
         | Exited v -> (ok, v)
         | Canceled | Failed _ -> (ok, -1)
-        | exception Invalid_argument _ -> (esrch, -1))
+        | exception Types.Error (e, _) -> (Errno.to_int e, -1))
 
 let thr_detach eng tid =
   match Engine.find_thread eng tid with
@@ -199,3 +209,11 @@ let thr_setprio eng tid prio =
         ok
 
 let thr_self eng = Pthread.self eng
+
+(* ---------------- blocking kernel calls ---------------- *)
+
+let read eng ~latency_ns =
+  try
+    Signal_api.blocking_read eng ~latency_ns;
+    ok
+  with Types.Error (e, _) -> Errno.to_int e

@@ -14,26 +14,47 @@
 open Types
 
 type status = int
-(** 0 on success, an errno-style code otherwise. *)
+(** 0 on success, an errno-style code otherwise.
+
+    The bare-int contract is {e deprecated} as a source of truth: statuses
+    are now the wire representation of {!Errno.t} (ints are kept for C
+    parity), and OCaml callers should match on {!errno_of_status} rather
+    than comparing against the constants below. *)
 
 val ok : status
 
 val einval : status
-(** Bad handle or argument. *)
+(** Bad handle or argument ([Errno.EINVAL]). *)
 
 val ebusy : status
-(** Trylock failed, or the object is in use. *)
+(** Trylock failed, or the object is in use ([Errno.EBUSY]). *)
 
 val edeadlk : status
-(** Relock, or self-join. *)
+(** Relock, or self-join ([Errno.EDEADLK]). *)
 
 val esrch : status
-(** No such thread. *)
+(** No such thread ([Errno.ESRCH]). *)
 
 val etimedout : status
+(** Timed wait expired ([Errno.ETIMEDOUT]). *)
+
+val eintr : status
+(** Interrupted call ([Errno.EINTR]): a cond wait woken by a signal-handler
+    run or an injected spurious wakeup, or a blocking kernel call failed by
+    the fault injector.  Draft-POSIX (DCE threads) semantics: re-evaluate
+    the predicate and retry. *)
+
+val eagain : status
+(** Resource temporarily unavailable ([Errno.EAGAIN]). *)
 
 val eperm : status
-(** Caller is not the owner. *)
+(** Caller is not the owner ([Errno.EPERM]). *)
+
+val errno_of_status : status -> Errno.t option
+(** The typed reading of a non-zero status; [None] for {!ok} and unknown
+    codes. *)
+
+val status_of_errno : Errno.t -> status
 
 val strstatus : status -> string
 
@@ -58,7 +79,10 @@ val cond_wait : engine -> handle -> handle -> status
 (** [cond_wait proc cond mutex]. *)
 
 val cond_timedwait : engine -> handle -> handle -> deadline_ns:int -> status
-(** [ETIMEDOUT] when the deadline passes first. *)
+(** [ETIMEDOUT] when the deadline passes first.  [deadline_ns] is an
+    {e absolute} virtual-clock instant (compare [Pthread.now]); a deadline
+    already in the past still releases and reacquires the mutex, then
+    reports [ETIMEDOUT].  [EINTR] for an interrupted wait. *)
 
 val cond_signal : engine -> handle -> status
 val cond_broadcast : engine -> handle -> status
@@ -73,3 +97,10 @@ val thr_detach : engine -> int -> status
 val thr_cancel : engine -> int -> status
 val thr_setprio : engine -> int -> int -> status
 val thr_self : engine -> int
+
+(** {1 Blocking kernel calls} *)
+
+val read : engine -> latency_ns:int -> status
+(** A blocking read through the simulated UNIX kernel (see
+    [Signal_api.blocking_read]).  [EINTR] when the fault injector failed
+    the trap. *)

@@ -10,10 +10,10 @@ let create eng ?name ?(protocol = No_protocol) ?ceiling () =
     match (protocol, ceiling) with
     | Ceiling_protocol, Some c ->
         if c < min_prio || c > max_prio then
-          invalid_arg "Mutex.create: ceiling out of range";
+          raise (Error (Errno.EINVAL, "Mutex.create: ceiling out of range"));
         c
     | Ceiling_protocol, None ->
-        invalid_arg "Mutex.create: ceiling protocol requires ~ceiling"
+        raise (Error (Errno.EINVAL, "Mutex.create: ceiling protocol requires ~ceiling"))
     | (No_protocol | Inherit_protocol), _ -> 0
   in
   Engine.charge eng Costs.attr_op;
@@ -103,7 +103,7 @@ let do_lock eng m =
   let self = Engine.current eng in
   Engine.touch eng (Engine.key_mutex m.m_id);
   if holds self m then
-    invalid_arg ("Mutex.lock: " ^ m.m_name ^ " already held by caller");
+    raise (Error (Errno.EDEADLK, "Mutex.lock: " ^ m.m_name ^ " already held by caller"));
   if acquire_fast eng m then on_acquired eng m else lock_slow eng m
 
 let lock eng m =
@@ -116,7 +116,8 @@ let try_lock eng m =
   Engine.checkpoint eng;
   let self = Engine.current eng in
   Engine.touch eng (Engine.key_mutex m.m_id);
-  if holds self m then invalid_arg "Mutex.try_lock: already held by caller";
+  if holds self m then
+    raise (Error (Errno.EDEADLK, "Mutex.try_lock: already held by caller"));
   if acquire_fast eng m then begin
     on_acquired eng m;
     true
@@ -160,7 +161,7 @@ let do_unlock eng m ~dispatching =
   let self = Engine.current eng in
   Engine.touch eng (Engine.key_mutex m.m_id);
   if not (holds self m) then
-    invalid_arg ("Mutex.unlock: " ^ m.m_name ^ " not held by caller");
+    raise (Error (Errno.EPERM, "Mutex.unlock: " ^ m.m_name ^ " not held by caller"));
   Engine.charge eng Costs.mutex_fast_unlock;
   self.owned <- List.filter (fun x -> x != m) self.owned;
   Engine.trace eng self (Trace.Mutex_unlock m.m_name);

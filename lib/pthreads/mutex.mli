@@ -29,12 +29,13 @@ val create :
   mutex
 (** [ceiling] is required for [Ceiling_protocol] mutexes and must be at
     least the priority of every thread that will ever lock the mutex (the
-    standard leaves violations undefined; we raise on creation when out of
-    range). *)
+    standard leaves violations undefined; we raise [Types.Error] with
+    [Errno.EINVAL] on creation when out of range). *)
 
 val lock : engine -> mutex -> unit
 (** Acquire, suspending on contention.  Relocking a mutex the caller
-    already holds raises [Invalid_argument] (non-recursive mutexes).
+    already holds raises [Types.Error] with [Errno.EDEADLK]
+    (non-recursive mutexes; so does {!try_lock}).
     A mutex wait is {e not} an interruption point: a controlled
     cancellation pends across it. *)
 
@@ -43,7 +44,8 @@ val try_lock : engine -> mutex -> bool
 val unlock : engine -> mutex -> unit
 (** Release; transfers ownership to the highest-priority waiter, if any,
     and lowers the unlocker's priority per the protocol.
-    @raise Invalid_argument if the caller is not the owner. *)
+    @raise Types.Error with [Errno.EPERM] if the caller is not the
+    owner. *)
 
 val lock_after_wait : engine -> mutex -> unit
 (** Reacquisition path used by [Cond.wait]: like {!lock} but without the

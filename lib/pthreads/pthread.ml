@@ -99,9 +99,9 @@ let join eng tid =
   Engine.touch eng (Engine.key_thread tid);
   let self = Engine.current eng in
   match Engine.find_thread eng tid with
-  | None -> invalid_arg "Pthread.join: no such thread (already joined?)"
-  | Some t when t == self -> invalid_arg "Pthread.join: cannot join self"
-  | Some t when t.detached -> invalid_arg "Pthread.join: thread is detached"
+  | None -> raise (Error (Errno.ESRCH, "Pthread.join: no such thread (already joined?)"))
+  | Some t when t == self -> raise (Error (Errno.EDEADLK, "Pthread.join: cannot join self"))
+  | Some t when t.detached -> raise (Error (Errno.EINVAL, "Pthread.join: thread is detached"))
   | Some t ->
       Engine.enter_kernel eng;
       (* a lazily created thread is "needed" now: activate it *)
@@ -122,7 +122,7 @@ let join eng tid =
       (* in the kernel; reap *)
       if not (Engine.is_registered eng t) then begin
         Engine.leave_kernel eng;
-        invalid_arg "Pthread.join: thread was joined concurrently"
+        raise (Error (Errno.ESRCH, "Pthread.join: thread was joined concurrently"))
       end
       else begin
         let status =
@@ -153,7 +153,7 @@ let suspend eng tid =
   match Engine.find_thread eng tid with
   | None ->
       Engine.leave_kernel eng;
-      invalid_arg "Pthread.suspend: no such thread"
+      raise (Error (Errno.ESRCH, "Pthread.suspend: no such thread"))
   | Some t when t.state = Terminated -> Engine.leave_kernel eng
   | Some t ->
       t.suspended <- true;
@@ -228,7 +228,7 @@ let yield eng = Engine.yield eng
 
 let set_priority eng tid prio =
   if prio < min_prio || prio > max_prio then
-    invalid_arg "Pthread.set_priority: out of range";
+    raise (Error (Errno.EINVAL, "Pthread.set_priority: out of range"));
   Engine.checkpoint eng;
   Engine.enter_kernel eng;
   (match Engine.find_thread eng tid with
@@ -246,12 +246,12 @@ let set_priority eng tid prio =
 let get_priority eng tid =
   match Engine.find_thread eng tid with
   | Some t -> t.prio
-  | None -> invalid_arg "Pthread.get_priority: no such thread"
+  | None -> raise (Error (Errno.ESRCH, "Pthread.get_priority: no such thread"))
 
 let get_base_priority eng tid =
   match Engine.find_thread eng tid with
   | Some t -> t.base_prio
-  | None -> invalid_arg "Pthread.get_base_priority: no such thread"
+  | None -> raise (Error (Errno.ESRCH, "Pthread.get_base_priority: no such thread"))
 
 let delay eng ~ns =
   Engine.checkpoint eng;

@@ -87,8 +87,9 @@ val activate : proc -> t -> unit
 val join : proc -> t -> exit_status
 (** Wait for the thread to terminate and reap it.  Joining a lazily created
     thread activates it first (it is "needed" now).  An interruption point.
-    @raise Invalid_argument for self-join, a detached target, or an unknown
-    (already reaped) thread. *)
+    @raise Types.Error with [Errno.EDEADLK] for self-join, [Errno.EINVAL]
+    for a detached target, [Errno.ESRCH] for an unknown (already reaped)
+    thread. *)
 
 val detach : proc -> t -> unit
 (** The thread's resources are reclaimed on termination; it can no longer
@@ -104,7 +105,7 @@ val suspend : proc -> t -> unit
     a blocked target parks the moment its wait completes (preserving the
     wait's outcome).  Signals and cancellation pend across a suspension
     like across a mutex wait.  Self-suspension blocks immediately.
-    @raise Invalid_argument for an unknown thread id. *)
+    @raise Types.Error with [Errno.ESRCH] for an unknown thread id. *)
 
 val resume : proc -> t -> unit
 (** Undo {!suspend}; no-op for threads that are not suspended. *)

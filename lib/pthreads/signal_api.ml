@@ -141,5 +141,11 @@ let aio_read eng ~latency_ns =
 
 let blocking_read eng ~latency_ns =
   Engine.checkpoint eng;
-  Unix_kernel.blocking_read eng.vm ~latency_ns;
+  (try Unix_kernel.blocking_read eng.vm ~latency_ns
+   with Unix_kernel.Trap_fault (name, errno) ->
+     (* the injected failure surfaces exactly as UNIX would report it:
+        errno set, EINTR raised to the caller *)
+     (Engine.current eng).errno <- errno;
+     let e = Option.value ~default:Errno.EINTR (Errno.of_int errno) in
+     raise (Error (e, name ^ ": interrupted by injected fault")));
   Engine.checkpoint eng

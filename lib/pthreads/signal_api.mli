@@ -76,4 +76,7 @@ val blocking_read : engine -> latency_ns:int -> unit
 (** The problematic primitive of the paper's "Non-Blocking Kernel Calls"
     discussion: a blocking kernel call stalls the {e whole process} — every
     thread — for the I/O latency, because the library lives entirely in
-    user space. *)
+    user space.
+
+    @raise Types.Error with [Errno.EINTR] when the fault injector failed
+    the underlying trap; the thread's [errno] field is set as UNIX would. *)

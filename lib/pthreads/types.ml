@@ -281,6 +281,15 @@ type engine = {
           checker's census (engines are per-run in exploration, so the list
           stays small and is never pruned) *)
   mutable all_conds : cond list;  (** ditto for condition variables *)
+  mutable fault_hook : (unit -> unit) option;
+      (** installed by the fault injector ([Fault.Inject]): called at every
+          checkpoint and kernel exit — the same points the explorer hooks —
+          so a plan can perturb the run (spurious wakeup, forced preemption,
+          signal burst, ...).  The hook must not dispatch; it requests
+          switches via [dispatcher_flag] and the enclosing point performs
+          them. *)
+  mutable n_faults_injected : int;
+      (** count of faults actually applied by the injection primitives *)
 }
 
 (** The single scheduling effect: performed by a thread to return control to
@@ -297,6 +306,13 @@ exception Process_stopped of stop_reason
 
 exception Longjmp_exn of int * int
 (** [Longjmp_exn (jmp_buf_id, value)]; see [Jmp]. *)
+
+exception Error of Errno.t * string
+(** The one structured error of the OCaml-facing API: raised by [Mutex],
+    [Cond] and [Pthread] on misuse (relock, unlock by non-owner, join with
+    self, ...) and by fault-injected call failures (e.g. [EINTR] from
+    [Signal_api.blocking_read]).  [Flat] converts it back to the
+    language-independent integer status via [Errno.to_int]. *)
 
 let min_prio = 0
 let max_prio = 31

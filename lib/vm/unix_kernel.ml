@@ -43,7 +43,12 @@ type t = {
   mutable n_delivered : int;
   mutable n_window_traps : int;
   mutable blocked_io_ns : int;
+  mutable trap_fault_hook : (string -> int option) option;
+  mutable n_trap_faults : int;
 }
+
+exception Trap_fault of string * int
+(* [Trap_fault (trap_name, errno)]: an injected syscall failure. *)
 
 let create ?clock prof =
   {
@@ -65,6 +70,8 @@ let create ?clock prof =
     n_delivered = 0;
     n_window_traps = 0;
     blocked_io_ns = 0;
+    trap_fault_hook = None;
+    n_trap_faults = 0;
   }
 
 let profile t = t.prof
@@ -81,7 +88,20 @@ let count_trap t name =
 let trap t ~name ?(extra_ns = 0) f =
   count_trap t name;
   advance t (t.prof.Cost_model.kernel_trap_ns + extra_ns);
+  (* The fault injector may decide this trap fails (EINTR and friends): the
+     trap is charged and counted, but the operation itself never runs. *)
+  (match t.trap_fault_hook with
+  | Some hook -> (
+      match hook name with
+      | Some errno ->
+          t.n_trap_faults <- t.n_trap_faults + 1;
+          raise (Trap_fault (name, errno))
+      | None -> ())
+  | None -> ());
   f ()
+
+let set_trap_fault_hook t h = t.trap_fault_hook <- h
+let trap_faults t = t.n_trap_faults
 
 let getpid t = trap t ~name:"getpid" (fun () -> t.pid)
 
@@ -272,4 +292,5 @@ let reset_counters t =
   t.n_posted <- 0;
   t.n_lost <- 0;
   t.n_delivered <- 0;
-  t.n_window_traps <- 0
+  t.n_window_traps <- 0;
+  t.n_trap_faults <- 0

@@ -64,7 +64,22 @@ val insns : t -> int -> unit
 
 val trap : t -> name:string -> ?extra_ns:int -> (unit -> 'a) -> 'a
 (** Enter the kernel, run the body, leave.  Charges the round-trip trap cost
-    plus [extra_ns] and counts the call under [name]. *)
+    plus [extra_ns] and counts the call under [name].  May raise
+    {!Trap_fault} when a fault hook is installed. *)
+
+exception Trap_fault of string * int
+(** [Trap_fault (trap_name, errno)]: the installed fault hook decided this
+    kernel call fails.  The trap cost is still charged; the operation never
+    runs. *)
+
+val set_trap_fault_hook : t -> (string -> int option) option -> unit
+(** Install (or clear) the syscall fault hook.  Consulted on every {!trap}
+    with the trap's name; returning [Some errno] makes the call raise
+    {!Trap_fault}.  Installed by the fault-injection layer, which arms
+    specific names (e.g. ["read"]) at specific points. *)
+
+val trap_faults : t -> int
+(** Number of injected trap failures so far. *)
 
 val getpid : t -> int
 

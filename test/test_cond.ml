@@ -93,7 +93,7 @@ let test_wait_requires_mutex () =
          (try
             ignore (Cond.wait proc c m);
             Alcotest.fail "wait without mutex must raise"
-          with Invalid_argument _ -> ());
+          with Types.Error (Errno.EPERM, _) -> ());
          0));
   ()
 
@@ -113,7 +113,7 @@ let test_binding_to_second_mutex_rejected () =
          (try
             ignore (Cond.wait proc c m2);
             Alcotest.fail "second mutex must raise"
-          with Invalid_argument _ -> ());
+          with Types.Error (Errno.EINVAL, _) -> ());
          Mutex.unlock proc m2;
          Cond.signal proc c;
          0));

@@ -27,7 +27,7 @@ let test_pthread_contracts () =
       (try
          ignore (Pthread.join proc a);
          Alcotest.fail "reaped tid must be unknown"
-       with Invalid_argument _ -> ());
+       with Types.Error (Errno.ESRCH, _) -> ());
       (* state_of/name_of of unknown ids are None *)
       check (Alcotest.option string) "state None" None (Pthread.state_of proc a);
       check (Alcotest.option string) "name None" None (Pthread.name_of proc a);
@@ -50,14 +50,14 @@ let test_priority_contracts () =
           try
             Pthread.set_priority proc self p;
             Alcotest.fail "out of range accepted"
-          with Invalid_argument _ -> ())
+          with Types.Error (Errno.EINVAL, _) -> ())
         [ -1; Types.max_prio + 1 ];
       (* unknown thread is a silent no-op for set, an error for get *)
       Pthread.set_priority proc 4242 5;
       (try
          ignore (Pthread.get_priority proc 4242);
          Alcotest.fail "unknown get must raise"
-       with Invalid_argument _ -> ()))
+       with Types.Error (Errno.ESRCH, _) -> ()))
 
 let test_once_contract () =
   in_proc (fun proc ->
@@ -90,7 +90,7 @@ let test_mutex_contracts () =
       (try
          ignore (Mutex.create proc ~protocol:Types.Ceiling_protocol ~ceiling:(-1) ());
          Alcotest.fail "bad ceiling accepted"
-       with Invalid_argument _ -> ()))
+       with Types.Error (Errno.EINVAL, _) -> ()))
 
 (* --- Cond --- *)
 
@@ -106,7 +106,7 @@ let test_cond_contracts () =
       (try
          ignore (Cond.timed_wait proc c m ~deadline_ns:(Pthread.now proc + 10));
          Alcotest.fail "timed wait without mutex"
-       with Invalid_argument _ -> ()))
+       with Types.Error (Errno.EPERM, _) -> ()))
 
 (* --- Signal_api --- *)
 

@@ -92,7 +92,7 @@ let test_get_priority_unknown () =
          (try
             ignore (Pthread.get_priority proc 999);
             Alcotest.fail "must raise"
-          with Invalid_argument _ -> ());
+          with Types.Error (Errno.ESRCH, _) -> ());
          0));
   ()
 

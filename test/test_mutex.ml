@@ -25,7 +25,7 @@ let test_relock_rejected () =
          (try
             Mutex.lock proc m;
             Alcotest.fail "relock must raise"
-          with Invalid_argument _ -> ());
+          with Types.Error (Errno.EDEADLK, _) -> ());
          Mutex.unlock proc m;
          0));
   ()
@@ -37,14 +37,14 @@ let test_unlock_not_owner_rejected () =
          (try
             Mutex.unlock proc m;
             Alcotest.fail "unlock of unlocked must raise"
-          with Invalid_argument _ -> ());
+          with Types.Error (Errno.EPERM, _) -> ());
          Mutex.lock proc m;
          let t =
            Pthread.create proc (fun () ->
                try
                  Mutex.unlock proc m;
                  1
-               with Invalid_argument _ -> 0)
+               with Types.Error (Errno.EPERM, _) -> 0)
          in
          (match Pthread.join proc t with
          | Types.Exited 0 -> ()

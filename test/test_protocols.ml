@@ -240,7 +240,7 @@ let test_ceiling_requires_ceiling () =
          (try
             ignore (Mutex.create proc ~protocol:Types.Ceiling_protocol ());
             Alcotest.fail "missing ceiling must raise"
-          with Invalid_argument _ -> ());
+          with Types.Error (Errno.EINVAL, _) -> ());
          0));
   ()
 

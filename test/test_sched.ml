@@ -142,7 +142,7 @@ let test_set_priority_range_checked () =
          (try
             Pthread.set_priority proc (Pthread.self proc) 99;
             Alcotest.fail "out of range must raise"
-          with Invalid_argument _ -> ());
+          with Types.Error (Errno.EINVAL, _) -> ());
          0));
   ()
 

@@ -137,7 +137,7 @@ let test_suspend_unknown_raises () =
          (try
             Pthread.suspend proc 999;
             Alcotest.fail "must raise"
-          with Invalid_argument _ -> ());
+          with Types.Error (Errno.ESRCH, _) -> ());
          0));
   ()
 

@@ -53,11 +53,11 @@ let test_join_errors () =
          (try
             ignore (Pthread.join proc (Pthread.self proc));
             Alcotest.fail "self-join must raise"
-          with Invalid_argument _ -> ());
+          with Types.Error (Errno.EDEADLK, _) -> ());
          (try
             ignore (Pthread.join proc 999);
             Alcotest.fail "unknown tid must raise"
-          with Invalid_argument _ -> ());
+          with Types.Error (Errno.ESRCH, _) -> ());
          let t =
            Pthread.create proc
              ~attr:(Attr.with_detached true Attr.default)
@@ -66,7 +66,7 @@ let test_join_errors () =
          (try
             ignore (Pthread.join proc t);
             Alcotest.fail "joining detached must raise"
-          with Invalid_argument _ -> ());
+          with Types.Error (Errno.EINVAL, _) -> ());
          0));
   ()
 
@@ -78,7 +78,7 @@ let test_double_join_rejected () =
          (try
             ignore (Pthread.join proc t);
             Alcotest.fail "second join must raise"
-          with Invalid_argument _ -> ());
+          with Types.Error (Errno.ESRCH, _) -> ());
          0));
   ()
 

@@ -1,0 +1,147 @@
+(* Vm.Trace_stats.per_thread as an independent cross-check of the engine's
+   own accounting, exercised under the conditions the fault layer cares
+   about: forced preemption and signal-handler runs. *)
+
+open Tu
+open Pthreads
+module Trace_stats = Vm.Trace_stats
+
+(* Under Rr_ordered_switch every kernel exit repositions the running
+   thread, so each worker is dispatched many times; the trace-derived
+   dispatch counts must still sum to the engine's dispatcher total. *)
+let test_dispatches_under_forced_preemption () =
+  let proc =
+    Pthread.make_proc ~trace:true ~perverted:Types.Rr_ordered_switch
+      (fun proc ->
+        let worker name =
+          Pthread.create proc
+            ~attr:(Attr.with_name name Attr.default)
+            (fun () ->
+              for _ = 1 to 5 do
+                Pthread.busy proc ~ns:1_000;
+                Pthread.yield proc
+              done;
+              0)
+        in
+        let t1 = worker "w1" in
+        let t2 = worker "w2" in
+        ignore (Pthread.join proc t1);
+        ignore (Pthread.join proc t2);
+        0)
+  in
+  Pthread.start proc;
+  let reports = Trace_stats.per_thread (Pthread.trace_events proc) in
+  check int "three threads in the table" 3 (List.length reports);
+  let total_dispatches =
+    List.fold_left (fun n r -> n + r.Trace_stats.dispatches) 0 reports
+  in
+  check int "trace dispatches sum to the engine's count"
+    (Engine.dispatch_count proc) total_dispatches;
+  (* preemption actually happened: every worker ran in several slices *)
+  List.iter
+    (fun r ->
+      if r.Trace_stats.name <> "main" then
+        check bool (r.Trace_stats.name ^ " was preempted") true
+          (r.Trace_stats.dispatches > 1))
+    reports;
+  check bool "total cpu positive" true (Trace_stats.total_cpu_ns reports > 0)
+
+(* Handler runs per thread, cross-checked against stats.thread_handler_runs. *)
+let test_handler_runs_cross_check () =
+  let proc =
+    Pthread.make_proc ~trace:true (fun proc ->
+        let hits = ref 0 in
+        let handler =
+          Types.Sig_handler
+            {
+              h_mask = Vm.Sigset.empty;
+              h_fn = (fun ~signo:_ ~code:_ -> incr hits);
+            }
+        in
+        Signal_api.set_action proc Vm.Sigset.sigusr1 handler;
+        Signal_api.set_action proc Vm.Sigset.sigusr2 handler;
+        let t =
+          Pthread.create proc
+            ~attr:(Attr.with_name "target" Attr.default)
+            (fun () ->
+              Pthread.busy proc ~ns:30_000;
+              0)
+        in
+        (* two distinct signos: identical pending signals would coalesce *)
+        Signal_api.kill proc t Vm.Sigset.sigusr1;
+        Signal_api.kill proc t Vm.Sigset.sigusr2;
+        ignore (Pthread.join proc t);
+        check int "handler ran twice" 2 !hits;
+        0)
+  in
+  Pthread.start proc;
+  let stats = Engine.stats proc in
+  let reports = Trace_stats.per_thread (Pthread.trace_events proc) in
+  let total_handlers =
+    List.fold_left (fun n r -> n + r.Trace_stats.handler_runs) 0 reports
+  in
+  check int "trace handler runs match engine stats"
+    stats.Engine.thread_handler_runs total_handlers;
+  let target = List.find (fun r -> r.Trace_stats.name = "target") reports in
+  check int "both deliveries landed on the target" 2
+    target.Trace_stats.handler_runs
+
+(* Injected faults perturb the run but never the bookkeeping: the same
+   cross-checks hold with a plan of preemptions and signal bursts. *)
+let test_accounting_stable_under_injection () =
+  let plan =
+    Fault.Plan.
+      [
+        { at = 2; act = Preempt };
+        { at = 4; act = Signal_burst { signo = Vm.Sigset.sigusr1; count = 2; thread = Some 1 } };
+        { at = 6; act = Preempt };
+      ]
+  in
+  let proc_ref = ref None in
+  let mk () =
+    let p =
+      Pthread.make_proc ~trace:true (fun proc ->
+          let t =
+            Pthread.create proc
+              ~attr:(Attr.with_name "w" Attr.default)
+              (fun () ->
+                for _ = 1 to 4 do
+                  Pthread.busy proc ~ns:2_000;
+                  Pthread.yield proc
+                done;
+                0)
+          in
+          ignore (Pthread.join proc t);
+          0)
+    in
+    proc_ref := Some p;
+    p
+  in
+  let outcome, _, injected = Fault.Soak.run_one ~mk plan in
+  check bool "run is clean" true (outcome = None);
+  check bool "faults were injected" true (injected > 0);
+  let proc = Option.get !proc_ref in
+  let reports = Trace_stats.per_thread (Pthread.trace_events proc) in
+  let total_dispatches =
+    List.fold_left (fun n r -> n + r.Trace_stats.dispatches) 0 reports
+  in
+  check int "dispatch cross-check holds under faults"
+    (Engine.dispatch_count proc) total_dispatches;
+  let total_handlers =
+    List.fold_left (fun n r -> n + r.Trace_stats.handler_runs) 0 reports
+  in
+  check int "handler cross-check holds under faults"
+    (Engine.stats proc).Engine.thread_handler_runs total_handlers
+
+let suite =
+  [
+    ( "trace-stats",
+      [
+        tc "dispatch counts under forced preemption"
+          test_dispatches_under_forced_preemption;
+        tc "handler runs cross-check engine stats"
+          test_handler_runs_cross_check;
+        tc "accounting stable under injected faults"
+          test_accounting_stable_under_injection;
+      ] );
+  ]
