@@ -3,8 +3,9 @@
 
      dune exec bench/main.exe              -- all sections
      dune exec bench/main.exe -- table2    -- a single section
-     dune exec bench/main.exe -- --json F  -- Table 2 + scheduler scaling as JSON
-     sections: table1 table2 table3 table4 figure5 perverted ablation
+     dune exec bench/main.exe -- --json F  -- Table 2 + scheduler scaling +
+                                              obs profiles as JSON
+     sections: table1 table2 table3 table4 figure5 obs perverted ablation
                scaling sched ada shared blockingio wall *)
 
 open Pthreads
@@ -269,45 +270,49 @@ let table4 () =
 (* Figure 5: priority inversion traces                                  *)
 (* ------------------------------------------------------------------ *)
 
+let figure5_proc protocol =
+  let proc =
+    Pthread.make_proc ~trace:true (fun proc ->
+        let m =
+          match protocol with
+          | `None -> Mutex.create proc ~name:"m" ()
+          | `Inherit ->
+              Mutex.create proc ~name:"m" ~protocol:Types.Inherit_protocol ()
+          | `Ceiling ->
+              Mutex.create proc ~name:"m" ~protocol:Types.Ceiling_protocol
+                ~ceiling:20 ()
+        in
+        let mk name prio body =
+          Pthread.create_unit proc
+            ~attr:(Attr.with_prio prio (Attr.with_name name Attr.default))
+            body
+        in
+        let p1 =
+          mk "P1" 5 (fun () ->
+              Mutex.lock proc m;
+              Pthread.busy proc ~ns:1_000_000;
+              Mutex.unlock proc m;
+              Pthread.busy proc ~ns:200_000)
+        in
+        Pthread.delay proc ~ns:300_000;
+        let p3 =
+          mk "P3" 20 (fun () ->
+              Pthread.busy proc ~ns:100_000;
+              Mutex.lock proc m;
+              Pthread.busy proc ~ns:300_000;
+              Mutex.unlock proc m)
+        in
+        let p2 = mk "P2" 10 (fun () -> Pthread.busy proc ~ns:2_000_000) in
+        List.iter (fun t -> ignore (Pthread.join proc t)) [ p1; p3; p2 ];
+        0)
+  in
+  Pthread.start proc;
+  proc
+
 let figure5 () =
   sep "Figure 5: Dealing with Priority Inversion";
   let case title protocol =
-    let proc =
-      Pthread.make_proc ~trace:true (fun proc ->
-          let m =
-            match protocol with
-            | `None -> Mutex.create proc ~name:"m" ()
-            | `Inherit ->
-                Mutex.create proc ~name:"m" ~protocol:Types.Inherit_protocol ()
-            | `Ceiling ->
-                Mutex.create proc ~name:"m" ~protocol:Types.Ceiling_protocol
-                  ~ceiling:20 ()
-          in
-          let mk name prio body =
-            Pthread.create_unit proc
-              ~attr:(Attr.with_prio prio (Attr.with_name name Attr.default))
-              body
-          in
-          let p1 =
-            mk "P1" 5 (fun () ->
-                Mutex.lock proc m;
-                Pthread.busy proc ~ns:1_000_000;
-                Mutex.unlock proc m;
-                Pthread.busy proc ~ns:200_000)
-          in
-          Pthread.delay proc ~ns:300_000;
-          let p3 =
-            mk "P3" 20 (fun () ->
-                Pthread.busy proc ~ns:100_000;
-                Mutex.lock proc m;
-                Pthread.busy proc ~ns:300_000;
-                Mutex.unlock proc m)
-          in
-          let p2 = mk "P2" 10 (fun () -> Pthread.busy proc ~ns:2_000_000) in
-          List.iter (fun t -> ignore (Pthread.join proc t)) [ p1; p3; p2 ];
-          0)
-    in
-    Pthread.start proc;
+    let proc = figure5_proc protocol in
     Printf.printf "\n%s\n" title;
     print_string (Pthread.gantt proc ~bucket_ns:50_000)
   in
@@ -315,6 +320,33 @@ let figure5 () =
   case "(b) priority inheritance -- P1 runs boosted until unlock" `Inherit;
   case "(c) priority ceiling (SRP) -- P1 not preemptable inside the section"
     `Ceiling
+
+(* ------------------------------------------------------------------ *)
+(* Observability profiles over the Figure 5 trace                       *)
+(* ------------------------------------------------------------------ *)
+
+let obs_json () =
+  let events = Pthread.trace_events (figure5_proc `None) in
+  let contention = Obs.Contention.of_events events in
+  let latency = Obs.Latency.of_events events in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"contended_wait_ns\": %d, \"dispatch_latency\": "
+       (Obs.Contention.total_wait_ns contention));
+  Obs.Histogram.add_json buf latency;
+  Buffer.add_string buf ", \"contention\": ";
+  Obs.Contention.add_json buf contention;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let obs () =
+  sep "Observability: contention and dispatch latency (Figure 5, no protocol)";
+  let events = Pthread.trace_events (figure5_proc `None) in
+  Format.printf "%a@." Obs.Contention.pp (Obs.Contention.of_events events);
+  Format.printf "dispatch latency:@.%a@." Obs.Latency.pp
+    (Obs.Latency.of_events events);
+  Printf.printf "BENCH_obs: %s\n" (obs_json ())
 
 (* ------------------------------------------------------------------ *)
 (* Perverted scheduling evaluation                                      *)
@@ -827,7 +859,9 @@ let write_json file =
            n per dispatches
            (if i = n_counts - 1 then "" else ",")))
     sched_thread_counts;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n  \"obs\": ";
+  Buffer.add_string buf (obs_json ());
+  Buffer.add_string buf "\n}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -1009,6 +1043,7 @@ let () =
   if want "table3" then table3 ();
   if want "table4" then table4 ();
   if want "figure5" then figure5 ();
+  if want "obs" then obs ();
   if want "perverted" then perverted ();
   if want "ablation" then ablation ();
   if want "scaling" then scaling ();

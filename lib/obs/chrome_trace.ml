@@ -1,0 +1,252 @@
+module Trace = Vm.Trace
+
+type slice = { s_tid : int; s_name : string; s_start_ns : int; s_end_ns : int }
+
+let last_ts events =
+  List.fold_left (fun acc (e : Trace.event) -> max acc e.t_ns) 0 events
+
+(* Closing rule for still-open intervals: the last event's timestamp, the
+   same rule Trace_stats applies — the slice totals must match its cpu_ns
+   to the nanosecond. *)
+let running_slices events =
+  let horizon = last_ts events in
+  let open_since : (int, string * int) Hashtbl.t = Hashtbl.create 8 in
+  let out = ref [] in
+  let close tid t_ns =
+    match Hashtbl.find_opt open_since tid with
+    | Some (name, t0) ->
+        Hashtbl.remove open_since tid;
+        out :=
+          { s_tid = tid; s_name = name; s_start_ns = t0; s_end_ns = t_ns }
+          :: !out
+    | None -> ()
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Dispatch_in -> Hashtbl.replace open_since e.tid (e.tname, e.t_ns)
+      | Trace.Dispatch_out | Trace.Thread_exit -> close e.tid e.t_ns
+      | _ -> ())
+    events;
+  Hashtbl.iter (fun tid _ -> close tid horizon) open_since;
+  List.sort (fun a b -> compare (a.s_start_ns, a.s_tid) (b.s_start_ns, b.s_tid)) !out
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let us ns = Printf.sprintf "%.3f" (float_of_int ns /. 1000.0)
+
+(* Every trace-event record carries its timestamp so the document can be
+   emitted in global order (Perfetto wants per-track monotonicity). *)
+type emit = { e_ts : int; e_body : string }
+
+let instant_name (e : Trace.event) =
+  match e.kind with
+  | Trace.Signal_sent s -> Some ("sent " ^ Vm.Sigset.name s)
+  | Trace.Signal_delivered s -> Some ("handler " ^ Vm.Sigset.name s)
+  | Trace.Cancel_request -> Some "cancel-request"
+  | Trace.Prio_change (a, b) -> Some (Printf.sprintf "prio %d->%d" a b)
+  | Trace.Note s -> Some s
+  | _ -> None
+
+let process_events ~pid ~pname events =
+  let emits = ref [] in
+  let emit e_ts e_body = emits := { e_ts; e_body } :: !emits in
+  let horizon = last_ts events in
+
+  (* metadata: process and thread names (ts ignored by viewers) *)
+  emit (-1)
+    (Printf.sprintf
+       "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \"args\": \
+        {\"name\": \"%s\"}}"
+       pid (Json.escape pname));
+  let named : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match Hashtbl.find_opt named e.tid with
+      | Some n when n = e.tname -> ()
+      | _ ->
+          Hashtbl.replace named e.tid e.tname;
+          emit (-1)
+            (Printf.sprintf
+               "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %d, \
+                \"tid\": %d, \"args\": {\"name\": \"%s\"}}"
+               pid e.tid (Json.escape e.tname)))
+    events;
+
+  (* running slices *)
+  List.iter
+    (fun s ->
+      emit s.s_start_ns
+        (Printf.sprintf
+           "{\"name\": \"running\", \"cat\": \"sched\", \"ph\": \"X\", \
+            \"ts\": %s, \"dur\": %s, \"pid\": %d, \"tid\": %d}"
+           (us s.s_start_ns)
+           (us (s.s_end_ns - s.s_start_ns))
+           pid s.s_tid))
+    (running_slices events);
+
+  (* instants *)
+  List.iter
+    (fun (e : Trace.event) ->
+      match instant_name e with
+      | Some name ->
+          emit e.t_ns
+            (Printf.sprintf
+               "{\"name\": \"%s\", \"cat\": \"event\", \"ph\": \"i\", \"ts\": \
+                %s, \"pid\": %d, \"tid\": %d, \"s\": \"t\"}"
+               (Json.escape name) (us e.t_ns) pid e.tid)
+      | None -> ())
+    events;
+
+  (* flow arrows.  A single forward pass with:
+     - the running thread (slices tell the viewer, this tells us who
+       performed a Cond_wake: the event itself names the woken thread);
+     - per woken thread, the pending wake to bind to its next dispatch;
+     - per mutex, the set of blocked threads and the last unlock while
+       someone was blocked, bound to the next acquisition by a formerly
+       blocked thread. *)
+  let flow_id = ref 0 in
+  let flow_start ~name ~ts ~tid =
+    incr flow_id;
+    emit ts
+      (Printf.sprintf
+         "{\"name\": \"%s\", \"cat\": \"wake\", \"ph\": \"s\", \"id\": %d, \
+          \"ts\": %s, \"pid\": %d, \"tid\": %d}"
+         (Json.escape name) !flow_id (us ts) pid tid);
+    !flow_id
+  in
+  let flow_finish ~name ~id ~ts ~tid =
+    emit ts
+      (Printf.sprintf
+         "{\"name\": \"%s\", \"cat\": \"wake\", \"ph\": \"f\", \"bp\": \"e\", \
+          \"id\": %d, \"ts\": %s, \"pid\": %d, \"tid\": %d}"
+         (Json.escape name) id (us ts) pid tid)
+  in
+  let running = ref None in
+  (* woken tid -> (flow name, id) awaiting the next Dispatch_in *)
+  let pending_wake : (int, string * int) Hashtbl.t = Hashtbl.create 8 in
+  (* mutex name -> blocked tids *)
+  let blocked : (string, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  (* mutex name -> flow id of an unlock-with-waiters awaiting its lock *)
+  let pending_unlock : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let blocked_on m =
+    match Hashtbl.find_opt blocked m with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 4 in
+        Hashtbl.replace blocked m tbl;
+        tbl
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Dispatch_in ->
+          running := Some e.tid;
+          (match Hashtbl.find_opt pending_wake e.tid with
+          | Some (name, id) ->
+              Hashtbl.remove pending_wake e.tid;
+              flow_finish ~name ~id ~ts:e.t_ns ~tid:e.tid
+          | None -> ())
+      | Trace.Dispatch_out ->
+          if !running = Some e.tid then running := None
+      | Trace.Cond_wake c ->
+          (* drawn from the signaler (the thread running now); the event
+             itself is recorded against the woken thread *)
+          let src = match !running with Some tid -> tid | None -> e.tid in
+          let name = "wake " ^ c in
+          let id = flow_start ~name ~ts:e.t_ns ~tid:src in
+          Hashtbl.replace pending_wake e.tid (name, id)
+      | Trace.Mutex_block m -> Hashtbl.replace (blocked_on m) e.tid ()
+      | Trace.Mutex_unlock m ->
+          if Hashtbl.length (blocked_on m) > 0 then begin
+            let name = "handoff " ^ m in
+            let id = flow_start ~name ~ts:e.t_ns ~tid:e.tid in
+            Hashtbl.replace pending_unlock m id
+          end
+      | Trace.Mutex_lock m ->
+          let waiters = blocked_on m in
+          if Hashtbl.mem waiters e.tid then begin
+            Hashtbl.remove waiters e.tid;
+            match Hashtbl.find_opt pending_unlock m with
+            | Some id ->
+                Hashtbl.remove pending_unlock m;
+                flow_finish ~name:("handoff " ^ m) ~id ~ts:e.t_ns ~tid:e.tid
+            | None -> ()
+          end
+      | _ -> ())
+    events;
+
+  (* counter tracks: ready-queue depth and kernel-flag occupancy.  The
+     per-thread status machine mirrors the Gantt renderer's: Ready events
+     are authoritative, a Dispatch_out alone means blocked. *)
+  let status : (int, [ `Ready | `Running ]) Hashtbl.t = Hashtbl.create 8 in
+  let ready_depth = ref 0 in
+  let set_status tid st =
+    (match (Hashtbl.find_opt status tid, st) with
+    | Some `Ready, Some `Ready | Some `Running, Some `Running -> ()
+    | Some `Ready, _ -> decr ready_depth
+    | _, Some `Ready -> incr ready_depth
+    | _ -> ());
+    match st with
+    | Some st -> Hashtbl.replace status tid st
+    | None -> Hashtbl.remove status tid
+  in
+  let counter name ts v =
+    emit ts
+      (Printf.sprintf
+         "{\"name\": \"%s\", \"cat\": \"state\", \"ph\": \"C\", \"ts\": %s, \
+          \"pid\": %d, \"args\": {\"%s\": %d}}"
+         name (us ts) pid name v)
+  in
+  let kernel = ref 0 in
+  List.iter
+    (fun (e : Trace.event) ->
+      let depth_before = !ready_depth in
+      (match e.kind with
+      | Trace.Ready -> set_status e.tid (Some `Ready)
+      | Trace.Dispatch_in -> set_status e.tid (Some `Running)
+      | Trace.Dispatch_out ->
+          if Hashtbl.find_opt status e.tid = Some `Running then
+            set_status e.tid None
+      | Trace.Mutex_block _ | Trace.Cond_block _ | Trace.Thread_exit ->
+          set_status e.tid None
+      | Trace.Kernel_enter ->
+          if !kernel = 0 then begin
+            kernel := 1;
+            counter "kernel" e.t_ns 1
+          end
+      | Trace.Kernel_exit ->
+          if !kernel = 1 then begin
+            kernel := 0;
+            counter "kernel" e.t_ns 0
+          end
+      | _ -> ());
+      if !ready_depth <> depth_before then counter "ready" e.t_ns !ready_depth)
+    events;
+  if !kernel = 1 then counter "kernel" horizon 0;
+
+  (* stable sort: equal timestamps keep emission order, metadata first *)
+  List.stable_sort (fun a b -> compare a.e_ts b.e_ts) (List.rev !emits)
+
+let export_many procs =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  let first = ref true in
+  List.iteri
+    (fun i (pname, events) ->
+      List.iter
+        (fun e ->
+          if !first then first := false else Buffer.add_string buf ",\n";
+          Buffer.add_string buf "  ";
+          Buffer.add_string buf e.e_body)
+        (process_events ~pid:(i + 1) ~pname events))
+    procs;
+  Buffer.add_string buf
+    "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"generator\": \
+     \"pthreads.obs\"}}\n";
+  Buffer.contents buf
+
+let export ?(process_name = "pthreads") events =
+  export_many [ (process_name, events) ]

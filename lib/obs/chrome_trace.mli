@@ -1,0 +1,37 @@
+(** Export an execution trace as Chrome trace-event JSON, loadable in
+    Perfetto ([ui.perfetto.dev]) or [chrome://tracing].
+
+    The export carries, per process:
+    - one duration slice ([ph:"X"]) per thread running interval
+      ([Dispatch_in] to [Dispatch_out]/[Thread_exit]); a thread still
+      running at the end of the trace is closed at the last event's
+      timestamp, exactly as {!Vm.Trace_stats.per_thread} accounts CPU
+      time, so the per-thread slice totals match it to the nanosecond;
+    - instant events ([ph:"i"]) for signals sent and delivered,
+      cancellation requests, priority changes and fault-injection notes;
+    - flow arrows ([ph:"s"]/[ph:"f"]) from a [Cond_wake] (drawn from the
+      thread that was running when it signaled) to the woken thread's
+      next dispatch, and from a [Mutex_unlock] that released a contended
+      mutex to the blocked thread's acquisition;
+    - counter tracks ([ph:"C"]) for ready-queue depth and kernel-flag
+      occupancy (from the [Ready]/[Kernel_enter]/[Kernel_exit] events).
+
+    Timestamps are microseconds with three decimals — nanosecond-exact
+    for the virtual clock.  Events are emitted in global timestamp order,
+    so per-thread timestamps are monotone. *)
+
+type slice = { s_tid : int; s_name : string; s_start_ns : int; s_end_ns : int }
+
+val running_slices : Vm.Trace.event list -> slice list
+(** The running intervals the export will draw, in start order.  Per
+    thread, the durations sum to {!Vm.Trace_stats.per_thread}'s [cpu_ns]
+    exactly. *)
+
+val export : ?process_name:string -> Vm.Trace.event list -> string
+(** A complete JSON document ([{"traceEvents": [...], ...}]) for one
+    process (pid 1). *)
+
+val export_many : (string * Vm.Trace.event list) list -> string
+(** Several processes in one document — one [(name, events)] pair per
+    process, assigned pids 1, 2, ...  Useful to compare the protocol
+    variants of the paper's Figure 5 side by side. *)

@@ -1,0 +1,27 @@
+module Trace = Vm.Trace
+
+let of_events events =
+  let h = Histogram.create () in
+  (* tid -> timestamp of the first Ready since its last dispatch *)
+  let ready_since : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Ready ->
+          if not (Hashtbl.mem ready_since e.tid) then
+            Hashtbl.replace ready_since e.tid e.t_ns
+      | Trace.Dispatch_in -> (
+          match Hashtbl.find_opt ready_since e.tid with
+          | Some t0 ->
+              Hashtbl.remove ready_since e.tid;
+              Histogram.add h (e.t_ns - t0)
+          | None -> ())
+      | _ -> ())
+    events;
+  h
+
+let pp ppf h =
+  Format.fprintf ppf "@[<v>%a@ p50=%dns p99=%dns max=%dns@]" Histogram.pp h
+    (Histogram.percentile h 50.0)
+    (Histogram.percentile h 99.0)
+    (Histogram.max_value h)

@@ -1,0 +1,12 @@
+(** Dispatch-latency profile: the delay between a thread becoming ready
+    ([Ready] trace event) and the dispatcher actually running it
+    ([Dispatch_in]).  Under the paper's priority dispatcher this is the
+    time a ready thread spent queued behind higher-priority work. *)
+
+val of_events : Vm.Trace.event list -> Histogram.t
+(** One sample per dispatch whose thread has a pending [Ready].  A
+    thread re-marked ready before being dispatched keeps its {e first}
+    ready timestamp — requeueing does not reset the clock. *)
+
+val pp : Format.formatter -> Histogram.t -> unit
+(** The histogram plus a p50/p99/max summary line, in nanoseconds. *)

@@ -54,9 +54,22 @@ let write_ok l = l.active_writer = None && l.active_readers = 0
 let write_lock proc l =
   Mutex.lock proc l.m;
   l.waiting_writers <- l.waiting_writers + 1;
-  while not (write_ok l) do
-    ignore (Cond.wait proc l.writable l.m : Cond.wait_result)
-  done;
+  (* [Cond.wait] reacquires the mutex before acting on a cancellation or
+     error, so the unwind below runs with [l.m] held.  Without it a
+     cancelled writer would leave [waiting_writers] elevated forever and
+     [read_ok] would starve every future reader.  (Explicit try/with, not
+     [Fun.protect]: the caller must see the original exception, not a
+     [Finally_raised] wrapper.) *)
+  (try
+     while not (write_ok l) do
+       ignore (Cond.wait proc l.writable l.m : Cond.wait_result)
+     done
+   with e ->
+     l.waiting_writers <- l.waiting_writers - 1;
+     if l.waiting_writers > 0 then Cond.signal proc l.writable
+     else Cond.broadcast proc l.readable;
+     Mutex.unlock proc l.m;
+     raise e);
   l.waiting_writers <- l.waiting_writers - 1;
   l.active_writer <- Some (Pthread.self proc);
   Mutex.unlock proc l.m

@@ -33,17 +33,28 @@ let wait_internal eng c m ~deadline =
   self.state <- Blocked (On_cond c);
   Wait_queue.push_tail c.c_waiters self;
   Engine.trace eng self (Trace.Cond_block c.c_name);
-  (match deadline with
-  | Some d ->
-      self.wait_deadline <- Some d;
-      let after_ns = max 0 (d - Engine.now eng) in
-      ignore
-        (Unix_kernel.arm_timer eng.vm ~after_ns ~interval_ns:0
-           ~signo:Sigset.sigalrm
-           ~origin:(Unix_kernel.Timer self.tid)
-          : int)
-  | None -> ());
+  let timer_id =
+    match deadline with
+    | Some d ->
+        self.wait_deadline <- Some d;
+        let after_ns = max 0 (d - Engine.now eng) in
+        Some
+          (Unix_kernel.arm_timer eng.vm ~after_ns ~interval_ns:0
+             ~signo:Sigset.sigalrm
+             ~origin:(Unix_kernel.Timer self.tid))
+    | None -> None
+  in
   let wake = Engine.block eng in
+  (* The wait is over on every path (signal, interruption, timeout): a
+     still-armed one-shot SIGALRM would otherwise fire later against a
+     thread that is no longer waiting, spuriously interrupting whatever
+     it blocks on next.  On timeout the timer usually fired already and
+     the disarm is a no-op — but a lost concurrent alarm can leave it
+     armed even then (the scheduler wakes expired sleepers itself). *)
+  (match timer_id with
+  | Some id -> Unix_kernel.disarm_timer eng.vm id
+  | None -> ());
+  self.wait_deadline <- None;
   (* Reacquire before any handler runs (the wrapper's first action). *)
   Mutex.lock_after_wait eng m;
   Engine.drain_fake_calls eng;

@@ -9,6 +9,16 @@ let trace eng t kind =
   Trace.record eng.trace ~t_ns:(Unix_kernel.now eng.vm) ~tid:t.tid
     ~tname:t.tname kind
 
+(* Every kernel-flag write funnels through here so that traced runs carry
+   a Kernel_enter/Kernel_exit pair per monitor occupancy (the counter
+   track behind the observability layer's kernel-flag timeline).  Traces
+   only actual transitions; charges nothing. *)
+let set_kernel_flag eng b =
+  if eng.kernel_flag <> b then begin
+    trace eng eng.current (if b then Trace.Kernel_enter else Trace.Kernel_exit);
+    eng.kernel_flag <- b
+  end
+
 (* Hooks are stored newest-first (O(1) registration) and invoked in
    registration order; the recursion depth is the number of hooks (a
    handful at most), and no list is allocated per dispatch. *)
@@ -249,6 +259,7 @@ let unblock eng t wake =
       else begin
         t.state <- Ready;
         Ready_queue.push_tail eng t;
+        trace eng t Trace.Ready;
         if t.prio > eng.current.prio && eng.current.state = Running then
           eng.dispatcher_flag <- true
       end
@@ -341,6 +352,7 @@ and act_on eng t p =
              with a per-thread FIFO policy are exempt) *)
           t.state <- Ready;
           Ready_queue.push_tail eng t;
+          trace eng t Trace.Ready;
           eng.dispatcher_flag <- true
       | Unix_kernel.Slice, _ -> ()
       | _, Blocked (On_sigwait set) when Sigset.mem set s ->
@@ -486,14 +498,14 @@ let universal_handler eng ~signo ~code ~origin =
     eng.dispatcher_flag <- true
   end
   else begin
-    eng.kernel_flag <- true;
+    set_kernel_flag eng true;
     charge eng Costs.kernel_enter;
     ignore (Unix_kernel.sigsetmask eng.vm Sigset.empty : Sigset.t);
     direct_signal eng p;
     eng.dispatcher_flag <- true;
     ignore (Unix_kernel.sigsetmask eng.vm Sigset.all_maskable : Sigset.t);
     charge eng Costs.kernel_exit;
-    eng.kernel_flag <- false
+    set_kernel_flag eng false
   end
 
 let poll_signals eng =
@@ -530,13 +542,14 @@ let rec dispatch eng : wake =
               (* preempted: the thread goes to the head of its level *)
               cur.state <- Ready;
               Ready_queue.push_head eng cur;
+              trace eng cur Trace.Ready;
               false
           | Some _ | None -> true)
       | Ready | Blocked _ | Terminated -> false
     in
     if stay then begin
       charge eng Costs.dispatch_inline;
-      eng.kernel_flag <- false;
+      set_kernel_flag eng false;
       Wake_normal
     end
     else switch_out eng
@@ -548,7 +561,7 @@ and switch_out eng =
   trace eng cur Trace.Dispatch_out;
   charge eng Costs.switch_save;
   Unix_kernel.flush_windows eng.vm;
-  eng.kernel_flag <- false;
+  set_kernel_flag eng false;
   (* Control returns (with the wake reason) when the scheduler loop
      dispatches this thread again. *)
   Effect.perform Suspend
@@ -559,7 +572,7 @@ and switch_out eng =
 
 let enter_kernel eng =
   charge eng Costs.kernel_enter;
-  eng.kernel_flag <- true
+  set_kernel_flag eng true
 
 (* Fault-injection hook: fired at the same points the explorer treats as
    decision points (every kernel exit and every checkpoint).  The hook only
@@ -578,6 +591,7 @@ let apply_perversion eng =
          parks in is irrelevant: the pick ignores priority) *)
       cur.state <- Ready;
       Ready_queue.push_tail_lowest eng cur;
+      trace eng cur Trace.Ready;
       eng.dispatcher_flag <- true
     end
     else
@@ -586,11 +600,13 @@ let apply_perversion eng =
       | Rr_ordered_switch ->
           cur.state <- Ready;
           Ready_queue.push_tail_lowest eng cur;
+          trace eng cur Trace.Ready;
           eng.dispatcher_flag <- true
       | Random_switch ->
           if Rng.bool eng.rng then begin
             cur.state <- Ready;
             Ready_queue.push_tail_lowest eng cur;
+            trace eng cur Trace.Ready;
             eng.pick_random_next <- true;
             eng.dispatcher_flag <- true
           end
@@ -600,7 +616,7 @@ let leave_kernel eng =
   fire_fault_hook eng;
   apply_perversion eng;
   if eng.dispatcher_flag then ignore (dispatch eng : wake)
-  else eng.kernel_flag <- false
+  else set_kernel_flag eng false
 
 let block eng = dispatch eng
 
@@ -609,6 +625,7 @@ let force_switch eng =
   if cur.state = Running && eng.live_count > 1 then begin
     cur.state <- Ready;
     Ready_queue.push_tail eng cur;
+    trace eng cur Trace.Ready;
     eng.dispatcher_flag <- true
   end
 
@@ -653,7 +670,7 @@ let checkpoint eng =
   if not eng.kernel_flag then fire_fault_hook eng;
   if not eng.kernel_flag then apply_perversion eng;
   if eng.dispatcher_flag && not eng.kernel_flag then begin
-    eng.kernel_flag <- true;
+    set_kernel_flag eng true;
     charge eng Costs.kernel_enter;
     ignore (dispatch eng : wake)
   end;
@@ -672,6 +689,7 @@ let yield eng =
   let cur = eng.current in
   cur.state <- Ready;
   Ready_queue.push_tail eng cur;
+  trace eng cur Trace.Ready;
   eng.dispatcher_flag <- true;
   ignore (dispatch eng : wake);
   drain_fake_calls eng
@@ -705,6 +723,7 @@ let register_thread eng t =
   | Ready ->
       Heap.acquire_slab eng.heap;
       Ready_queue.push_tail eng t;
+      trace eng t Trace.Ready;
       if t.prio > eng.current.prio && eng.current.state = Running then
         eng.dispatcher_flag <- true
   | Blocked On_start -> () (* lazy creation: no resources yet *)
@@ -763,7 +782,7 @@ let finish_current eng status =
     thread_table_remove eng t
   end;
   charge eng Costs.kernel_exit;
-  eng.kernel_flag <- false
+  set_kernel_flag eng false
 
 (* ------------------------------------------------------------------ *)
 (* Fibers and the scheduler loop                                       *)
@@ -957,8 +976,8 @@ let note_fault eng = eng.n_faults_injected <- eng.n_faults_injected + 1
 
 let in_kernel eng f =
   let saved = eng.kernel_flag in
-  eng.kernel_flag <- true;
-  Fun.protect ~finally:(fun () -> eng.kernel_flag <- saved) f
+  set_kernel_flag eng true;
+  Fun.protect ~finally:(fun () -> set_kernel_flag eng saved) f
 
 let inject_preempt eng =
   let cur = eng.current in
@@ -967,6 +986,7 @@ let inject_preempt eng =
     trace eng cur (Trace.Note "fault: forced preemption");
     cur.state <- Ready;
     Ready_queue.push_tail_lowest eng cur;
+    trace eng cur Trace.Ready;
     eng.dispatcher_flag <- true
   end
 
@@ -1083,6 +1103,7 @@ let make ?clock cfg ~main =
   Heap.acquire_slab heap;
   thread_table_add eng main_tcb;
   Ready_queue.push_tail eng main_tcb;
+  trace eng main_tcb Trace.Ready;
   eng
 
 (* ------------------------------------------------------------------ *)
@@ -1102,6 +1123,7 @@ type stats = {
   threads_created : int;
   heap_allocations : int;
   faults_injected : int;
+  timers_armed : int;
 }
 
 let stats eng =
@@ -1118,6 +1140,7 @@ let stats eng =
     threads_created = eng.n_created;
     heap_allocations = Heap.allocations eng.heap;
     faults_injected = eng.n_faults_injected + Unix_kernel.trap_faults eng.vm;
+    timers_armed = Unix_kernel.armed_timer_count eng.vm;
   }
 
 let dispatch_count eng = eng.n_dispatches

@@ -259,6 +259,10 @@ type stats = {
   faults_injected : int;
       (** faults applied by the injection primitives plus injected trap
           failures (see {!section-fault}) *)
+  timers_armed : int;
+      (** kernel timers still armed at the moment of the snapshot — a
+          completed run should show only the time-slice interval timer
+          (round-robin policy) or zero; anything else is a leaked one-shot *)
 }
 
 val stats : engine -> stats

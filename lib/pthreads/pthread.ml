@@ -259,11 +259,11 @@ let delay eng ~ns =
   if ns > 0 then begin
     let self = Engine.current eng in
     let deadline = Engine.now eng + ns in
-    ignore
-      (Unix_kernel.arm_timer eng.vm ~after_ns:ns ~interval_ns:0
-         ~signo:Sigset.sigalrm
-         ~origin:(Unix_kernel.Timer self.tid)
-        : int);
+    let timer_id =
+      Unix_kernel.arm_timer eng.vm ~after_ns:ns ~interval_ns:0
+        ~signo:Sigset.sigalrm
+        ~origin:(Unix_kernel.Timer self.tid)
+    in
     let rec wait () =
       if Engine.now eng >= deadline then ()
       else begin
@@ -276,7 +276,13 @@ let delay eng ~ns =
         wait ()
       end
     in
-    wait ()
+    (* On a normal return the deadline has passed and the one-shot alarm
+       has fired; unwinding early (cancellation, a handler's longjmp)
+       would leak it against whatever this thread blocks on next. *)
+    try wait ()
+    with e ->
+      Unix_kernel.disarm_timer eng.vm timer_id;
+      raise e
   end
 
 let busy eng ~ns = Engine.busy eng ~ns

@@ -1,6 +1,7 @@
 type kind =
   | Dispatch_in
   | Dispatch_out
+  | Ready
   | Thread_create of string
   | Thread_exit
   | Mutex_lock of string
@@ -13,6 +14,8 @@ type kind =
   | Prio_change of int * int
   | Cancel_request
   | Sched_decision of int list * int
+  | Kernel_enter
+  | Kernel_exit
   | Note of string
 
 type event = { t_ns : int; tid : int; tname : string; kind : kind }
@@ -120,6 +123,7 @@ let clear t =
 let kind_to_string = function
   | Dispatch_in -> "dispatch-in"
   | Dispatch_out -> "dispatch-out"
+  | Ready -> "ready"
   | Thread_create n -> "create " ^ n
   | Thread_exit -> "exit"
   | Mutex_lock m -> "lock " ^ m
@@ -135,6 +139,8 @@ let kind_to_string = function
       Printf.sprintf "decision [%s] -> %d"
         (String.concat "," (List.map string_of_int enabled))
         chosen
+  | Kernel_enter -> "kernel-enter"
+  | Kernel_exit -> "kernel-exit"
   | Note s -> s
 
 let pp_event ppf e =
@@ -144,8 +150,12 @@ let pp_event ppf e =
 
 let find_all t f = List.filter f (events t)
 
-(* Per-thread status over time, reconstructed from the event stream. *)
-type status = Absent | Ready | Running | Blocked_mutex
+(* Per-thread status over time, reconstructed from the event stream.
+   [Ready] events are authoritative: a thread is painted ready only when
+   the engine said so.  A [Dispatch_out] with no preceding [Ready] or
+   block marker means the thread suspended for some reason the trace does
+   not name (sleep, join, sigwait) and is painted as blocked. *)
+type status = S_absent | S_ready | S_running | S_blocked_mutex | S_blocked_cond
 
 let gantt t ~bucket_ns =
   let evs = events t in
@@ -161,14 +171,15 @@ let gantt t ~bucket_ns =
       (* Walk events chronologically, maintaining this thread's status and
          held-mutex count; paint buckets between consecutive events. *)
       let cells = Bytes.make buckets ' ' in
-      let status = ref Absent and held = ref 0 in
+      let status = ref S_absent and held = ref 0 in
       let pos = ref 0 in
       let symbol () =
         match !status with
-        | Absent -> ' '
-        | Ready -> '.'
-        | Blocked_mutex -> 'x'
-        | Running -> if !held > 0 then '#' else '='
+        | S_absent -> ' '
+        | S_ready -> '.'
+        | S_blocked_mutex -> 'x'
+        | S_blocked_cond -> 'z'
+        | S_running -> if !held > 0 then '#' else '='
       in
       let paint_until t_ns =
         let stop = min buckets (t_ns / bucket_ns) in
@@ -182,16 +193,21 @@ let gantt t ~bucket_ns =
         if e.tid = tid then begin
           paint_until e.t_ns;
           match e.kind with
-          | Thread_create _ | Cond_wake _ -> status := Ready
-          | Dispatch_in -> status := Running
-          | Dispatch_out -> if !status = Running then status := Ready
-          | Thread_exit -> status := Absent
+          | Ready | Cond_wake _ -> status := S_ready
+          | Dispatch_in -> status := S_running
+          | Dispatch_out ->
+              (* Running at dispatch-out with no [Ready] and no block
+                 marker: suspended on something the trace does not name
+                 (sleep, join, sigwait) — blocked, not ready. *)
+              if !status = S_running then status := S_absent
+          | Thread_exit -> status := S_absent
           | Mutex_lock _ -> incr held
           | Mutex_unlock _ -> if !held > 0 then decr held
-          | Mutex_block _ -> status := Blocked_mutex
-          | Cond_block _ -> status := Absent
-          | Signal_sent _ | Signal_delivered _ | Prio_change _
-          | Cancel_request | Sched_decision _ | Note _ ->
+          | Mutex_block _ -> status := S_blocked_mutex
+          | Cond_block _ -> status := S_blocked_cond
+          | Thread_create _ | Signal_sent _ | Signal_delivered _
+          | Prio_change _ | Cancel_request | Sched_decision _
+          | Kernel_enter | Kernel_exit | Note _ ->
               ()
         end
       in
@@ -205,7 +221,7 @@ let gantt t ~bucket_ns =
     Buffer.add_string buf
       (Printf.sprintf
          "%-8s  (1 cell = %.1fus; '='=running '#'=running+mutex 'x'=blocked \
-          '.'=ready)\n"
+          on mutex 'z'=waiting on cond '.'=ready)\n"
          "" (Clock.us_of_ns bucket_ns));
     Buffer.contents buf
   end

@@ -9,6 +9,10 @@
 type kind =
   | Dispatch_in  (** thread starts running *)
   | Dispatch_out  (** thread stops running *)
+  | Ready
+      (** thread became runnable: unblocked, created ready, preempted or
+          yielded back into the ready queue.  The interval from a [Ready]
+          to the thread's next [Dispatch_in] is its dispatch latency. *)
   | Thread_create of string  (** a thread was created (payload: its name) *)
   | Thread_exit
   | Mutex_lock of string  (** acquired the named mutex *)
@@ -25,6 +29,8 @@ type kind =
           the scheduling point and the tid picked to run — recorded by the
           engine when an exploration hook is installed, so a traced run
           doubles as a replayable decision list *)
+  | Kernel_enter  (** the kernel flag was raised (monolithic monitor entry) *)
+  | Kernel_exit  (** the kernel flag was cleared *)
   | Note of string
 
 type event = { t_ns : int; tid : int; tname : string; kind : kind }
@@ -66,8 +72,18 @@ val find_all : t -> (event -> bool) -> event list
 (** {1 Gantt rendering}
 
     [gantt t ~bucket_ns] renders one row per thread (ordered by thread id).
-    Cell symbols: ['#'] running while holding at least one mutex, ['=']
-    running, ['x'] blocked on a mutex, ['.'] ready but not running, [' ']
-    blocked or not alive.  This reproduces the visual language of the
-    paper's Figure 5 (solid line = executing, grey box = holds a mutex). *)
+
+    Cell legend:
+    - ['#'] — running while holding at least one mutex
+    - ['='] — running
+    - ['x'] — blocked on a mutex (from [Mutex_block] to the next [Ready])
+    - ['z'] — waiting on a condition variable (from [Cond_block] to the
+      next [Ready]/[Cond_wake])
+    - ['.'] — ready but not running ([Ready] events are authoritative; a
+      [Dispatch_out] alone never implies readiness)
+    - [' '] — not alive yet / exited, or blocked on something the trace
+      does not name (sleep, join, sigwait)
+
+    This reproduces the visual language of the paper's Figure 5 (solid
+    line = executing, grey box = holds a mutex). *)
 val gantt : t -> bucket_ns:int -> string

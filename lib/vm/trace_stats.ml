@@ -76,11 +76,18 @@ let per_thread events =
         | Some t0 -> a.a_cpu + (!last_t - t0)
         | None -> a.a_cpu
       in
+      (* symmetric with the CPU account: a thread still blocked at trace
+         end is charged up to the last event, like one still running *)
+      let blocked =
+        match a.blocked_since with
+        | Some t0 -> a.a_blocked + (!last_t - t0)
+        | None -> a.a_blocked
+      in
       {
         tid = a.a_tid;
         name = a.a_name;
         cpu_ns = cpu;
-        mutex_blocked_ns = a.a_blocked;
+        mutex_blocked_ns = blocked;
         dispatches = a.a_dispatches;
         lock_acquisitions = a.a_locks;
         handler_runs = a.a_handlers;

@@ -17,8 +17,9 @@ type thread_report = {
 }
 
 val per_thread : Trace.event list -> thread_report list
-(** Ordered by thread id.  Threads still running at the end of the trace
-    are accounted up to the last event's timestamp. *)
+(** Ordered by thread id.  Threads still running — or still blocked on a
+    mutex — at the end of the trace are accounted up to the last event's
+    timestamp (the two in-flight accounts are symmetric). *)
 
 val total_cpu_ns : thread_report list -> int
 

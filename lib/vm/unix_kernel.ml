@@ -209,6 +209,10 @@ let disarm_timer t id =
   trap t ~name:"setitimer" (fun () ->
       t.timers <- List.filter (fun tm -> tm.id <> id) t.timers)
 
+(* Pure observation — no trap, no time charge: used by tests to assert a
+   completed wait left nothing armed. *)
+let armed_timer_count t = List.length t.timers
+
 let blocking_read t ~latency_ns =
   trap t ~name:"read" (fun () ->
       (* the process sleeps in the kernel: nothing else can run *)

@@ -136,6 +136,12 @@ val arm_timer :
     Returns a timer id.  A kernel call ([setitimer]). *)
 
 val disarm_timer : t -> int -> unit
+(** Cancel the timer with the given id (no-op if it already fired or never
+    existed).  A kernel call ([setitimer]). *)
+
+val armed_timer_count : t -> int
+(** Timers currently armed (one-shots not yet fired plus interval timers).
+    Pure observation: no trap, no time charge. *)
 
 val submit_io : t -> latency_ns:int -> requester:int -> unit
 (** Submit an asynchronous I/O request completing after [latency_ns]; posts

@@ -194,6 +194,64 @@ let test_timed_wait_signaled_in_time () =
          0));
   ()
 
+(* A timed wait that ends early (signaled, not timed out) must disarm its
+   one-shot kernel timer.  Observable directly in the kernel's armed-timer
+   count, which the stats snapshot now exposes. *)
+let test_timed_wait_signaled_disarms_timer () =
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         let c = Cond.create proc () in
+         let before = (Engine.stats proc).Engine.timers_armed in
+         let t =
+           Pthread.create_unit proc (fun () ->
+               Mutex.lock proc m;
+               ignore
+                 (Cond.timed_wait proc c m
+                    ~deadline_ns:(Pthread.now proc + 5_000_000)
+                   : Cond.wait_result);
+               Mutex.unlock proc m)
+         in
+         Pthread.delay proc ~ns:100_000;
+         Cond.signal proc c;
+         ignore (Pthread.join proc t);
+         check int "no timer left armed by the signaled timed wait" before
+           (Engine.stats proc).Engine.timers_armed;
+         0));
+  ()
+
+(* The behavioral consequence of a leaked one-shot: when the stale alarm
+   finally fires, the thread has moved on to an untimed wait with no
+   deadline, so the alarm rule delivers a spurious [Interrupted] wakeup
+   there.  The second wait below must see the real signal. *)
+let test_no_stale_alarm_hits_later_wait () =
+  ignore
+    (run_main (fun proc ->
+         let m = Mutex.create proc () in
+         let c = Cond.create proc () in
+         let c2 = Cond.create proc () in
+         let second = ref None in
+         let t =
+           Pthread.create_unit proc (fun () ->
+               Mutex.lock proc m;
+               ignore
+                 (Cond.timed_wait proc c m
+                    ~deadline_ns:(Pthread.now proc + 1_000_000)
+                   : Cond.wait_result);
+               second := Some (Cond.wait proc c2 m);
+               Mutex.unlock proc m)
+         in
+         Pthread.delay proc ~ns:100_000;
+         Cond.signal proc c;
+         (* run far past the first wait's deadline before releasing it *)
+         Pthread.delay proc ~ns:3_000_000;
+         Cond.signal proc c2;
+         ignore (Pthread.join proc t);
+         check bool "second wait saw the signal, not a stale alarm" true
+           (!second = Some Cond.Signaled);
+         0));
+  ()
+
 let test_handler_interrupts_wait () =
   (* The wrapper reacquires the mutex and terminates the conditional wait;
      the woken thread must re-test its predicate (spurious wakeup). *)
@@ -284,6 +342,8 @@ let suite =
         tc "mutex reacquired on return" test_mutex_reacquired_on_return;
         tc "timed wait: timeout" test_timed_wait_times_out;
         tc "timed wait: signaled" test_timed_wait_signaled_in_time;
+        tc "timed wait: timer disarmed" test_timed_wait_signaled_disarms_timer;
+        tc "no stale alarm on later wait" test_no_stale_alarm_hits_later_wait;
         tc "handler interrupts wait" test_handler_interrupts_wait;
         tc "producers/consumers" test_many_producers_consumers;
       ] );

@@ -210,6 +210,53 @@ let test_barrier_cyclic () =
          0));
   ()
 
+(* A writer canceled while blocked inside [write_lock] must not leak its
+   [waiting_writers] registration: read admission requires that count to
+   be zero, so a leak starves every future reader.  Sweep a cancellation
+   over every fault point of the run — wherever it lands (before the
+   writer blocks, while it waits, after it acquired), the program must
+   still terminate cleanly; a leak turns the final read_lock into a
+   deadlock. *)
+let test_rw_writer_cancel_no_leak () =
+  let mk () =
+    Pthread.make_proc (fun proc ->
+        (* main holds the read lock across the sweep; a cancel that the
+           modulo aims at main instead of the writer must pend, not strand
+           the writer behind a dead reader *)
+        ignore (Cancel.set_state proc Types.Cancel_disabled : Types.cancel_state);
+        let l = Rwlock.create proc () in
+        Rwlock.read_lock proc l;
+        let w =
+          Pthread.create proc
+            ~attr:(Attr.with_name "writer" Attr.default)
+            (fun () ->
+              Rwlock.write_lock proc l;
+              Rwlock.write_unlock proc l;
+              0)
+        in
+        Pthread.delay proc ~ns:50_000 (* let the writer block *);
+        Rwlock.read_unlock proc l;
+        ignore (Pthread.join proc w);
+        (* a leaked waiting_writers count would block this forever *)
+        Rwlock.read_lock proc l;
+        Rwlock.read_unlock proc l;
+        0)
+  in
+  let _, points, _ = Fault.Soak.run_one ~mk [] in
+  check bool "fault points exist" true (points > 0);
+  let injected_total = ref 0 in
+  for p = 0 to points - 1 do
+    let plan = [ { Fault.Plan.at = p; act = Fault.Plan.Cancel 1 } ] in
+    let outcome, _, injected = Fault.Soak.run_one ~mk plan in
+    injected_total := !injected_total + injected;
+    match outcome with
+    | None -> ()
+    | Some k ->
+        Alcotest.failf "cancel at fault point %d: %s" p
+          (Check.Explore.failure_kind_to_string k)
+  done;
+  check bool "some cancels were injected" true (!injected_total > 0)
+
 let test_barrier_invalid () =
   ignore
     (run_main (fun proc ->
@@ -240,6 +287,7 @@ let suite =
         tc "errors" test_rw_errors;
         tc "with helpers" test_rw_with_helpers;
         tc "exclusion under perversion" test_rw_under_perverted;
+        tc "canceled writer leaks no waiter" test_rw_writer_cancel_no_leak;
       ] );
     ( "barrier",
       [

@@ -47,17 +47,22 @@ let test_kind_strings () =
     > 10)
 
 (* Gantt semantics on a hand-built trace: running '=', holding '#',
-   blocked 'x', ready '.'. *)
+   blocked 'x', ready '.'.  Ready events are authoritative — the engine
+   emits one whenever a thread enters the ready queue, so the hand-built
+   trace mirrors that. *)
 let test_gantt_symbols () =
   let t = mk_trace () in
   Trace.record t ~t_ns:0 ~tid:1 ~tname:"w" (Trace.Thread_create "w");
+  Trace.record t ~t_ns:0 ~tid:1 ~tname:"w" Trace.Ready;
   Trace.record t ~t_ns:1000 ~tid:1 ~tname:"w" Trace.Dispatch_in;
   Trace.record t ~t_ns:2000 ~tid:1 ~tname:"w" (Trace.Mutex_lock "m");
   Trace.record t ~t_ns:4000 ~tid:1 ~tname:"w" (Trace.Mutex_unlock "m");
+  Trace.record t ~t_ns:5000 ~tid:1 ~tname:"w" Trace.Ready;
   Trace.record t ~t_ns:5000 ~tid:1 ~tname:"w" Trace.Dispatch_out;
   Trace.record t ~t_ns:6000 ~tid:1 ~tname:"w" Trace.Dispatch_in;
   Trace.record t ~t_ns:6500 ~tid:1 ~tname:"w" (Trace.Mutex_block "m2");
   Trace.record t ~t_ns:7000 ~tid:1 ~tname:"w" Trace.Dispatch_out;
+  Trace.record t ~t_ns:7500 ~tid:1 ~tname:"w" Trace.Ready;
   Trace.record t ~t_ns:7500 ~tid:1 ~tname:"w" Trace.Dispatch_in;
   Trace.record t ~t_ns:7600 ~tid:1 ~tname:"w" (Trace.Mutex_lock "m2");
   Trace.record t ~t_ns:9000 ~tid:1 ~tname:"w" Trace.Dispatch_out;
@@ -70,6 +75,44 @@ let test_gantt_symbols () =
   (* buckets: 0 ready, 1 running, 2-3 holding, 4 running, 5 ready,
      6 blocked, 7-8 holding after reacquisition *)
   check string "gantt cells" ".=##=.x##" cells
+
+(* The bug this renderer had: a thread that blocked on a condition
+   variable was painted as if it were merely off-CPU; and a dispatch-out
+   with no Ready event was painted ready.  Cond waits now render as 'z'
+   until the wake, and an unexplained suspension renders blank. *)
+let test_gantt_cond_wait_renders_blocked () =
+  let t = mk_trace () in
+  Trace.record t ~t_ns:0 ~tid:1 ~tname:"w" Trace.Ready;
+  Trace.record t ~t_ns:0 ~tid:1 ~tname:"w" Trace.Dispatch_in;
+  Trace.record t ~t_ns:2000 ~tid:1 ~tname:"w" (Trace.Cond_block "c");
+  Trace.record t ~t_ns:2000 ~tid:1 ~tname:"w" Trace.Dispatch_out;
+  Trace.record t ~t_ns:5000 ~tid:1 ~tname:"w" (Trace.Cond_wake "c");
+  Trace.record t ~t_ns:6000 ~tid:1 ~tname:"w" Trace.Dispatch_in;
+  Trace.record t ~t_ns:7000 ~tid:1 ~tname:"w" Trace.Thread_exit;
+  Trace.record t ~t_ns:9000 ~tid:2 ~tname:"other" (Trace.Note "horizon");
+  let g = Trace.gantt t ~bucket_ns:1000 in
+  let row =
+    List.find (fun l -> String.length l > 2 && l.[0] = 'w')
+      (String.split_on_char '\n' g)
+  in
+  let cells = String.sub row (String.index row '|' + 1) 9 in
+  (* 0-1 running, 2-4 waiting on the cond, 5 ready after the wake,
+     6 running, 7-8 gone — never '.' while suspended on the cond *)
+  check string "cond wait renders blocked" "==zzz.=  " cells;
+  (* a dispatch-out with no Ready and no block marker (sleep, join) is
+     not ready: it must render blank, not '.' *)
+  let t2 = mk_trace () in
+  Trace.record t2 ~t_ns:0 ~tid:1 ~tname:"s" Trace.Ready;
+  Trace.record t2 ~t_ns:0 ~tid:1 ~tname:"s" Trace.Dispatch_in;
+  Trace.record t2 ~t_ns:1000 ~tid:1 ~tname:"s" Trace.Dispatch_out;
+  Trace.record t2 ~t_ns:4000 ~tid:1 ~tname:"s" (Trace.Note "horizon");
+  let g2 = Trace.gantt t2 ~bucket_ns:1000 in
+  let row2 =
+    List.find (fun l -> String.length l > 2 && l.[0] = 's')
+      (String.split_on_char '\n' g2)
+  in
+  let cells2 = String.sub row2 (String.index row2 '|' + 1) 4 in
+  check string "unexplained suspension is blank" "=   " cells2
 
 let test_trace_stats_empty () =
   check int "no reports" 0 (List.length (Vm.Trace_stats.per_thread []))
@@ -134,6 +177,7 @@ let suite =
         tc "clear" test_clear;
         tc "kind strings" test_kind_strings;
         tc "gantt symbols" test_gantt_symbols;
+        tc "gantt cond wait renders blocked" test_gantt_cond_wait_renders_blocked;
         tc "stats empty" test_trace_stats_empty;
       ] );
     ( "shared_sem",

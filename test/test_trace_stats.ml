@@ -133,12 +133,34 @@ let test_accounting_stable_under_injection () =
   check int "handler cross-check holds under faults"
     (Engine.stats proc).Engine.thread_handler_runs total_handlers
 
+(* A thread still blocked on a mutex when the trace ends must be charged
+   its in-flight blocked time up to the last event — symmetric with the
+   CPU account, which already closes a still-running interval there. *)
+let test_inflight_blocked_time_counted () =
+  let t = Vm.Trace.create () in
+  Vm.Trace.set_enabled t true;
+  let r ~t_ns ~tid kind =
+    Vm.Trace.record t ~t_ns ~tid ~tname:(if tid = 1 then "a" else "b") kind
+  in
+  r ~t_ns:0 ~tid:1 Vm.Trace.Dispatch_in;
+  r ~t_ns:100 ~tid:1 (Vm.Trace.Mutex_block "m");
+  r ~t_ns:100 ~tid:1 Vm.Trace.Dispatch_out;
+  r ~t_ns:100 ~tid:2 Vm.Trace.Dispatch_in;
+  r ~t_ns:300 ~tid:2 Vm.Trace.Dispatch_out;
+  let reports = Trace_stats.per_thread (Vm.Trace.events t) in
+  let a = List.find (fun r -> r.Trace_stats.tid = 1) reports in
+  check int "blocked charged up to the last event" 200
+    a.Trace_stats.mutex_blocked_ns;
+  check int "cpu unaffected" 100 a.Trace_stats.cpu_ns
+
 let suite =
   [
     ( "trace-stats",
       [
         tc "dispatch counts under forced preemption"
           test_dispatches_under_forced_preemption;
+        tc "in-flight blocked time counted"
+          test_inflight_blocked_time_counted;
         tc "handler runs cross-check engine stats"
           test_handler_runs_cross_check;
         tc "accounting stable under injected faults"
