@@ -36,7 +36,7 @@ let wait_internal eng c m ~deadline =
   let timer_id =
     match deadline with
     | Some d ->
-        self.wait_deadline <- Some d;
+        Engine.set_wait_deadline eng self ~deadline:d;
         let after_ns = max 0 (d - Engine.now eng) in
         Some
           (Unix_kernel.arm_timer eng.vm ~after_ns ~interval_ns:0
@@ -54,7 +54,7 @@ let wait_internal eng c m ~deadline =
   (match timer_id with
   | Some id -> Unix_kernel.disarm_timer eng.vm id
   | None -> ());
-  self.wait_deadline <- None;
+  self.wait_deadline <- no_deadline;
   (* Reacquire before any handler runs (the wrapper's first action). *)
   Mutex.lock_after_wait eng m;
   Engine.drain_fake_calls eng;
@@ -90,15 +90,20 @@ let broadcast eng c =
   Engine.touch eng (Engine.key_cond c.c_id);
   Engine.enter_kernel eng;
   Engine.charge eng Costs.cond_op;
-  let rec wake_all () =
+  (* the whole burst is one kernel-flag round: each waiter is made ready
+     without a per-wake preemption test, then one test covers them all *)
+  let rec wake_all best =
     match Wait_queue.peek_highest c.c_waiters with
-    | None -> ()
+    | None -> best
     | Some w ->
         Engine.trace eng w (Trace.Cond_wake c.c_name);
-        Engine.unblock eng w Wake_normal;
-        wake_all ()
+        let best =
+          if Engine.unblock_core eng w Wake_normal then max best w.prio
+          else best
+        in
+        wake_all best
   in
-  wake_all ();
+  Engine.flag_if_preempts eng (wake_all min_int);
   Engine.leave_kernel eng;
   Engine.drain_fake_calls eng
 

@@ -80,15 +80,17 @@ let set_explore_hook eng h = eng.explore_hook <- h
 
 (* ------------------------------------------------------------------ *)
 (* The thread table: every live (or unjoined) thread, as an intrusive    *)
-(* doubly-linked list in creation order plus a tid-keyed hash index.     *)
+(* doubly-linked list in creation order plus a tid-indexed slot array.   *)
 (* ------------------------------------------------------------------ *)
 
-let find_thread eng tid = Hashtbl.find_opt eng.threads.tt_index tid
+let find_thread eng tid =
+  let slots = eng.threads.tt_slots in
+  if tid >= 0 && tid < Array.length slots then slots.(tid) else None
 
 let is_registered eng t =
-  match Hashtbl.find_opt eng.threads.tt_index t.tid with
-  | Some t' -> t' == t
-  | None -> false
+  let slots = eng.threads.tt_slots in
+  t.tid < Array.length slots
+  && (match slots.(t.tid) with Some t' -> t' == t | None -> false)
 
 let thread_table_add eng t =
   let tt = eng.threads in
@@ -99,7 +101,13 @@ let thread_table_add eng t =
   | None -> tt.tt_head <- Some t);
   tt.tt_tail <- Some t;
   tt.tt_count <- tt.tt_count + 1;
-  Hashtbl.replace tt.tt_index t.tid t
+  let n = Array.length tt.tt_slots in
+  if t.tid >= n then begin
+    let arr = Array.make (max 64 (max (2 * n) (t.tid + 1))) None in
+    Array.blit tt.tt_slots 0 arr 0 n;
+    tt.tt_slots <- arr
+  end;
+  tt.tt_slots.(t.tid) <- Some t
 
 let thread_table_remove eng t =
   if is_registered eng t then begin
@@ -113,7 +121,8 @@ let thread_table_remove eng t =
     t.at_prev <- None;
     t.at_next <- None;
     tt.tt_count <- tt.tt_count - 1;
-    Hashtbl.remove tt.tt_index t.tid
+    tt.tt_slots.(t.tid) <- None;
+    eng.free_tids <- t.tid :: eng.free_tids
   end
 
 (* Creation order, as the paper's rule-5 linear search requires.  [f] may
@@ -141,9 +150,14 @@ let thread_list eng = List.rev (fold_threads eng (fun acc t -> t :: acc) [])
 let thread_count eng = eng.threads.tt_count
 
 let fresh_tid eng =
-  let tid = eng.next_tid in
-  eng.next_tid <- tid + 1;
-  tid
+  match eng.free_tids with
+  | tid :: rest ->
+      eng.free_tids <- rest;
+      tid
+  | [] ->
+      let tid = eng.next_tid in
+      eng.next_tid <- tid + 1;
+      tid
 
 let fresh_obj_id eng =
   let id = eng.next_obj in
@@ -225,10 +239,104 @@ let recompute_inherited_prio eng o =
   set_effective_prio eng o cand ~at_head:true
 
 (* ------------------------------------------------------------------ *)
+(* The sleep heap: timed waiters indexed by deadline                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Binary min-heap over (deadline, tid), with lazy deletion: entries are
+   never removed when a waiter is woken early — they are discarded when
+   they surface, recognized as dead because the thread's [wait_deadline]
+   no longer matches (or it is no longer in a timed wait).  Duplicates
+   are harmless for the same reason: waking an already-ready thread is a
+   no-op. *)
+
+let sleep_lt a b = a.se_d < b.se_d || (a.se_d = b.se_d && a.se_tid < b.se_tid)
+
+let sleep_entry_live e =
+  e.se_t.wait_deadline = e.se_d
+  && match e.se_t.state with
+     | Blocked (On_sleep | On_cond _) -> true
+     | _ -> false
+
+let sleep_push eng ~deadline t =
+  let h = eng.sleeps in
+  let e = { se_d = deadline; se_tid = t.tid; se_t = t } in
+  let cap = Array.length h.sh_arr in
+  if h.sh_len = cap then begin
+    let arr = Array.make (max 8 (2 * cap)) e in
+    Array.blit h.sh_arr 0 arr 0 cap;
+    h.sh_arr <- arr
+  end;
+  let arr = h.sh_arr in
+  let i = ref h.sh_len in
+  h.sh_len <- h.sh_len + 1;
+  let sifting = ref true in
+  while !sifting && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if sleep_lt e arr.(p) then begin
+      arr.(!i) <- arr.(p);
+      i := p
+    end
+    else sifting := false
+  done;
+  arr.(!i) <- e
+
+let sleep_sift_down h =
+  let arr = h.sh_arr and n = h.sh_len in
+  let e = arr.(0) in
+  let i = ref 0 and sifting = ref true in
+  while !sifting do
+    let l = (2 * !i) + 1 in
+    if l >= n then sifting := false
+    else begin
+      let c = if l + 1 < n && sleep_lt arr.(l + 1) arr.(l) then l + 1 else l in
+      if sleep_lt arr.(c) e then begin
+        arr.(!i) <- arr.(c);
+        i := c
+      end
+      else sifting := false
+    end
+  done;
+  arr.(!i) <- e
+
+let sleep_pop_root h =
+  h.sh_len <- h.sh_len - 1;
+  if h.sh_len > 0 then begin
+    h.sh_arr.(0) <- h.sh_arr.(h.sh_len);
+    sleep_sift_down h
+  end
+
+(* Earliest live timed-wait deadline (dead entries are dropped on the
+   way) — the idle loop's replacement for a fold over all threads. *)
+let rec sleep_next_deadline eng =
+  let h = eng.sleeps in
+  if h.sh_len = 0 then None
+  else
+    let e = h.sh_arr.(0) in
+    if sleep_entry_live e then Some e.se_d
+    else begin
+      sleep_pop_root h;
+      sleep_next_deadline eng
+    end
+
+(* Begin a timed wait: record the absolute deadline on the TCB and index
+   it in the sleep heap, so expiry processing touches only due waiters
+   instead of scanning every thread. *)
+let set_wait_deadline eng t ~deadline =
+  t.wait_deadline <- deadline;
+  sleep_push eng ~deadline t
+
+(* ------------------------------------------------------------------ *)
 (* Unblocking                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let unblock eng t wake =
+(* [unblock_core] does everything except the preemption test and reports
+   whether the thread actually became ready.  [unblock] tests immediately;
+   the mass-wakeup paths (broadcast, joiner release, expired sleepers)
+   accumulate the best woken priority and test once per burst, so waking n
+   threads costs one dispatcher-flag round instead of n.  Equivalent to
+   per-wake tests: the flag is sticky and the running thread's state and
+   priority cannot change between the wakes of one burst. *)
+let unblock_core eng t wake =
   match t.state with
   | Blocked reason ->
       (match reason with
@@ -250,20 +358,28 @@ let unblock eng t wake =
       | On_shared _ ->
           (* the shared object's library removed us from its queue *)
           ());
-      t.wait_deadline <- None;
+      t.wait_deadline <- no_deadline;
       t.pending_wake <- wake;
-      if t.suspended then
+      if t.suspended then begin
         (* an explicit suspension is pending: park instead of running; the
            wake reason is preserved for the eventual resume *)
-        t.state <- Blocked On_suspend
+        t.state <- Blocked On_suspend;
+        false
+      end
       else begin
         t.state <- Ready;
         Ready_queue.push_tail eng t;
         trace eng t Trace.Ready;
-        if t.prio > eng.current.prio && eng.current.state = Running then
-          eng.dispatcher_flag <- true
+        true
       end
-  | Ready | Running | Terminated -> ()
+  | Ready | Running | Terminated -> false
+
+let flag_if_preempts eng prio =
+  if prio > eng.current.prio && eng.current.state = Running then
+    eng.dispatcher_flag <- true
+
+let unblock eng t wake =
+  if unblock_core eng t wake then flag_if_preempts eng t.prio
 
 (* ------------------------------------------------------------------ *)
 (* Signal delivery model                                               *)
@@ -284,11 +400,31 @@ let eligible t s =
    thread whose deadline has passed, not only the timer's owner. *)
 let wake_expired_sleepers eng =
   let time = Unix_kernel.now eng.vm in
-  iter_threads eng (fun t ->
-      match (t.state, t.wait_deadline) with
-      | Blocked (On_sleep | On_cond _), Some d when d <= time ->
-          unblock eng t Wake_timeout
-      | _ -> ())
+  let h = eng.sleeps in
+  let due = ref [] in
+  let draining = ref true in
+  while !draining && h.sh_len > 0 do
+    let e = h.sh_arr.(0) in
+    if sleep_entry_live e && e.se_d > time then draining := false
+    else begin
+      sleep_pop_root h;
+      if sleep_entry_live e then due := e.se_t :: !due
+    end
+  done;
+  match !due with
+  | [] -> ()
+  | [ t ] -> if unblock_core eng t Wake_timeout then flag_if_preempts eng t.prio
+  | ts ->
+      (* wake in creation (tid) order, as the all-threads scan this
+         replaces did; one preemption test for the whole burst *)
+      let ts = List.sort (fun a b -> compare a.tid b.tid) ts in
+      let best =
+        List.fold_left
+          (fun best t ->
+            if unblock_core eng t Wake_timeout then max best t.prio else best)
+          min_int ts
+      in
+      flag_if_preempts eng best
 
 (* Recipient resolution (6 rules) and action resolution (7 rules), straight
    from the paper's "Signal Handling" section. *)
@@ -349,20 +485,22 @@ and act_on eng t p =
       | Unix_kernel.Slice, Running
         when t == eng.current && t.sched_override <> Some Sched_fifo ->
           (* time-slicing: position at the tail of the ready queue (threads
-             with a per-thread FIFO policy are exempt) *)
+             with a per-thread FIFO policy are exempt).  A slice SIGALRM can
+             have absorbed a timed-wait wakeup (one pending slot per
+             signal), so it too is a demultiplexing point. *)
           t.state <- Ready;
           Ready_queue.push_tail eng t;
           trace eng t Trace.Ready;
-          eng.dispatcher_flag <- true
-      | Unix_kernel.Slice, _ -> ()
+          eng.dispatcher_flag <- true;
+          wake_expired_sleepers eng
+      | Unix_kernel.Slice, _ -> wake_expired_sleepers eng
       | _, Blocked (On_sigwait set) when Sigset.mem set s ->
           sigwait_deliver eng t s
       | _, Blocked (On_sleep | On_cond _) ->
           (* "the selected thread becomes ready if it was suspended" *)
           let wake =
-            match t.wait_deadline with
-            | Some d when now eng >= d -> Wake_timeout
-            | _ -> Wake_interrupted
+            if now eng >= t.wait_deadline then Wake_timeout
+            else Wake_interrupted
           in
           unblock eng t wake;
           (* a lost concurrent SIGALRM may have stranded another sleeper *)
@@ -750,14 +888,15 @@ let finish_current eng status =
   (* thread-specific-data destructors: up to four passes *)
   let pass () =
     let ran = ref false in
-    for key = 0 to eng.tsd_next - 1 do
-      match (t.tsd.(key), eng.tsd_destructors.(key)) with
-      | Some v, Some d ->
-          t.tsd.(key) <- None;
-          ran := true;
-          (try d v with _ -> ())
-      | (Some _ | None), _ -> ()
-    done;
+    if Array.length t.tsd > 0 then
+      for key = 0 to eng.tsd_next - 1 do
+        match (t.tsd.(key), eng.tsd_destructors.(key)) with
+        | Some v, Some d ->
+            t.tsd.(key) <- None;
+            ran := true;
+            (try d v with _ -> ())
+        | (Some _ | None), _ -> ()
+      done;
     !ran
   in
   let rec passes n = if n > 0 && pass () then passes (n - 1) in
@@ -769,14 +908,14 @@ let finish_current eng status =
   eng.live_count <- eng.live_count - 1;
   trace eng t Trace.Thread_exit;
   if t.owned <> [] then trace eng t (Trace.Note "terminated while holding mutexes");
-  let rec wake_joiners () =
+  (* all joiners wake at once: one preemption test for the burst *)
+  let rec wake_joiners best =
     match Wait_queue.pop_highest t.joiners with
     | Some j ->
-        unblock eng j Wake_normal;
-        wake_joiners ()
-    | None -> ()
+        wake_joiners (if unblock_core eng j Wake_normal then max best j.prio else best)
+    | None -> best
   in
-  wake_joiners ();
+  flag_if_preempts eng (wake_joiners min_int);
   if t.detached then begin
     Heap.release_slab eng.heap;
     thread_table_remove eng t
@@ -900,24 +1039,13 @@ let run_scheduler eng =
                passed while its (lost) alarm never arrived; otherwise the
                process is deadlocked.  On a shared machine, the idle hook
                arbitrates instead: another process may run first. *)
-            let deadlines =
-              fold_threads eng
-                (fun acc t ->
-                  match (t.state, t.wait_deadline) with
-                  | Blocked (On_sleep | On_cond _), Some d -> d :: acc
-                  | _ -> acc)
-                []
-            in
             let engine_next =
-              let cands =
-                (match Unix_kernel.next_event_time eng.vm with
-                | Some t_ns -> [ t_ns ]
-                | None -> [])
-                @ deadlines
-              in
-              match cands with
-              | [] -> None
-              | d :: rest -> Some (List.fold_left min d rest)
+              match
+                (Unix_kernel.next_event_time eng.vm, sleep_next_deadline eng)
+              with
+              | Some a, Some b -> Some (min a b)
+              | (Some _ as s), None | None, (Some _ as s) -> s
+              | None, None -> None
             in
             match eng.idle_hook with
             | Some hook ->
@@ -1050,9 +1178,11 @@ let make ?clock cfg ~main =
           tt_head = None;
           tt_tail = None;
           tt_count = 0;
-          tt_index = Hashtbl.create 64;
+          tt_slots = Array.make 64 None;
         };
+      sleeps = { sh_arr = [||]; sh_len = 0 };
       next_tid = 1;
+      free_tids = [];
       next_obj = 1;
       actions = Array.make (Sigset.max_signo + 1) Sig_default;
       proc_pending = [];

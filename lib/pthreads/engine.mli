@@ -95,6 +95,27 @@ val unblock : engine -> tcb -> wake -> unit
 (** Remove a blocked thread from its wait queue and make it ready; sets the
     dispatcher flag if it now outranks the running thread. *)
 
+val unblock_core : engine -> tcb -> wake -> bool
+(** Like {!unblock} but without the preemption test; returns whether the
+    thread became ready.  Mass wakeups (broadcast, joiner release, expired
+    sleepers) wake every thread through this and make one
+    {!flag_if_preempts} call with the best woken priority, so a burst of n
+    wakeups costs one dispatcher-flag round instead of n. *)
+
+val flag_if_preempts : engine -> int -> unit
+(** Set the dispatcher flag if a ready thread of the given priority
+    outranks the running thread (the second half of {!unblock}). *)
+
+val set_wait_deadline : engine -> tcb -> deadline:int -> unit
+(** Begin a timed wait: record the absolute deadline on the TCB and index
+    it in the sleep heap ([Cond] timed waits, [Pthread.delay]).  Cleared by
+    [unblock] (to {!Types.no_deadline}); the heap entry is lazily
+    discarded. *)
+
+val sleep_next_deadline : engine -> int option
+(** Earliest pending timed-wait deadline, if any (drops dead heap
+    entries on the way). *)
+
 val finish_current : engine -> exit_status -> unit
 (** Thread-termination bookkeeping: runs cleanup handlers and TSD
     destructors, wakes joiners, reclaims a detached thread's slab. *)

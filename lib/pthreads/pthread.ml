@@ -269,7 +269,7 @@ let delay eng ~ns =
       else begin
         Engine.enter_kernel eng;
         self.state <- Blocked On_sleep;
-        self.wait_deadline <- Some deadline;
+        Engine.set_wait_deadline eng self ~deadline;
         let (_ : wake) = Engine.block eng in
         Engine.drain_fake_calls eng;
         Engine.test_cancel eng;

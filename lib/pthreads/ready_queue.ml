@@ -32,13 +32,11 @@ let pop_random eng rng =
       if idx < !seen + l.lv_len then begin
         let t = ref l.lv_head in
         for _ = 1 to idx - !seen do
-          t := match !t with Some x -> x.q_next | None -> None
+          t := !t.q_next
         done;
-        match !t with
-        | Some t ->
-            Wait_queue.remove q t;
-            found := Some t
-        | None -> assert false
+        assert (!t != nil_tcb);
+        Wait_queue.remove q !t;
+        found := Some !t
       end
       else seen := !seen + l.lv_len;
       decr p

@@ -17,7 +17,7 @@ let make ~tid ~name ~prio ~detached ~body ~deferred =
     fake_frames = [];
     errno = 0;
     cleanup = [];
-    tsd = Array.make max_tsd_keys None;
+    tsd = [||] (* allocated on first Tsd.set *);
     cancel_state = Cancel_enabled;
     cancel_type = Cancel_controlled;
     cancel_pending = false;
@@ -28,11 +28,11 @@ let make ~tid ~name ~prio ~detached ~body ~deferred =
     owned = [];
     sched_override = None;
     suspended = false;
-    wait_deadline = None;
+    wait_deadline = no_deadline;
     n_switches_in = 0;
-    q_next = None;
-    q_prev = None;
-    q_in = None;
+    q_next = nil_tcb;
+    q_prev = nil_tcb;
+    q_in = nil_pq;
     q_level = 0;
     at_next = None;
     at_prev = None;

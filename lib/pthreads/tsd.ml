@@ -30,10 +30,13 @@ let check_alive k name =
 let set eng k v =
   check_alive k "set";
   Engine.charge eng Costs.tsd_op;
-  (Engine.current eng).tsd.(k.k_index) <- Option.map k.inj v
+  let t = Engine.current eng in
+  if Array.length t.tsd = 0 then t.tsd <- Array.make max_tsd_keys None;
+  t.tsd.(k.k_index) <- Option.map k.inj v
 
 let get_for _eng k t =
-  match t.tsd.(k.k_index) with None -> None | Some u -> k.proj u
+  if Array.length t.tsd = 0 then None
+  else match t.tsd.(k.k_index) with None -> None | Some u -> k.proj u
 
 let get eng k =
   check_alive k "get";
@@ -46,4 +49,5 @@ let delete_key eng k =
   (* the destructor is unregistered and remaining values dropped: POSIX
      makes freeing them the application's responsibility before deleting *)
   eng.tsd_destructors.(k.k_index) <- None;
-  Engine.iter_threads eng (fun t -> t.tsd.(k.k_index) <- None)
+  Engine.iter_threads eng (fun t ->
+      if Array.length t.tsd > 0 then t.tsd.(k.k_index) <- None)

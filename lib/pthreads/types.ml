@@ -107,6 +107,9 @@ and tcb = {
   mutable errno : int;
   mutable cleanup : (unit -> unit) list;  (** cleanup-handler stack *)
   mutable tsd : univ option array;
+      (** lazily allocated: [[||]] until the thread first sets a key — most
+          threads never touch TSD, and at 10^6 threads an eager
+          [max_tsd_keys]-slot array per TCB dominates the memory budget *)
   mutable cancel_state : cancel_state;
   mutable cancel_type : cancel_type;
   mutable cancel_pending : bool;
@@ -121,14 +124,23 @@ and tcb = {
   mutable suspended : bool;
       (** suspension requested; a blocked thread parks in [On_suspend]
           instead of becoming ready when its wait completes *)
-  mutable wait_deadline : int option;  (** absolute ns, for timed waits *)
+  mutable wait_deadline : int;
+      (** absolute ns of the current timed wait; [no_deadline] ([max_int])
+          when none.  A plain int, not an option: every timed wait would
+          otherwise box a fresh [Some], and the sleep heap compares this
+          field on its hot path. *)
   mutable n_switches_in : int;
   (* Intrusive queue links.  A thread occupies at most one priority queue
      at any time (the ready queue XOR one wait queue), so a single pair of
-     links plus the owning queue suffices for O(1) push/pop/remove. *)
-  mutable q_next : tcb option;
-  mutable q_prev : tcb option;
-  mutable q_in : pq option;  (** the queue currently holding this thread *)
+     links plus the owning queue suffices for O(1) push/pop/remove.  The
+     links are nil-sentinel ([nil_tcb]/[nil_pq]), not [option]: a ready
+     queue push/pop pair per dispatch would otherwise allocate [Some]
+     boxes that live a full round-robin round at high thread counts —
+     long enough to be promoted out of the minor heap, turning every
+     dispatch into major-GC garbage. *)
+  mutable q_next : tcb;
+  mutable q_prev : tcb;
+  mutable q_in : pq;  (** the queue currently holding this thread *)
   mutable q_level : int;
       (** bucket index within [q_in]; usually [prio], but the perverted
           policies park threads in the lowest bucket regardless *)
@@ -144,14 +156,18 @@ and tcb = {
     (highest-set-bit over [n_prios] bits).  Operations live in
     [Wait_queue]; [Ready_queue] wraps the engine's instance. *)
 and pq = {
-  pq_levels : pq_level array;  (** length [n_prios], index = priority *)
+  mutable pq_levels : pq_level array;
+      (** length [n_prios], index = priority; lazily allocated — [[||]]
+          until the first push.  Every TCB owns a [joiners] queue and most
+          are never joined while queued on, so the eager 32-level array was
+          a large slice of the per-thread footprint. *)
   mutable pq_bits : int;  (** bit [p] set iff level [p] is non-empty *)
   mutable pq_size : int;  (** maintained element count *)
 }
 
 and pq_level = {
-  mutable lv_head : tcb option;  (** runs/wakes first *)
-  mutable lv_tail : tcb option;
+  mutable lv_head : tcb;  (** runs/wakes first; [nil_tcb] when empty *)
+  mutable lv_tail : tcb;
   mutable lv_len : int;
 }
 
@@ -192,6 +208,48 @@ and pending_sig = { p_signo : signo; p_code : int; p_origin : Unix_kernel.origin
 
 and univ = exn  (** universal type for thread-specific data values *)
 
+(** Sentinels terminating the intrusive queue links.  [nil_pq] doubles as
+    "not queued" for [tcb.q_in]; both are compared with physical equality
+    only and never enqueued or dequeued themselves. *)
+let nil_pq = { pq_levels = [||]; pq_bits = 0; pq_size = 0 }
+
+let rec nil_tcb =
+  {
+    tid = -1;
+    tname = "<nil>";
+    state = Terminated;
+    detached = false;
+    base_prio = 0;
+    prio = 0;
+    boost_stack = [];
+    sigmask = Sigset.empty;
+    thr_pending = [];
+    sigwait_set = Sigset.empty;
+    sigwait_result = None;
+    fake_frames = [];
+    errno = 0;
+    cleanup = [];
+    tsd = [||];
+    cancel_state = Cancel_enabled;
+    cancel_type = Cancel_controlled;
+    cancel_pending = false;
+    retval = None;
+    joiners = nil_pq;
+    cont = No_cont;
+    pending_wake = Wake_normal;
+    owned = [];
+    sched_override = None;
+    suspended = false;
+    wait_deadline = max_int;
+    n_switches_in = 0;
+    q_next = nil_tcb;
+    q_prev = nil_tcb;
+    q_in = nil_pq;
+    q_level = 0;
+    at_next = None;
+    at_prev = None;
+  }
+
 (** Process-wide signal action table (the thread-level [sigaction]). *)
 type action =
   | Sig_default
@@ -217,13 +275,27 @@ type stop_reason =
 
 (** All live (or terminated-but-unjoined) threads: an intrusive
     doubly-linked list in creation order — the order the paper's
-    recipient-resolution rule 5 walks — plus a tid-keyed index so lookups
-    by id ([find_thread], the debugger, signal targeting) are O(1). *)
+    recipient-resolution rule 5 walks — plus a tid-indexed dynamic array so
+    lookups by id ([find_thread], the debugger, signal targeting) are a
+    bounds check and a load, with no hashing.  Freed tids are recycled
+    (LIFO), which keeps the array dense under create/reap churn. *)
 type thread_table = {
   mutable tt_head : tcb option;
   mutable tt_tail : tcb option;
   mutable tt_count : int;
-  tt_index : (int, tcb) Hashtbl.t;
+  mutable tt_slots : tcb option array;  (** index = tid; grown by doubling *)
+}
+
+(** Timed waiters ([Cond] deadlines, [Pthread.delay]), as a binary min-heap
+    ordered by (deadline, tid) with lazy deletion: an entry is dead when
+    its thread's [wait_deadline] no longer matches (woken early, or already
+    woken by its own alarm).  Replaces the all-threads scan that made every
+    alarm and every idle transition O(live threads). *)
+type sleep_entry = { se_d : int; se_tid : int; se_t : tcb }
+
+type sleep_heap = {
+  mutable sh_arr : sleep_entry array;  (** heap-ordered prefix [0, sh_len) *)
+  mutable sh_len : int;
 }
 
 type engine = {
@@ -239,7 +311,10 @@ type engine = {
   mutable current : tcb;
   ready : pq;  (** the dispatcher's ready structure; head of a level runs next *)
   threads : thread_table;
+  sleeps : sleep_heap;  (** pending timed-wait deadlines (lazy deletion) *)
   mutable next_tid : int;
+  mutable free_tids : int list;
+      (** tids of reaped threads, reused LIFO before minting new ones *)
   mutable next_obj : int;
   actions : action array;
   mutable proc_pending : pending_sig list;
@@ -319,6 +394,7 @@ let max_prio = 31
 let n_prios = max_prio + 1
 let default_prio = 8
 let max_tsd_keys = 64
+let no_deadline = max_int
 
 let pp_exit_status ppf = function
   | Exited v -> Format.fprintf ppf "exited(%d)" v

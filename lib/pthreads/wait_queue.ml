@@ -23,49 +23,51 @@ let highest_bit x =
   if !x land 0x2 <> 0 then incr n;
   !n
 
-let create () =
-  {
-    pq_levels =
+(* Level arrays are allocated on first push: a pq is three words until
+   someone actually queues on it, which is what keeps per-TCB [joiners]
+   queues off the million-thread memory budget. *)
+let create () = { pq_levels = [||]; pq_bits = 0; pq_size = 0 }
+
+let levels q =
+  if Array.length q.pq_levels = 0 then
+    q.pq_levels <-
       Array.init n_prios (fun _ ->
-          { lv_head = None; lv_tail = None; lv_len = 0 });
-    pq_bits = 0;
-    pq_size = 0;
-  }
+          { lv_head = nil_tcb; lv_tail = nil_tcb; lv_len = 0 });
+  q.pq_levels
 
 let size q = q.pq_size
 let is_empty q = q.pq_size = 0
 
 let check_free t =
-  match t.q_in with
-  | None -> ()
-  | Some _ -> invalid_arg ("Wait_queue: " ^ t.tname ^ " is already queued")
+  if t.q_in != nil_pq then
+    invalid_arg ("Wait_queue: " ^ t.tname ^ " is already queued")
+
+(* The push/pop/remove bodies compare links against the sentinels with
+   physical equality and store TCBs directly: the dispatcher's hot path
+   (one push + one pop per context switch) performs no allocation. *)
 
 let push_tail_at q t level =
   check_free t;
-  let l = q.pq_levels.(level) in
-  t.q_in <- Some q;
+  let l = (levels q).(level) in
+  t.q_in <- q;
   t.q_level <- level;
-  t.q_next <- None;
+  t.q_next <- nil_tcb;
   t.q_prev <- l.lv_tail;
-  (match l.lv_tail with
-  | Some tail -> tail.q_next <- Some t
-  | None -> l.lv_head <- Some t);
-  l.lv_tail <- Some t;
+  if l.lv_tail != nil_tcb then l.lv_tail.q_next <- t else l.lv_head <- t;
+  l.lv_tail <- t;
   l.lv_len <- l.lv_len + 1;
   q.pq_bits <- q.pq_bits lor (1 lsl level);
   q.pq_size <- q.pq_size + 1
 
 let push_head_at q t level =
   check_free t;
-  let l = q.pq_levels.(level) in
-  t.q_in <- Some q;
+  let l = (levels q).(level) in
+  t.q_in <- q;
   t.q_level <- level;
-  t.q_prev <- None;
+  t.q_prev <- nil_tcb;
   t.q_next <- l.lv_head;
-  (match l.lv_head with
-  | Some head -> head.q_prev <- Some t
-  | None -> l.lv_tail <- Some t);
-  l.lv_head <- Some t;
+  if l.lv_head != nil_tcb then l.lv_head.q_prev <- t else l.lv_tail <- t;
+  l.lv_head <- t;
   l.lv_len <- l.lv_len + 1;
   q.pq_bits <- q.pq_bits lor (1 lsl level);
   q.pq_size <- q.pq_size + 1
@@ -74,59 +76,57 @@ let push_tail q t = push_tail_at q t t.prio
 let push_head q t = push_head_at q t t.prio
 
 let remove q t =
-  match t.q_in with
-  | Some q' when q' == q ->
-      let l = q.pq_levels.(t.q_level) in
-      (match t.q_prev with
-      | Some p -> p.q_next <- t.q_next
-      | None -> l.lv_head <- t.q_next);
-      (match t.q_next with
-      | Some n -> n.q_prev <- t.q_prev
-      | None -> l.lv_tail <- t.q_prev);
-      l.lv_len <- l.lv_len - 1;
-      if l.lv_len = 0 then q.pq_bits <- q.pq_bits land lnot (1 lsl t.q_level);
-      q.pq_size <- q.pq_size - 1;
-      t.q_in <- None;
-      t.q_prev <- None;
-      t.q_next <- None
-  | Some _ | None -> ()
+  if t.q_in == q then begin
+    let l = q.pq_levels.(t.q_level) in
+    if t.q_prev != nil_tcb then t.q_prev.q_next <- t.q_next
+    else l.lv_head <- t.q_next;
+    if t.q_next != nil_tcb then t.q_next.q_prev <- t.q_prev
+    else l.lv_tail <- t.q_prev;
+    l.lv_len <- l.lv_len - 1;
+    if l.lv_len = 0 then q.pq_bits <- q.pq_bits land lnot (1 lsl t.q_level);
+    q.pq_size <- q.pq_size - 1;
+    t.q_in <- nil_pq;
+    t.q_prev <- nil_tcb;
+    t.q_next <- nil_tcb
+  end
 
 let highest_prio q =
   if q.pq_bits = 0 then None else Some (highest_bit q.pq_bits)
 
 let peek_highest q =
   if q.pq_bits = 0 then None
-  else q.pq_levels.(highest_bit q.pq_bits).lv_head
+  else Some q.pq_levels.(highest_bit q.pq_bits).lv_head
 
 let pop_highest q =
-  match peek_highest q with
-  | None -> None
-  | Some t ->
-      remove q t;
-      Some t
+  if q.pq_bits = 0 then None
+  else begin
+    let t = q.pq_levels.(highest_bit q.pq_bits).lv_head in
+    remove q t;
+    Some t
+  end
 
 (* Relink after [t.prio] changed from [old_prio] (already updated on the
    TCB).  Reproduces what [List.stable_sort] on a priority-sorted list did:
    a rising thread lands after its new equals (they preceded it), a falling
    thread lands before them (it preceded them). *)
 let reposition q t ~old_prio =
-  match t.q_in with
-  | Some q' when q' == q ->
-      remove q t;
-      if t.prio > old_prio then push_tail q t else push_head q t
-  | Some _ | None -> ()
+  if t.q_in == q then begin
+    remove q t;
+    if t.prio > old_prio then push_tail q t else push_head q t
+  end
 
 let iter q f =
-  for p = max_prio downto min_prio do
-    let rec go = function
-      | None -> ()
-      | Some t ->
+  if q.pq_size > 0 then
+    for p = max_prio downto min_prio do
+      let rec go t =
+        if t != nil_tcb then begin
           let next = t.q_next in
           f t;
           go next
-    in
-    go q.pq_levels.(p).lv_head
-  done
+        end
+      in
+      go q.pq_levels.(p).lv_head
+    done
 
 let fold q f acc =
   let acc = ref acc in

@@ -12,7 +12,14 @@
       instructions and an occasional [sbrk] kernel call when the arena is
       exhausted;
     - [acquire_slab]/[release_slab]: the TCB+stack pool — a cheap free-list
-      pop when the pool is warm, falling back to [alloc] when empty. *)
+      pop when the pool is warm, falling back to a single-allocation arena
+      carve when empty (two separate allocations with the pool disabled).
+
+    The module also keeps the process's simulated memory ledger: [brk_bytes]
+    is the total the arena has obtained from [sbrk], and
+    [live_slabs]/[peak_slabs] count thread slabs in use, so a scaling
+    benchmark can report measured bytes per thread
+    ([brk_bytes / peak_slabs]). *)
 
 type t
 
@@ -35,8 +42,9 @@ val alloc : t -> int -> unit
 val free : t -> int -> unit
 
 val acquire_slab : t -> unit
-(** Obtain a TCB+stack slab (pool pop, or [alloc] when the pool is disabled
-    or empty). *)
+(** Obtain a TCB+stack slab: a pool pop when the pool is warm, one arena
+    carve when it is exhausted, two separate allocations when it is
+    disabled. *)
 
 val release_slab : t -> unit
 (** Return a slab (pool push, or [free]). *)
@@ -44,3 +52,16 @@ val release_slab : t -> unit
 val pool_size : t -> int
 val allocations : t -> int
 (** Number of [alloc] calls that went to the allocator (not the pool). *)
+
+val brk_bytes : t -> int
+(** Total bytes the arena has obtained from [sbrk] — the simulated
+    process's heap footprint (never shrinks). *)
+
+val live_slabs : t -> int
+(** Thread slabs currently in use. *)
+
+val peak_slabs : t -> int
+(** High-water mark of [live_slabs]. *)
+
+val slab_size : t -> int
+(** Bytes of one TCB+stack slab. *)

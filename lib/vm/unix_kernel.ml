@@ -14,14 +14,6 @@ exception Process_killed of Sigset.signo
 
 type pending_info = { code : int; origin : origin }
 
-type timer = {
-  id : int;
-  mutable expiry : int;  (* absolute ns; 0 = disarmed *)
-  mutable interval : int;
-  t_signo : Sigset.signo;
-  t_origin : origin;
-}
-
 type io_req = { complete_at : int; requester : int }
 
 type t = {
@@ -31,9 +23,15 @@ type t = {
   dispositions : disposition array;  (* indexed by signo *)
   mutable mask : Sigset.t;
   pending_set : pending_info option array;  (* BSD: one slot per signo *)
-  mutable timers : timer list;
-  mutable next_timer_id : int;
+  (* All interval timers live in a hierarchical timing wheel: O(1)
+     amortized arm/disarm/advance, so a million timed waits do not turn
+     every checkpoint into a linear scan.  The payload is what expiry
+     posts: (signo, origin). *)
+  timers : (Sigset.signo * origin) Timer_wheel.t;
   mutable io_queue : io_req list;
+  (* Earliest [complete_at] in [io_queue] ([max_int] when empty), so
+     [check_events] can skip the completion scan when nothing is due. *)
+  mutable io_next : int;
   io_completions : (int, int) Hashtbl.t;  (* requester -> unconsumed count *)
   traps_by_name : (string, int) Hashtbl.t;
   mutable traps_total : int;
@@ -58,9 +56,9 @@ let create ?clock prof =
     dispositions = Array.make (Sigset.max_signo + 1) Default;
     mask = Sigset.empty;
     pending_set = Array.make (Sigset.max_signo + 1) None;
-    timers = [];
-    next_timer_id = 1;
+    timers = Timer_wheel.create ();
     io_queue = [];
+    io_next = max_int;
     io_completions = Hashtbl.create 8;
     traps_by_name = Hashtbl.create 16;
     traps_total = 0;
@@ -191,27 +189,18 @@ let deliver_pending t =
 
 let arm_timer t ~after_ns ~interval_ns ~signo ~origin =
   trap t ~name:"setitimer" (fun () ->
-      let id = t.next_timer_id in
-      t.next_timer_id <- id + 1;
-      let timer =
-        {
-          id;
-          expiry = now t + after_ns;
-          interval = interval_ns;
-          t_signo = signo;
-          t_origin = origin;
-        }
-      in
-      t.timers <- timer :: t.timers;
-      id)
+      Timer_wheel.arm t.timers ~now:(now t) ~after_ns ~interval_ns
+        (signo, origin))
 
 let disarm_timer t id =
   trap t ~name:"setitimer" (fun () ->
-      t.timers <- List.filter (fun tm -> tm.id <> id) t.timers)
+      ignore (Timer_wheel.disarm t.timers id : bool))
 
 (* Pure observation — no trap, no time charge: used by tests to assert a
    completed wait left nothing armed. *)
-let armed_timer_count t = List.length t.timers
+let armed_timer_count t = Timer_wheel.armed t.timers
+let armed_timer_peak t = Timer_wheel.peak_armed t.timers
+let timer_cascades t = Timer_wheel.cascades t.timers
 
 let blocking_read t ~latency_ns =
   trap t ~name:"read" (fun () ->
@@ -223,38 +212,36 @@ let blocking_io_ns t = t.blocked_io_ns
 
 let submit_io t ~latency_ns ~requester =
   trap t ~name:"aioread" (fun () ->
-      t.io_queue <-
-        { complete_at = now t + latency_ns; requester } :: t.io_queue)
+      let complete_at = now t + latency_ns in
+      t.io_queue <- { complete_at; requester } :: t.io_queue;
+      if complete_at < t.io_next then t.io_next <- complete_at)
 
 let check_events t =
   let time = now t in
-  let fire tm =
-    if tm.expiry > 0 && tm.expiry <= time then begin
-      post_signal t tm.t_signo ~origin:tm.t_origin ();
-      if tm.interval > 0 then begin
-        (* Catch up without flooding: next expiry strictly in the future. *)
-        let missed = (time - tm.expiry) / tm.interval in
-        tm.expiry <- tm.expiry + ((missed + 1) * tm.interval)
-      end
-      else tm.expiry <- 0
-    end
-  in
-  List.iter fire t.timers;
-  t.timers <- List.filter (fun tm -> tm.expiry > 0) t.timers;
-  let done_, waiting =
-    List.partition (fun io -> io.complete_at <= time) t.io_queue
-  in
-  List.iter
-    (fun io ->
-      (* record the completion: SIGIO is only a doorbell (BSD signals do
-         not queue, so concurrent completions can share one signal) *)
-      let prev =
-        Option.value ~default:0 (Hashtbl.find_opt t.io_completions io.requester)
-      in
-      Hashtbl.replace t.io_completions io.requester (prev + 1);
-      post_signal t Sigset.sigio ~origin:(Io io.requester) ())
-    done_;
-  t.io_queue <- waiting
+  (* Timers: the wheel fires everything due, in (expiry, id) order — a
+     deterministic order the prepend-to-a-list representation could not
+     give (it fired same-tick timers in reverse-arm order). *)
+  Timer_wheel.advance t.timers ~now:time ~fire:(fun ~id:_ (signo, origin) ->
+      post_signal t signo ~origin ());
+  if t.io_next <= time then begin
+    let done_, waiting =
+      List.partition (fun io -> io.complete_at <= time) t.io_queue
+    in
+    List.iter
+      (fun io ->
+        (* record the completion: SIGIO is only a doorbell (BSD signals do
+           not queue, so concurrent completions can share one signal) *)
+        let prev =
+          Option.value ~default:0
+            (Hashtbl.find_opt t.io_completions io.requester)
+        in
+        Hashtbl.replace t.io_completions io.requester (prev + 1);
+        post_signal t Sigset.sigio ~origin:(Io io.requester) ())
+      done_;
+    t.io_queue <- waiting;
+    t.io_next <-
+      List.fold_left (fun acc io -> min acc io.complete_at) max_int waiting
+  end
 
 let take_io_completion t ~requester =
   match Hashtbl.find_opt t.io_completions requester with
@@ -264,16 +251,17 @@ let take_io_completion t ~requester =
       true
   | Some _ | None -> false
 
+(* The wheel reports a bucket deadline — a lower bound that becomes exact
+   once the nearest timer has cascaded to level 0.  Callers that advance
+   the clock here and re-run [check_events] converge in at most
+   [Timer_wheel.levels] refinements; the clock never overshoots a real
+   event. *)
 let next_event_time t =
-  let candidates =
-    List.filter_map
-      (fun tm -> if tm.expiry > 0 then Some tm.expiry else None)
-      t.timers
-    @ List.map (fun io -> io.complete_at) t.io_queue
-  in
-  match candidates with
-  | [] -> None
-  | first :: rest -> Some (List.fold_left min first rest)
+  let timer_next = Timer_wheel.next_expiry t.timers in
+  let io_next = if t.io_next = max_int then None else Some t.io_next in
+  match (timer_next, io_next) with
+  | None, n | n, None -> n
+  | Some a, Some b -> Some (min a b)
 
 (* Accounting --------------------------------------------------------- *)
 

@@ -186,7 +186,7 @@ let run_model_trace ops ~pop =
   List.iter
     (fun (kind, idx, prio) ->
       let t = pool.(idx) in
-      let queued = t.q_in <> None in
+      let queued = t.q_in != Pthreads.Types.nil_pq in
       if queued <> Model.mem model t.tid then ok := false;
       match kind with
       | 0 ->
@@ -241,7 +241,7 @@ let prop_model_random =
       List.iter
         (fun (kind, idx, prio) ->
           let t = pool.(idx) in
-          let queued = t.q_in <> None in
+          let queued = t.q_in != Pthreads.Types.nil_pq in
           match kind with
           | 0 | 1 | 2 ->
               if not queued then begin
@@ -315,7 +315,7 @@ let prop_wait_queue_model =
       List.iter
         (fun (kind, idx, prio) ->
           let t = pool.(idx) in
-          let queued = t.q_in <> None in
+          let queued = t.q_in != Pthreads.Types.nil_pq in
           (match kind with
           | 0 ->
               if not queued then begin

@@ -1,0 +1,318 @@
+(* The hierarchical timing wheel against a sorted-list reference model.
+
+   The wheel replaced a linear [timer list] in the virtual kernel; what
+   must be preserved is not just "timers fire" but the exact observable
+   contract the deterministic scheduler and the DPOR replayer lean on:
+   same-tick timers fire in (expiry, id) order, interval timers catch up
+   with the BSD missed-periods-collapse formula, and [next_expiry] is a
+   monotone lower bound that converges in at most [levels] refinements. *)
+
+open Tu
+module W = Vm.Timer_wheel
+module K = Vm.Unix_kernel
+module Sigset = Vm.Sigset
+module Cost_model = Vm.Cost_model
+
+(* ------------------------------------------------------------------ *)
+(* Reference model: a plain association list, sorted on demand          *)
+(* ------------------------------------------------------------------ *)
+
+type mtimer = { mid : int; mutable mexp : int; mint : int }
+
+type model = {
+  mutable armed_m : mtimer list;  (** unsorted *)
+  mutable next_mid : int;
+}
+
+let m_create () = { armed_m = []; next_mid = 1 }
+
+let m_arm m ~now ~after_ns ~interval_ns =
+  let id = m.next_mid in
+  m.next_mid <- id + 1;
+  let e = now + after_ns in
+  let expiry = if e < now then now else e in
+  m.armed_m <- { mid = id; mexp = expiry; mint = interval_ns } :: m.armed_m;
+  id
+
+let m_disarm m id =
+  let present = List.exists (fun t -> t.mid = id) m.armed_m in
+  m.armed_m <- List.filter (fun t -> t.mid <> id) m.armed_m;
+  present
+
+(* Fire everything due at [now], in (expiry, id) order; interval timers
+   re-arm at the first multiple of their interval strictly after [now]. *)
+let m_advance m ~now =
+  let due, keep = List.partition (fun t -> t.mexp <= now) m.armed_m in
+  let due =
+    List.sort
+      (fun a b ->
+        if a.mexp <> b.mexp then compare a.mexp b.mexp
+        else compare a.mid b.mid)
+      due
+  in
+  let fired = List.map (fun t -> t.mid) due in
+  let rearmed =
+    List.filter_map
+      (fun t ->
+        if t.mint > 0 then begin
+          (if now >= t.mexp + t.mint then
+             let missed = (now - t.mexp) / t.mint in
+             t.mexp <- t.mexp + ((missed + 1) * t.mint)
+           else t.mexp <- t.mexp + t.mint);
+          Some t
+        end
+        else None)
+      due
+  in
+  m.armed_m <- keep @ rearmed;
+  fired
+
+let m_min_expiry m =
+  List.fold_left (fun acc t -> min acc t.mexp) max_int m.armed_m
+
+(* ------------------------------------------------------------------ *)
+(* Property: random op sequences agree with the model                   *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Arm of int * int  (** after_ns, interval_ns *)
+  | Disarm of int  (** an id hint, reduced mod ids handed out *)
+  | Advance of int  (** dt >= 0 *)
+
+(* Deltas span every wheel level: slot-local (level 0), mid-range, and
+   far-future values that must cascade across many levels before firing. *)
+let delta_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (3, int_range 0 100);
+        (3, int_range 1_000 1_000_000);
+        (2, int_range 1_000_000 1_000_000_000);
+        (1, int_range 1_000_000_000 (1 lsl 45));
+      ])
+
+let op_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        ( 4,
+          let* after = delta_gen in
+          let* has_interval = frequency [ (3, return false); (1, return true) ] in
+          let* interval = int_range 1 2_000_000 in
+          return (Arm (after, if has_interval then interval else 0)) );
+        (1, map (fun h -> Disarm h) small_nat);
+        (3, map (fun d -> Advance d) delta_gen);
+      ])
+
+let ops_gen = QCheck2.Gen.(list_size (int_range 10 120) op_gen)
+
+let run_against_model ops =
+  let w = W.create () in
+  let m = m_create () in
+  let check_after_advance now =
+    if W.armed w <> List.length m.armed_m then
+      QCheck2.Test.fail_reportf "armed mismatch: wheel %d, model %d"
+        (W.armed w) (List.length m.armed_m);
+    (* next_expiry: None iff empty; otherwise a bound in
+       (now, min-true-expiry]. *)
+    match W.next_expiry w with
+    | None ->
+        if m.armed_m <> [] then
+          QCheck2.Test.fail_reportf "next_expiry None with %d armed"
+            (List.length m.armed_m)
+    | Some d ->
+        if m.armed_m = [] then
+          QCheck2.Test.fail_reportf "next_expiry %d on an empty wheel" d;
+        if d <= now then
+          QCheck2.Test.fail_reportf "next_expiry %d not in the future of %d" d
+            now;
+        let true_min = m_min_expiry m in
+        if d > true_min then
+          QCheck2.Test.fail_reportf
+            "next_expiry %d overshoots the earliest expiry %d" d true_min
+  in
+  List.iter
+    (fun op ->
+      let now = W.now w in
+      match op with
+      | Arm (after_ns, interval_ns) ->
+          let wid = W.arm w ~now ~after_ns ~interval_ns () in
+          let mid = m_arm m ~now ~after_ns ~interval_ns in
+          if wid <> mid then
+            QCheck2.Test.fail_reportf "id mismatch: wheel %d, model %d" wid mid
+      | Disarm hint ->
+          (* ids are dense from 1: reduce the hint onto handed-out ids so
+             roughly half the disarms hit a live timer *)
+          let id = 1 + (hint mod max 1 (m.next_mid - 1)) in
+          let wr = W.disarm w id in
+          let mr = m_disarm m id in
+          if wr <> mr then
+            QCheck2.Test.fail_reportf "disarm %d: wheel %b, model %b" id wr mr
+      | Advance dt ->
+          let target = now + dt in
+          let fired = ref [] in
+          W.advance w ~now:target ~fire:(fun ~id () -> fired := id :: !fired);
+          let got = List.rev !fired in
+          let expected = m_advance m ~now:target in
+          if got <> expected then
+            QCheck2.Test.fail_reportf
+              "advance to %d fired [%s], model expected [%s]" target
+              (String.concat ";" (List.map string_of_int got))
+              (String.concat ";" (List.map string_of_int expected));
+          check_after_advance target)
+    ops;
+  (* Drain: follow next_expiry until the wheel is empty of one-shots.
+     Interval timers never drain, so cap the rounds; every round must agree
+     with the model. *)
+  let rounds = ref 0 in
+  let continue = ref true in
+  while !continue && !rounds < 200 do
+    incr rounds;
+    match W.next_expiry w with
+    | None -> continue := false
+    | Some d ->
+        let fired = ref [] in
+        W.advance w ~now:d ~fire:(fun ~id () -> fired := id :: !fired);
+        let got = List.rev !fired in
+        let expected = m_advance m ~now:d in
+        if got <> expected then
+          QCheck2.Test.fail_reportf
+            "drain advance to %d fired [%s], model expected [%s]" d
+            (String.concat ";" (List.map string_of_int got))
+            (String.concat ";" (List.map string_of_int expected));
+        check_after_advance d
+  done;
+  true
+
+let prop_model =
+  QCheck2.Test.make ~count:300 ~name:"wheel agrees with sorted-list model"
+    ops_gen run_against_model
+
+(* ------------------------------------------------------------------ *)
+(* Same-tick (expiry, id) firing order                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The list-based kernel prepended on arm and fired in reverse-arm order;
+   the wheel must fire same-tick timers in arm (= id) order. *)
+let test_same_tick_order () =
+  let w = W.create () in
+  let a = W.arm w ~now:0 ~after_ns:1_000 ~interval_ns:0 "a" in
+  let b = W.arm w ~now:0 ~after_ns:1_000 ~interval_ns:0 "b" in
+  let c = W.arm w ~now:0 ~after_ns:1_000 ~interval_ns:0 "c" in
+  let fired = ref [] in
+  W.advance w ~now:1_000 ~fire:(fun ~id _ -> fired := id :: !fired);
+  check (Alcotest.list int) "arm order, not reverse-arm order" [ a; b; c ]
+    (List.rev !fired)
+
+(* Same tick reached by different routes: [a] arms far out and cascades
+   down to level 0; [b] arms directly into the level-0 slot after the
+   clock has already moved.  The cascade must merge before the slot
+   fires, so [a] (the smaller id) still fires first. *)
+let test_same_tick_cascade_merge () =
+  let w = W.create () in
+  let a = W.arm w ~now:0 ~after_ns:10_000 ~interval_ns:0 "a" in
+  W.advance w ~now:9_990 ~fire:(fun ~id:_ _ -> Alcotest.fail "early fire");
+  let b = W.arm w ~now:9_990 ~after_ns:10 ~interval_ns:0 "b" in
+  let fired = ref [] in
+  W.advance w ~now:10_000 ~fire:(fun ~id _ -> fired := id :: !fired);
+  check (Alcotest.list int) "cascaded timer keeps id order" [ a; b ]
+    (List.rev !fired);
+  check bool "the far timer was re-bucketed at least once" true
+    (W.cascades w > 0)
+
+(* The same contract observed through the kernel: two one-shot SIGALRMs on
+   the same tick both expire in one check_events, and BSD non-queuing
+   collapses the second posting into a loss, not a deferral. *)
+let test_kernel_same_tick_collapse () =
+  let k = K.create Cost_model.sparc_ipx in
+  let lost0 = K.signals_lost k in
+  ignore (K.arm_timer k ~after_ns:50_000 ~interval_ns:0 ~signo:Sigset.sigalrm
+            ~origin:(K.Timer 0) : int);
+  ignore (K.arm_timer k ~after_ns:50_000 ~interval_ns:0 ~signo:Sigset.sigalrm
+            ~origin:(K.Timer 0) : int);
+  K.advance k 60_000;
+  K.check_events k;
+  check int "both one-shots expired" 0 (K.armed_timer_count k);
+  check int "second same-tick posting was collapsed (BSD)" (lost0 + 1)
+    (K.signals_lost k)
+
+(* ------------------------------------------------------------------ *)
+(* Cascade budget and next_expiry convergence                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A single far-future timer: following next_expiry must converge on the
+   exact expiry in at most [levels] refinement rounds (each round either
+   fires or strictly tightens the bound), and the total re-bucketings
+   stay within the amortized budget. *)
+let test_far_future_convergence () =
+  let w = W.create () in
+  let expiry = 123_456_789_012_345 in
+  ignore (W.arm w ~now:0 ~after_ns:expiry ~interval_ns:0 () : int);
+  let fired_at = ref (-1) in
+  let rounds = ref 0 in
+  while !fired_at < 0 do
+    incr rounds;
+    if !rounds > W.levels then Alcotest.fail "next_expiry did not converge";
+    match W.next_expiry w with
+    | None -> Alcotest.fail "timer lost"
+    | Some d -> W.advance w ~now:d ~fire:(fun ~id:_ () -> fired_at := d)
+  done;
+  check int "fired exactly at its expiry" expiry !fired_at;
+  check bool
+    (Printf.sprintf "cascades within budget (%d <= %d)" (W.cascades w)
+       W.levels)
+    true
+    (W.cascades w <= W.levels)
+
+(* Interval catch-up: a long advance collapses missed periods into one
+   firing and re-arms strictly after the clock. *)
+let test_interval_catch_up () =
+  let w = W.create () in
+  ignore (W.arm w ~now:0 ~after_ns:10_000 ~interval_ns:10_000 () : int);
+  let fires = ref 0 in
+  W.advance w ~now:95_000 ~fire:(fun ~id:_ () -> incr fires);
+  check int "missed periods collapse into one firing" 1 !fires;
+  check int "still armed" 1 (W.armed w);
+  (match W.next_expiry w with
+  | Some d ->
+      (* a bucket deadline: a lower bound in (now, true expiry] *)
+      check bool
+        (Printf.sprintf "re-arm bound %d in (95000, 100000]" d)
+        true
+        (d > 95_000 && d <= 100_000)
+  | None -> Alcotest.fail "interval timer lost");
+  W.advance w ~now:100_000 ~fire:(fun ~id:_ () -> incr fires);
+  check int "fires again on schedule" 2 !fires
+
+(* armed is a maintained counter, not a scan: it must track arm / fire /
+   disarm exactly (the kernel exposes it as armed_timer_count and the
+   bench derives expired-timer totals from it). *)
+let test_armed_count_tracks () =
+  let w = W.create () in
+  let ids =
+    List.init 100 (fun i ->
+        W.arm w ~now:0 ~after_ns:(1 + (i * 37 mod 5_000)) ~interval_ns:0 ())
+  in
+  check int "all armed" 100 (W.armed w);
+  List.iteri
+    (fun i id -> if i mod 3 = 0 then ignore (W.disarm w id : bool))
+    ids;
+  let disarmed = (100 + 2) / 3 in
+  check int "disarms tracked" (100 - disarmed) (W.armed w);
+  W.advance w ~now:5_001 ~fire:(fun ~id:_ () -> ());
+  check int "fires tracked" 0 (W.armed w);
+  check int "peak saw the full population" 100 (W.peak_armed w)
+
+let suite =
+  [
+    ( "vm.timer_wheel",
+      [
+        QCheck_alcotest.to_alcotest prop_model;
+        tc "same-tick order" test_same_tick_order;
+        tc "same-tick cascade merge" test_same_tick_cascade_merge;
+        tc "kernel same-tick collapse" test_kernel_same_tick_collapse;
+        tc "far-future convergence" test_far_future_convergence;
+        tc "interval catch-up" test_interval_catch_up;
+        tc "armed count" test_armed_count_tracks;
+      ] );
+  ]
