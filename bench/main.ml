@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- --sched-smoke F -- budgeted scaling rows
                                               with a 2x regression gate (CI)
      sections: table1 table2 table3 table4 figure5 obs perverted ablation
-               scaling sched timers ada shared blockingio wall *)
+               scaling sched timers sanitize ada shared blockingio wall *)
 
 open Pthreads
 module Sigset = Vm.Sigset
@@ -948,6 +948,82 @@ let timers () =
     timer_counts
 
 (* ------------------------------------------------------------------ *)
+(* Sanitizer overhead: ns/dispatch with the monitor on vs off           *)
+(* ------------------------------------------------------------------ *)
+
+type san_row = {
+  xr_threads : int;
+  xr_ns_off : float;
+  xr_ns_on : float;
+  xr_overhead : float;  (** on / off *)
+}
+
+(* Every thread rounds through lock-own-mutex / unlock / yield, so each
+   measured dispatch carries one acquire+release through the sanitizer
+   hook when the monitor is attached: hold tracking, a lock-order edge
+   probe and a clock publish.  Per-thread mutexes keep the vector clocks
+   O(1) each — under a single shared lock every clock genuinely grows to
+   O(N), which is a property of vector-clock detection, not a harness
+   artifact.  Same steady-state window methodology as [sched_latency]. *)
+let san_latency ~sanitize n_threads =
+  Gc.compact ();
+  let rounds = max 8 (1_000_000 / n_threads) in
+  let t0 = ref 0.0 and t1 = ref 0.0 in
+  let seen = ref 0 and lo = ref max_int and hi = ref max_int in
+  let eng =
+    Pthread.make_proc (fun proc ->
+        let ts =
+          List.init n_threads (fun _ ->
+              Pthread.create proc (fun () ->
+                  let m = Mutex.create proc () in
+                  for _ = 1 to rounds do
+                    Mutex.lock proc m;
+                    Mutex.unlock proc m;
+                    Pthread.yield proc
+                  done;
+                  0))
+        in
+        (* round 1 allocates every fiber stack; measure from round 2 with
+           all N threads live to round [rounds - 1] (none torn down) *)
+        lo := 2 * n_threads;
+        hi := (rounds - 1) * n_threads;
+        List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+        0)
+  in
+  let mon = if sanitize then Some (Sanitize.Monitor.attach eng) else None in
+  Engine.add_switch_hook eng (fun _ ->
+      let d = !seen in
+      seen := d + 1;
+      if d = !lo then t0 := Unix.gettimeofday ()
+      else if d = !hi then t1 := Unix.gettimeofday ());
+  Pthread.start eng;
+  (match mon with
+  | Some m ->
+      (* the workload is race- and inversion-free; findings would mean
+         the monitor itself is broken *)
+      if not (Sanitize.Report.is_clean (Sanitize.Monitor.report m)) then
+        failwith "sanitizer flagged the overhead harness"
+  | None -> ());
+  (!t1 -. !t0) /. float_of_int (!hi - !lo) *. 1e9
+
+let san_overhead n_threads =
+  let off = san_latency ~sanitize:false n_threads in
+  let on = san_latency ~sanitize:true n_threads in
+  { xr_threads = n_threads; xr_ns_off = off; xr_ns_on = on;
+    xr_overhead = on /. off }
+
+let san_thread_counts = [ 1_000; 100_000 ]
+
+let pp_san_row r =
+  Printf.printf
+    "threads %7d: %8.1f ns/dispatch off  %8.1f ns/dispatch on  (%.2fx)\n%!"
+    r.xr_threads r.xr_ns_off r.xr_ns_on r.xr_overhead
+
+let sanitize_section () =
+  sep "Sanitizer overhead: ns/dispatch, monitor off vs on (budget <= 2x)";
+  List.iter (fun n -> pp_san_row (san_overhead n)) san_thread_counts
+
+(* ------------------------------------------------------------------ *)
 (* JSON output: Table 2 metrics + scheduler scaling                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1016,6 +1092,19 @@ let write_json file =
            r.tr_peak_armed r.tr_cascades
            (if i = n_tcounts - 1 then "" else ",")))
     timer_counts;
+  Buffer.add_string buf "  ],\n  \"sanitize\": [\n";
+  let n_scounts = List.length san_thread_counts in
+  List.iteri
+    (fun i n ->
+      let r = san_overhead n in
+      pp_san_row r;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"threads\": %d, \"ns_per_dispatch_off\": %.1f, \
+            \"ns_per_dispatch_on\": %.1f, \"overhead\": %.2f}%s\n"
+           r.xr_threads r.xr_ns_off r.xr_ns_on r.xr_overhead
+           (if i = n_scounts - 1 then "" else ",")))
+    san_thread_counts;
   Buffer.add_string buf "  ],\n  \"obs\": ";
   Buffer.add_string buf (obs_json ());
   Buffer.add_string buf "\n}\n";
@@ -1259,6 +1348,7 @@ let () =
   if want "scaling" then scaling ();
   if want "sched" then sched ();
   if want "timers" then timers ();
+  if want "sanitize" then sanitize_section ();
   if want "ada" then ada ();
   if want "shared" then shared ();
   if want "blockingio" then blockingio ();

@@ -56,9 +56,15 @@ let soak_suite () =
   | Some dir ->
       List.iter
         (fun (f : Fault.Soak.failure) ->
-          write_fault_file dir
-            (Printf.sprintf "%s-seed%d" f.f_scenario f.f_seed)
-            f.f_plan)
+          let base = Printf.sprintf "%s-seed%d" f.f_scenario f.f_seed in
+          write_fault_file dir base f.f_plan;
+          (* the sanitizer's view of the shrunk run rides along *)
+          match f.f_san with
+          | Some r ->
+              let path = Filename.concat dir (base ^ ".san") in
+              Sanitize.Report.to_file path r;
+              Printf.printf "  wrote %s\n" path
+          | None -> ())
         report.r_failures
   | None -> ());
   Printf.printf "BENCH_soak: %s\n" (Fault.Soak.json_of_report report);
@@ -113,7 +119,16 @@ let hunt () =
                 | None -> "no failure");
               exit 1));
       (match out_dir with
-      | Some dir -> write_fault_file dir "no-predicate-loop" shrunk
+      | Some dir ->
+          write_fault_file dir "no-predicate-loop" shrunk;
+          (* the sanitizer's predictive view of the same shrunk run *)
+          let _, _, _, san = Fault.Soak.run_full ~mk shrunk in
+          (match san with
+          | Some r ->
+              let path = Filename.concat dir "no-predicate-loop.san" in
+              Sanitize.Report.to_file path r;
+              Printf.printf "  wrote %s\n" path
+          | None -> ())
       | None -> ());
       (match golden_dir with
       | Some dir -> write_fault_file dir "no_predicate_loop" shrunk

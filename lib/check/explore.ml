@@ -54,7 +54,12 @@ let default_config =
     fail_on_nonzero_exit = true;
   }
 
-let touch eng id = Engine.touch eng (Engine.key_user id)
+(* A bare [touch] is conservatively a write: it marks "this step may
+   mutate user object [id]", which is what both the explorer's dependence
+   relation and the sanitizer's race detector need to stay sound. *)
+let touch eng id = Engine.touch_rw eng (Engine.key_user id) ~write:true
+let touch_read eng id = Engine.touch_rw eng (Engine.key_user id) ~write:false
+let touch_write eng id = Engine.touch_rw eng (Engine.key_user id) ~write:true
 
 (* ------------------------------------------------------------------ *)
 (* Executing one run                                                   *)

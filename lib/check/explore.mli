@@ -80,6 +80,14 @@ val touch : Pthreads.Types.engine -> int -> unit
 (** Annotate the current step as touching user object [id].  Needed when a
     racy interaction goes through plain OCaml state the library cannot see
     (e.g. a shared flag); without the annotation DPOR may soundly skip the
-    racing interleavings of those steps. *)
+    racing interleavings of those steps.  Conservatively treated as a
+    write by both the explorer and the sanitizer. *)
+
+val touch_read : Pthreads.Types.engine -> int -> unit
+val touch_write : Pthreads.Types.engine -> int -> unit
+(** Read/write-precise variants of {!touch}.  The explorer's dependence
+    relation ignores the distinction (same footprint key), so schedules
+    and golden [.sched] files are unaffected; the sanitizer
+    ([Sanitize.Monitor]) uses it to avoid flagging read–read sharing. *)
 
 val pp_stats : Format.formatter -> stats -> unit

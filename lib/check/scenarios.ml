@@ -104,10 +104,10 @@ let racy_counter =
             (* read / reschedule / write: the classic lost update.  The
                counter is invisible to the library, so the race is
                declared with [Explore.touch]. *)
-            Explore.touch proc 1;
+            Explore.touch_read proc 1;
             let v = !counter in
             Pthread.checkpoint proc;
-            Explore.touch proc 1;
+            Explore.touch_write proc 1;
             counter := v + 1;
             0)
       in

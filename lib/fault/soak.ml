@@ -6,6 +6,7 @@ type config = {
   budget : int;
   kinds : Plan.kinds;
   check_invariants : bool;
+  sanitize : bool;
 }
 
 let default_config =
@@ -14,6 +15,7 @@ let default_config =
     budget = 6;
     kinds = Plan.safe_kinds;
     check_invariants = true;
+    sanitize = true;
   }
 
 type failure = {
@@ -22,6 +24,7 @@ type failure = {
   f_kind : E.failure_kind;
   f_plan : Plan.t;
   f_first_plan : Plan.t;
+  f_san : Sanitize.Report.t option;
 }
 
 type report = {
@@ -35,7 +38,7 @@ type report = {
 let main_status eng =
   match Engine.find_thread eng 0 with Some t -> t.Types.retval | None -> None
 
-let run_one ?(check_invariants = true) ~mk (plan : Plan.t) =
+let run_full ?(check_invariants = true) ?(sanitize = true) ~mk (plan : Plan.t) =
   let eng = mk () in
   (* The first invariant violation wins regardless of how the run ends:
      injected faults routinely push a broken program into a secondary
@@ -48,6 +51,7 @@ let run_one ?(check_invariants = true) ~mk (plan : Plan.t) =
       | Some v -> violation := Some v
       | None -> ()
   in
+  let mon = if sanitize then Some (Sanitize.Monitor.attach eng) else None in
   let inj = Inject.install ~on_point eng plan in
   let outcome =
     try
@@ -68,11 +72,27 @@ let run_one ?(check_invariants = true) ~mk (plan : Plan.t) =
     | Some v -> Some (E.Invariant_violated v)
     | None -> outcome
   in
-  (outcome, Inject.points inj, Inject.injected inj)
+  let san = Option.map Sanitize.Monitor.report mon in
+  (* Predictive findings count as failures in their own right: a soak run
+     that completes cleanly but exhibits a race or a lock-order cycle is a
+     bug found, same as an invariant violation. *)
+  let outcome =
+    match (outcome, san) with
+    | None, Some r when not (Sanitize.Report.is_clean r) ->
+        Some (E.Invariant_violated ("sanitizer: " ^ Sanitize.Report.summary r))
+    | o, _ -> o
+  in
+  (outcome, Inject.points inj, Inject.injected inj, san)
 
-let shrink ?(check_invariants = true) ~mk (plan0 : Plan.t) =
+let run_one ?check_invariants ?sanitize ~mk (plan : Plan.t) =
+  let outcome, points, injected, _ =
+    run_full ?check_invariants ?sanitize ~mk plan
+  in
+  (outcome, points, injected)
+
+let shrink ?(check_invariants = true) ?sanitize ~mk (plan0 : Plan.t) =
   let fails p =
-    match run_one ~check_invariants ~mk p with
+    match run_one ~check_invariants ?sanitize ~mk p with
     | Some _, _, _ -> true
     | None, _, _ -> false
   in
@@ -100,12 +120,21 @@ let shrink ?(check_invariants = true) ~mk (plan0 : Plan.t) =
       else incr i
     done
   done;
-  match run_one ~check_invariants ~mk !cur with
+  match run_one ~check_invariants ?sanitize ~mk !cur with
   | Some kind, _, _ -> (!cur, kind)
   | None, _, _ ->
       (* cannot happen: [cur] failed on its last [fails] check and runs
          are deterministic *)
       assert false
+
+(* The sanitizer report of a (shrunk) failing plan, for the [.san]
+   artifact: [None] when sanitizing is off or the monitored re-run found
+   nothing (e.g. a pure invariant failure). *)
+let san_of_plan ~check_invariants ~mk plan =
+  let _, _, _, san = run_full ~check_invariants ~sanitize:true ~mk plan in
+  match san with
+  | Some r when not (Sanitize.Report.is_clean r) -> Some r
+  | Some _ | None -> None
 
 let soak ?(config = default_config) (scenarios : Check.Scenarios.t list) =
   let failures = ref [] in
@@ -115,7 +144,10 @@ let soak ?(config = default_config) (scenarios : Check.Scenarios.t list) =
     (fun (s : Check.Scenarios.t) ->
       let mk = s.Check.Scenarios.make in
       let check_invariants = config.check_invariants in
-      let base_outcome, base_points, _ = run_one ~check_invariants ~mk [] in
+      let sanitize = config.sanitize in
+      let base_outcome, base_points, _ =
+        run_one ~check_invariants ~sanitize ~mk []
+      in
       incr runs;
       points := !points + base_points;
       match base_outcome with
@@ -129,6 +161,9 @@ let soak ?(config = default_config) (scenarios : Check.Scenarios.t list) =
               f_kind = kind;
               f_plan = [];
               f_first_plan = [];
+              f_san =
+                (if sanitize then san_of_plan ~check_invariants ~mk []
+                 else None);
             }
       | None ->
           List.iter
@@ -137,14 +172,16 @@ let soak ?(config = default_config) (scenarios : Check.Scenarios.t list) =
                 Plan.random ~seed ~points:base_points ~budget:config.budget
                   config.kinds
               in
-              let outcome, pts, inj = run_one ~check_invariants ~mk plan in
+              let outcome, pts, inj =
+                run_one ~check_invariants ~sanitize ~mk plan
+              in
               incr runs;
               points := !points + pts;
               injected := !injected + inj;
               match outcome with
               | None -> ()
               | Some _ ->
-                  let shrunk, kind = shrink ~check_invariants ~mk plan in
+                  let shrunk, kind = shrink ~check_invariants ~sanitize ~mk plan in
                   record
                     {
                       f_scenario = s.Check.Scenarios.name;
@@ -152,6 +189,10 @@ let soak ?(config = default_config) (scenarios : Check.Scenarios.t list) =
                       f_kind = kind;
                       f_plan = shrunk;
                       f_first_plan = plan;
+                      f_san =
+                        (if sanitize then
+                           san_of_plan ~check_invariants ~mk shrunk
+                         else None);
                     })
             config.seeds)
     scenarios;
@@ -177,10 +218,12 @@ let default_suite =
 
 let json_of_failure f =
   Printf.sprintf
-    "{\"scenario\": %S, \"seed\": %d, \"kind\": %S, \"injections\": %d}"
+    "{\"scenario\": %S, \"seed\": %d, \"kind\": %S, \"injections\": %d, \
+     \"san\": %S}"
     f.f_scenario f.f_seed
     (E.failure_kind_to_string f.f_kind)
     (Plan.length f.f_plan)
+    (match f.f_san with Some r -> Sanitize.Report.summary r | None -> "clean")
 
 let json_of_report r =
   Printf.sprintf

@@ -14,10 +14,15 @@ type config = {
   kinds : Plan.kinds;
   check_invariants : bool;
       (** assert [Check.Invariant] at every fault point (and finally) *)
+  sanitize : bool;
+      (** run every execution under [Sanitize.Monitor]: races, lock-order
+          cycles and held-at-exit leaks are reported alongside invariant
+          failures, and failing plans carry a [.san]-able report *)
 }
 
 val default_config : config
-(** Seeds 1–10, budget 6, {!Plan.safe_kinds}, invariants on. *)
+(** Seeds 1–10, budget 6, {!Plan.safe_kinds}, invariants and sanitizer
+    on. *)
 
 type failure = {
   f_scenario : string;
@@ -25,6 +30,9 @@ type failure = {
   f_kind : Check.Explore.failure_kind;
   f_plan : Plan.t;  (** minimal shrunk plan *)
   f_first_plan : Plan.t;  (** the plan as first discovered *)
+  f_san : Sanitize.Report.t option;
+      (** sanitizer findings of the shrunk run, when any — written next to
+          the [.fault] artifact as a [.san] file by the demo/CI *)
 }
 
 type report = {
@@ -37,16 +45,29 @@ type report = {
 
 val run_one :
   ?check_invariants:bool ->
+  ?sanitize:bool ->
   mk:(unit -> Pthreads.Types.engine) ->
   Plan.t ->
   Check.Explore.failure_kind option * int * int
 (** Execute one fresh program under one plan; returns
     [(outcome, points, injected)].  Deterministic: same [mk], same plan,
     same outcome — this is the replay primitive for [.fault] golden
-    files. *)
+    files.  With [sanitize] (default [true]) the run is monitored and
+    predictive findings surface as an [Invariant_violated
+    "sanitizer: ..."] outcome. *)
+
+val run_full :
+  ?check_invariants:bool ->
+  ?sanitize:bool ->
+  mk:(unit -> Pthreads.Types.engine) ->
+  Plan.t ->
+  Check.Explore.failure_kind option * int * int * Sanitize.Report.t option
+(** Like {!run_one} but also returns the sanitizer report of the run
+    ([None] only when [sanitize:false]). *)
 
 val shrink :
   ?check_invariants:bool ->
+  ?sanitize:bool ->
   mk:(unit -> Pthreads.Types.engine) ->
   Plan.t ->
   Plan.t * Check.Explore.failure_kind

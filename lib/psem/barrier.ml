@@ -36,9 +36,22 @@ let wait proc b =
       Serial
     end
     else begin
-      while b.cycle = my_cycle do
-        ignore (Cond.wait proc b.released b.m : Cond.wait_result)
-      done;
+      (* [Cond.wait] reacquires [b.m] before acting on a cancellation, so
+         a cancelled party would otherwise exit holding the mutex AND
+         leave [arrived] counting it forever — every later cycle of the
+         barrier would then release one arrival early (or hang waiting
+         for a ghost).  Retract the arrival only if our own cycle is
+         still open; once the cycle completed, the count was already
+         reset.  (Explicit try/with, not [Fun.protect]: the caller must
+         see the original exception.) *)
+      (try
+         while b.cycle = my_cycle do
+           ignore (Cond.wait proc b.released b.m : Cond.wait_result)
+         done
+       with e ->
+         if b.cycle = my_cycle then b.arrived <- b.arrived - 1;
+         Mutex.unlock proc b.m;
+         raise e);
       Waited
     end
   in

@@ -1,9 +1,12 @@
 module Pthread = Pthreads.Pthread
 module Mutex = Pthreads.Mutex
 module Cond = Pthreads.Cond
+module Engine = Pthreads.Engine
 module Types = Pthreads.Types
 
 type t = {
+  key : int;  (** sanitizer lock-order identity ([Engine.key_lock]) *)
+  lname : string;
   m : Types.mutex;
   readable : Types.cond;  (** no writer active and none waiting *)
   writable : Types.cond;  (** no readers and no writer active *)
@@ -14,6 +17,8 @@ type t = {
 
 let create proc ?(name = "rwlock") () =
   {
+    key = Engine.key_lock (Engine.fresh_obj_id proc);
+    lname = name;
     m = Mutex.create proc ~name:(name ^ ".m") ();
     readable = Cond.create proc ~name:(name ^ ".r") ();
     writable = Cond.create proc ~name:(name ^ ".w") ();
@@ -22,21 +27,44 @@ let create proc ?(name = "rwlock") () =
     waiting_writers = 0;
   }
 
+(* Sanitizer annotations: the rwlock participates in the lock-order graph
+   as its own node, in the mode it was taken in.  Acquisitions are
+   announced only after the internal mutex is dropped — while [l.m] is
+   held the rwlock is not yet (or no longer) logically owned, and
+   announcing under [l.m] would draw a false [l.m] -> rwlock edge closing
+   a spurious cycle with the real rwlock -> [l.m] edge of the unlock
+   path. *)
+let announce_acquire proc l ~excl =
+  Engine.san_acquire proc l.key ~name:l.lname ~excl
+
+let announce_release proc l = Engine.san_release proc l.key
+
 let read_ok l = l.active_writer = None && l.waiting_writers = 0
 
 let read_lock proc l =
   Mutex.lock proc l.m;
-  while not (read_ok l) do
-    ignore (Cond.wait proc l.readable l.m : Cond.wait_result)
-  done;
+  (* [Cond.wait] reacquires the mutex before acting on a cancellation, so
+     a cancelled reader would otherwise exit still holding [l.m] — the
+     same blocked-waiter leak class as the writer path below.  (Explicit
+     try/with, not [Fun.protect]: the caller must see the original
+     exception, not a [Finally_raised] wrapper.) *)
+  (try
+     while not (read_ok l) do
+       ignore (Cond.wait proc l.readable l.m : Cond.wait_result)
+     done
+   with e ->
+     Mutex.unlock proc l.m;
+     raise e);
   l.active_readers <- l.active_readers + 1;
-  Mutex.unlock proc l.m
+  Mutex.unlock proc l.m;
+  announce_acquire proc l ~excl:false
 
 let try_read_lock proc l =
   Mutex.lock proc l.m;
   let ok = read_ok l in
   if ok then l.active_readers <- l.active_readers + 1;
   Mutex.unlock proc l.m;
+  if ok then announce_acquire proc l ~excl:false;
   ok
 
 let read_unlock proc l =
@@ -47,7 +75,8 @@ let read_unlock proc l =
   end;
   l.active_readers <- l.active_readers - 1;
   if l.active_readers = 0 then Cond.signal proc l.writable;
-  Mutex.unlock proc l.m
+  Mutex.unlock proc l.m;
+  announce_release proc l
 
 let write_ok l = l.active_writer = None && l.active_readers = 0
 
@@ -72,13 +101,15 @@ let write_lock proc l =
      raise e);
   l.waiting_writers <- l.waiting_writers - 1;
   l.active_writer <- Some (Pthread.self proc);
-  Mutex.unlock proc l.m
+  Mutex.unlock proc l.m;
+  announce_acquire proc l ~excl:true
 
 let try_write_lock proc l =
   Mutex.lock proc l.m;
   let ok = write_ok l in
   if ok then l.active_writer <- Some (Pthread.self proc);
   Mutex.unlock proc l.m;
+  if ok then announce_acquire proc l ~excl:true;
   ok
 
 let write_unlock proc l =
@@ -91,7 +122,8 @@ let write_unlock proc l =
   (* writers first (writer preference), else wake all readers *)
   if l.waiting_writers > 0 then Cond.signal proc l.writable
   else Cond.broadcast proc l.readable;
-  Mutex.unlock proc l.m
+  Mutex.unlock proc l.m;
+  announce_release proc l
 
 let readers l = l.active_readers
 let writer_tid l = l.active_writer

@@ -55,6 +55,10 @@ let wait_internal eng c m ~deadline =
   | Some id -> Unix_kernel.disarm_timer eng.vm id
   | None -> ());
   self.wait_deadline <- no_deadline;
+  (* A signaled wake carries the signaler's happens-before edge: join the
+     clock published at the cond.  Spurious and timed-out wakes carry no
+     edge — only the mutex reacquisition below orders them. *)
+  if wake = Wake_normal then Engine.san_merge eng (Engine.key_cond c.c_id);
   (* Reacquire before any handler runs (the wrapper's first action). *)
   Mutex.lock_after_wait eng m;
   Engine.drain_fake_calls eng;
@@ -75,6 +79,7 @@ let timed_wait eng c m ~deadline_ns =
 let signal eng c =
   Engine.checkpoint eng;
   Engine.touch eng (Engine.key_cond c.c_id);
+  Engine.san_publish eng (Engine.key_cond c.c_id);
   Engine.enter_kernel eng;
   Engine.charge eng Costs.cond_op;
   (match Wait_queue.peek_highest c.c_waiters with
@@ -88,6 +93,7 @@ let signal eng c =
 let broadcast eng c =
   Engine.checkpoint eng;
   Engine.touch eng (Engine.key_cond c.c_id);
+  Engine.san_publish eng (Engine.key_cond c.c_id);
   Engine.enter_kernel eng;
   Engine.charge eng Costs.cond_op;
   (* the whole burst is one kernel-flag round: each waiter is made ready

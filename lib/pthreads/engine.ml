@@ -49,11 +49,17 @@ let key_kind_cond = 2
 let key_kind_thread = 3
 let key_kind_signal = 4
 let key_kind_user = 5
+let key_kind_lock = 6
+let key_kind_sem = 7
 let key_mutex id = (key_kind_mutex lsl 24) lor id
 let key_cond id = (key_kind_cond lsl 24) lor id
 let key_thread tid = (key_kind_thread lsl 24) lor tid
 let key_signal s = (key_kind_signal lsl 24) lor s
 let key_user id = (key_kind_user lsl 24) lor (id land 0xFFFFFF)
+let key_lock id = (key_kind_lock lsl 24) lor id
+let key_sem id = (key_kind_sem lsl 24) lor id
+
+let key_kind k = k lsr 24
 
 let key_to_string k =
   let id = k land 0xFFFFFF in
@@ -63,7 +69,24 @@ let key_to_string k =
   | 3 -> Printf.sprintf "thread:%d" id
   | 4 -> Printf.sprintf "signal:%d" id
   | 5 -> Printf.sprintf "user:%d" id
+  | 6 -> Printf.sprintf "lock:%d" id
+  | 7 -> Printf.sprintf "sem:%d" id
   | _ -> Printf.sprintf "key:%x" k
+
+let key_of_string s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+      let id = int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) in
+      match (String.sub s 0 i, id) with
+      | "mutex", Some id -> Some (key_mutex id)
+      | "cond", Some id -> Some (key_cond id)
+      | "thread", Some id -> Some (key_thread id)
+      | "signal", Some id -> Some (key_signal id)
+      | "user", Some id -> Some (key_user id)
+      | "lock", Some id -> Some (key_lock id)
+      | "sem", Some id -> Some (key_sem id)
+      | _ -> None)
 
 let exploring eng = eng.explore_hook <> None
 
@@ -77,6 +100,44 @@ let take_touched eng =
   ks
 
 let set_explore_hook eng h = eng.explore_hook <- h
+
+(* Sanitizer events.  Each emitter matches on the hook itself so the
+   hook-off path allocates nothing — these sit on the lock/unlock fast
+   paths of every program, sanitized or not. *)
+
+let set_san_hook eng h = eng.san_hook <- h
+
+let san_access eng key ~write =
+  match eng.san_hook with
+  | None -> ()
+  | Some h -> h (San_access { a_key = key; a_write = write })
+
+let san_acquire eng key ~name ~excl =
+  match eng.san_hook with
+  | None -> ()
+  | Some h -> h (San_acquire { q_key = key; q_name = name; q_excl = excl })
+
+let san_release eng key =
+  match eng.san_hook with
+  | None -> ()
+  | Some h -> h (San_release { r_key = key })
+
+let san_publish eng key =
+  match eng.san_hook with
+  | None -> ()
+  | Some h -> h (San_publish { p_key = key })
+
+let san_merge eng key =
+  match eng.san_hook with
+  | None -> ()
+  | Some h -> h (San_merge { g_key = key })
+
+(* Footprint touch that also carries the read/write kind through to the
+   sanitizer: the explorer keeps its flat key list (dependence needs no
+   access kind beyond the key), the race detector gets the precise event. *)
+let touch_rw eng key ~write =
+  touch eng key;
+  san_access eng key ~write
 
 (* ------------------------------------------------------------------ *)
 (* The thread table: every live (or unjoined) thread, as an intrusive    *)
@@ -855,6 +916,9 @@ let register_thread eng t =
   thread_table_add eng t;
   eng.live_count <- eng.live_count + 1;
   eng.n_created <- eng.n_created + 1;
+  (match eng.san_hook with
+  | None -> ()
+  | Some h -> h (San_create { c_child = t.tid }));
   trace eng t (Trace.Thread_create t.tname);
   charge eng Costs.create_thread;
   match t.state with
@@ -906,6 +970,7 @@ let finish_current eng status =
   t.retval <- Some status;
   t.state <- Terminated;
   eng.live_count <- eng.live_count - 1;
+  (match eng.san_hook with None -> () | Some h -> h San_exit);
   trace eng t Trace.Thread_exit;
   if t.owned <> [] then trace eng t (Trace.Note "terminated while holding mutexes");
   (* all joiners wake at once: one preemption test for the burst *)
@@ -1204,6 +1269,7 @@ let make ?clock cfg ~main =
       all_conds = [];
       fault_hook = None;
       n_faults_injected = 0;
+      san_hook = None;
     }
   in
   (* Library initialization: a universal handler for all maskable UNIX

@@ -261,7 +261,56 @@ val key_user : int -> int
     data a critical section protects lets the explorer see dependencies
     through plain [ref]s that the library cannot observe. *)
 
+val key_lock : int -> int
+(** Footprint key for a user-level lock built on top of the library
+    ([Psem.Rwlock]): participates in the sanitizer's lock-order graph and
+    held-sets without being a kernel mutex. *)
+
+val key_sem : int -> int
+(** Footprint key for a counting semaphore ([Psem.Semaphore]).  The
+    sanitizer applies relaxed ownership rules to this kind: a wait is an
+    acquisition, a post by the holder a release, and a re-wait evicts the
+    stale hold rather than reporting a self-cycle. *)
+
+val key_kind : int -> int
+(** The kind byte of a footprint key (1 = mutex, 2 = cond, 3 = thread,
+    4 = signal, 5 = user, 6 = lock, 7 = sem). *)
+
 val key_to_string : int -> string
+
+val key_of_string : string -> int option
+(** Inverse of {!key_to_string} for the kinds it prints symbolically. *)
+
+(** {1:san Sanitizer events}
+
+    The hook-based event stream feeding [Sanitize.Monitor]: every
+    synchronization action (acquire, release, signal→wake edge, create,
+    join, exit, annotated data access) is delivered synchronously from the
+    thread performing it.  Unlike the explorer footprint this works on any
+    run — no exploration hook required — so a single production schedule
+    can be checked for races and lock-order cycles. *)
+
+val set_san_hook : engine -> (san_event -> unit) option -> unit
+(** Install (or clear) the sanitizer event hook.  The hook is a pure
+    observer called from inside the kernel: it must not block, dispatch,
+    or mutate scheduling state. *)
+
+val san_access : engine -> int -> write:bool -> unit
+(** Emit an annotated shared-data access (no explorer footprint). *)
+
+val san_acquire : engine -> int -> name:string -> excl:bool -> unit
+(** Emit a lock acquisition by the current thread ([excl:false] = shared
+    mode, e.g. an rwlock read side).  For library-level locks ([Psem]);
+    kernel mutexes emit their own events. *)
+
+val san_release : engine -> int -> unit
+val san_publish : engine -> int -> unit
+val san_merge : engine -> int -> unit
+
+val touch_rw : engine -> int -> write:bool -> unit
+(** [touch] plus a sanitizer access event carrying the read/write kind:
+    the annotation entry point shared by the explorer and the race
+    detector ([Check.Explore.touch_read]/[touch_write]). *)
 
 (** {1 Statistics} *)
 

@@ -51,6 +51,7 @@ let on_acquired eng m =
   let self = Engine.current eng in
   self.owned <- m :: self.owned;
   m.m_locks <- m.m_locks + 1;
+  Engine.san_acquire eng (Engine.key_mutex m.m_id) ~name:m.m_name ~excl:true;
   Engine.trace eng self (Trace.Mutex_lock m.m_name);
   (match m.m_protocol with
   | Ceiling_protocol ->
@@ -164,6 +165,7 @@ let do_unlock eng m ~dispatching =
     raise (Error (Errno.EPERM, "Mutex.unlock: " ^ m.m_name ^ " not held by caller"));
   Engine.charge eng Costs.mutex_fast_unlock;
   self.owned <- List.filter (fun x -> x != m) self.owned;
+  Engine.san_release eng (Engine.key_mutex m.m_id);
   Engine.trace eng self (Trace.Mutex_unlock m.m_name);
   (* Uncontended releases stay out of the kernel whenever the protocol does
      not require touching priorities: always for plain mutexes, and for

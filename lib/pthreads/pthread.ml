@@ -128,6 +128,9 @@ let join eng tid =
         let status =
           match t.retval with Some s -> s | None -> assert false
         in
+        (match eng.san_hook with
+        | None -> ()
+        | Some h -> h (San_join { j_target = t.tid }));
         Engine.reap_thread eng t;
         Engine.leave_kernel eng;
         Engine.drain_fake_calls eng;

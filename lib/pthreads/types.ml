@@ -298,6 +298,33 @@ type sleep_heap = {
   mutable sh_len : int;
 }
 
+(** Synchronization events consumed by the concurrency sanitizer
+    ([lib/sanitize]).  Unlike [explore_touched] — which is recorded only
+    while an explorer hook is installed — these are delivered to an
+    always-on-capable hook, so a single production run can feed race and
+    lock-order analysis.  The current thread and virtual time are implicit:
+    every event is emitted synchronously from the thread it describes. *)
+type san_event =
+  | San_access of { a_key : int; a_write : bool }
+      (** annotated shared-data access (footprint key, see
+          [Engine.key_user]) *)
+  | San_acquire of { q_key : int; q_name : string; q_excl : bool }
+      (** a lock-like object was acquired; [q_excl = false] for shared
+          (rwlock read) mode.  Emitted after the acquisition succeeds. *)
+  | San_release of { r_key : int }
+      (** a lock-like object was released by the current thread *)
+  | San_publish of { p_key : int }
+      (** release-side of a non-lock happens-before edge (cond signal /
+          broadcast): the current thread's clock becomes visible at key *)
+  | San_merge of { g_key : int }
+      (** acquire-side of that edge: a woken waiter joins the clock
+          published at key *)
+  | San_create of { c_child : int }
+      (** the current thread created thread [c_child] *)
+  | San_join of { j_target : int }
+      (** the current thread joined terminated thread [j_target] *)
+  | San_exit  (** the current thread is terminating *)
+
 type engine = {
   vm : Unix_kernel.t;
   heap : Heap.t;
@@ -365,6 +392,11 @@ type engine = {
           them. *)
   mutable n_faults_injected : int;
       (** count of faults actually applied by the injection primitives *)
+  mutable san_hook : (san_event -> unit) option;
+      (** installed by the concurrency sanitizer ([Sanitize.Monitor]):
+          receives every synchronization event as it happens.  Must not
+          block, dispatch, or touch engine scheduling state — it is a pure
+          observer called from inside the kernel. *)
 }
 
 (** The single scheduling effect: performed by a thread to return control to

@@ -1,0 +1,47 @@
+(* Sparse vector clocks.
+
+   A clock maps thread ids to event counters; absent entries are zero.
+   Sparseness matters more than asymptotics here: the scheduler scales to
+   10^5+ threads, so a dense array per thread would turn attachment of the
+   sanitizer into an O(threads^2) memory bill.  A thread that only ever
+   synchronizes with a handful of peers keeps a handful of entries. *)
+
+type t = (int, int) Hashtbl.t
+
+let create () : t = Hashtbl.create 4
+let get (c : t) tid = match Hashtbl.find_opt c tid with Some v -> v | None -> 0
+let set (c : t) tid v = Hashtbl.replace c tid v
+
+let tick (c : t) tid =
+  let v = get c tid + 1 in
+  Hashtbl.replace c tid v;
+  v
+
+let copy (c : t) : t = Hashtbl.copy c
+
+(* [join into from]: pointwise maximum, mutating [into].  Cost is the size
+   of [from], so merging a small clock into a large accumulator stays
+   cheap (the join-all-children pattern in [Pthread.join] loops). *)
+let join (into : t) (from : t) =
+  Hashtbl.iter
+    (fun tid v -> if v > get into tid then Hashtbl.replace into tid v)
+    from
+
+(* [leq a b]: does every event in [a] happen before-or-at [b]?  Iterates
+   [a] only. *)
+let leq (a : t) (b : t) =
+  try
+    Hashtbl.iter (fun tid v -> if v > get b tid then raise Exit) a;
+    true
+  with Exit -> false
+
+let size (c : t) = Hashtbl.length c
+
+let to_list (c : t) =
+  Hashtbl.fold (fun tid v acc -> (tid, v) :: acc) c []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+
+let pp ppf c =
+  Format.fprintf ppf "{%s}"
+    (String.concat ","
+       (List.map (fun (t, v) -> Printf.sprintf "%d:%d" t v) (to_list c)))

@@ -1,0 +1,32 @@
+(** Sparse vector clocks for the race detector.
+
+    A clock maps thread ids to event counters (absent = 0).  Sparse so
+    that attaching the sanitizer to a 10^5-thread run costs memory
+    proportional to actual synchronization, not to the thread count. *)
+
+type t
+
+val create : unit -> t
+(** The zero clock. *)
+
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+val tick : t -> int -> int
+(** Increment the component for a thread; returns the new value. *)
+
+val copy : t -> t
+
+val join : t -> t -> unit
+(** [join into from] mutates [into] to the pointwise maximum.  Cost is
+    proportional to the size of [from]. *)
+
+val leq : t -> t -> bool
+(** [leq a b]: every component of [a] is [<=] the one in [b] — i.e. the
+    events summarized by [a] all happen before (or at) [b]. *)
+
+val size : t -> int
+val to_list : t -> (int * int) list
+(** Sorted by thread id. *)
+
+val pp : Format.formatter -> t -> unit

@@ -136,6 +136,54 @@ let test_bounded_buffer () =
          0));
   ()
 
+(* A waiter canceled while blocked inside [Semaphore.wait] must not leak
+   the internal lock: [Cond.wait] reacquires it before acting on the
+   cancellation, so without an unwind the dead waiter would hold it
+   forever and every later operation on the semaphore would hang.  Sweep
+   a cancellation over every fault point of the run — wherever it lands,
+   the program must still terminate cleanly.  (Same sweep as the rwlock
+   writer-cancel test; [Fault.Soak.run_one] also keeps the sanitizer on,
+   so a leaked hold would additionally surface as a finding.) *)
+let test_sem_cancel_no_leak () =
+  let mk () =
+    Pthread.make_proc (fun proc ->
+        (* a cancel the modulo aims at main must pend, not kill the
+           harness *)
+        ignore (Cancel.set_state proc Types.Cancel_disabled : Types.cancel_state);
+        let s = Semaphore.create proc ~name:"s" 0 in
+        let w =
+          Pthread.create proc
+            ~attr:(Attr.with_name "waiter" Attr.default)
+            (fun () ->
+              Semaphore.wait proc s;
+              0)
+        in
+        Pthread.delay proc ~ns:50_000 (* let the waiter block *);
+        Semaphore.post proc s;
+        ignore (Pthread.join proc w);
+        (* a leaked internal lock would block these forever; the count is
+           1 if the waiter died before consuming the post, 0 if it got
+           through — either way one more V/P pair must go straight
+           through *)
+        Semaphore.post proc s;
+        Semaphore.wait proc s;
+        0)
+  in
+  let _, points, _ = Fault.Soak.run_one ~mk [] in
+  check bool "fault points exist" true (points > 0);
+  let injected_total = ref 0 in
+  for p = 0 to points - 1 do
+    let plan = [ { Fault.Plan.at = p; act = Fault.Plan.Cancel 1 } ] in
+    let outcome, _, injected = Fault.Soak.run_one ~mk plan in
+    injected_total := !injected_total + injected;
+    match outcome with
+    | None -> ()
+    | Some k ->
+        Alcotest.failf "cancel at fault point %d: %s" p
+          (Check.Explore.failure_kind_to_string k)
+  done;
+  check bool "some cancels were injected" true (!injected_total > 0)
+
 let suite =
   [
     ( "semaphore",
@@ -147,5 +195,6 @@ let suite =
         tc "ping-pong" test_pingpong;
         tc "never negative (perverted)" test_value_never_negative;
         tc "bounded buffer" test_bounded_buffer;
+        tc "canceled waiter leaks nothing" test_sem_cancel_no_leak;
       ] );
   ]

@@ -257,6 +257,75 @@ let test_rw_writer_cancel_no_leak () =
   done;
   check bool "some cancels were injected" true (!injected_total > 0)
 
+(* A party canceled while parked at a barrier must retract its arrival
+   and release the barrier mutex; without the unwind, every later cycle
+   either releases one early (counting the ghost) or hangs, and the
+   leaked mutex deadlocks the next arrival.  Sweep a cancellation over
+   every fault point.  The harness must stay deadlock-free whether the
+   victim dies before arriving, while parked, or after its cycle already
+   completed — so main never guesses from the victim's exit status
+   (a pending cancel can still kill it on the way out of a completed
+   cycle); it joins the victim first, then watches the barrier: a lone
+   stranded arrival can only be the partner, and main fills in for the
+   dead victim. *)
+let test_barrier_cancel_no_leak () =
+  let mk () =
+    Pthread.make_proc (fun proc ->
+        ignore (Cancel.set_state proc Types.Cancel_disabled : Types.cancel_state);
+        let b = Barrier.create proc 2 in
+        let partner_done = ref false in
+        let victim =
+          Pthread.create proc
+            ~attr:(Attr.with_name "victim" Attr.default)
+            (fun () ->
+              ignore (Barrier.wait proc b : Barrier.outcome);
+              0)
+        in
+        let partner =
+          Pthread.create proc
+            ~attr:(Attr.with_name "partner" Attr.default)
+            (fun () ->
+              ignore
+                (Cancel.set_state proc Types.Cancel_disabled
+                  : Types.cancel_state);
+              Pthread.delay proc ~ns:100_000;
+              ignore (Barrier.wait proc b : Barrier.outcome);
+              partner_done := true;
+              0)
+        in
+        ignore (Pthread.join proc victim);
+        (* victim's fate is settled; if its arrival was retracted the
+           partner strands alone and main pairs with it *)
+        let rec settle () =
+          if not !partner_done then
+            if Barrier.waiting b = 1 then begin
+              ignore (Barrier.wait proc b : Barrier.outcome);
+              settle ()
+            end
+            else begin
+              Pthread.delay proc ~ns:20_000;
+              settle ()
+            end
+        in
+        settle ();
+        ignore (Pthread.join proc partner);
+        0)
+  in
+  let _, points, _ = Fault.Soak.run_one ~mk [] in
+  check bool "fault points exist" true (points > 0);
+  let injected_total = ref 0 in
+  for p = 0 to points - 1 do
+    let plan = [ { Fault.Plan.at = p; act = Fault.Plan.Cancel 1 } ] in
+    let outcome, _, injected = Fault.Soak.run_one ~mk plan in
+    injected_total := !injected_total + injected;
+    match outcome with
+    | None -> ()
+    | Some k ->
+        Alcotest.failf "cancel at fault point %d: %s" p
+          (Check.Explore.failure_kind_to_string k)
+  done;
+  check bool "some cancels were injected" true (!injected_total > 0)
+
 let test_barrier_invalid () =
   ignore
     (run_main (fun proc ->
@@ -294,6 +363,7 @@ let suite =
         tc "releases all" test_barrier_releases_all;
         tc "cyclic" test_barrier_cyclic;
         tc "invalid" test_barrier_invalid;
+        tc "canceled party leaks nothing" test_barrier_cancel_no_leak;
         tc "single party" test_barrier_single_party;
       ] );
   ]

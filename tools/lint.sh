@@ -1,0 +1,40 @@
+#!/bin/sh
+# Repo lint: interface discipline and known footguns.  Run from anywhere;
+# exits non-zero with one line per violation.
+set -u
+cd "$(dirname "$0")/.."
+fail=0
+
+# 1. Every module under lib/ carries an interface.  The allowlist is the
+#    deliberate exceptions: pure-constant tables and type-only modules
+#    whose full signature IS the implementation.
+allow="lib/pthreads/costs.ml lib/pthreads/import.ml lib/pthreads/types.ml"
+for f in lib/*/*.ml; do
+  case " $allow " in *" $f "*) continue ;; esac
+  if [ ! -f "${f%.ml}.mli" ]; then
+    echo "lint: $f has no interface (.mli) — add one or allowlist it in tools/lint.sh" >&2
+    fail=1
+  fi
+done
+
+# 2. No Obj.magic anywhere in the library tree.
+if grep -rn --include='*.ml' --include='*.mli' 'Obj\.magic' lib/ >&2; then
+  echo "lint: Obj.magic is banned in lib/" >&2
+  fail=1
+fi
+
+# 3. No polymorphic comparison on TCBs.  The queue sentinels close the
+#    TCB graph into cycles, so structural (=)/(<>) against them loops or
+#    lies; the queues are defined over physical identity (==)/(!=).
+#    Record-field initializers ("q_next = nil_tcb;") are the one legal
+#    structural-looking form and are filtered out.
+hits=$(grep -rnE --include='*.ml' '(=|<>)[[:space:]]*(nil_tcb|nil_pq)' lib/pthreads/ |
+  grep -vE '=[[:space:]]*(nil_tcb|nil_pq)[[:space:]]*([;}].*)?$' |
+  grep -vE '(==|!=)[[:space:]]*(nil_tcb|nil_pq)')
+if [ -n "$hits" ]; then
+  printf '%s\n' "$hits" >&2
+  echo "lint: structural compare against nil_tcb/nil_pq in lib/pthreads — use (==)/(!=)" >&2
+  fail=1
+fi
+
+exit $fail
