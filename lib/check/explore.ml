@@ -27,12 +27,15 @@ type failure = {
   first_schedule : Schedule.t;
 }
 
+type exhaustion = { ex_frontier : int; ex_cut_runs : int }
+
 type stats = {
   runs : int;
   steps : int;
   max_depth : int;
   pruned : int;
   complete : bool;
+  exhausted : exhaustion option;
 }
 
 type result = { failure : failure option; stats : stats }
@@ -221,56 +224,109 @@ let replay ?(config = default_config) mk sched =
   (kind, List.length steps, diverged)
 
 (* ------------------------------------------------------------------ *)
+(* Sampler-facing single runs                                          *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = Ok_run | Failed of failure_kind | Cut_run
+
+let outcome_of_run_end = function
+  | Completed | Pruned -> Ok_run
+  | Failed_run k -> Failed k
+  | Cut -> Cut_run
+
+let run_once ?(config = default_config) ~pick mk =
+  let cfg = { config with sleep_sets = false } in
+  let pick ctx = pick ~k:ctx.pc_k ~enabled:ctx.pc_enabled ~prev:ctx.pc_prev in
+  let steps, outcome = exec ~mk ~cfg ~pick () in
+  (schedule_of steps, outcome_of_run_end outcome)
+
+let force ?(config = default_config) ~strict mk (sched : Schedule.t) =
+  let steps, outcome, diverged = run_forced ~config mk sched ~strict in
+  (schedule_of steps, outcome_of_run_end outcome, diverged)
+
+(* ------------------------------------------------------------------ *)
 (* Shrinking                                                           *)
 (* ------------------------------------------------------------------ *)
 
 (* A failing run is reproduced by forcing its full decision list; shorter
    prefixes (with the deterministic default policy filling the tail) often
-   still fail.  Find the shortest failing prefix by binary search, then try
-   dropping individual decisions, and finally re-record the complete
-   decision list of the shrunk run so the emitted schedule replays without
-   any reliance on the default policy. *)
+   still fail.  Find the shortest failing prefix by binary search, then
+   drop individual decisions greedily until no single removal still fails,
+   and finally re-record the complete decision list of the shrunk run so
+   the emitted schedule replays without any reliance on the default
+   policy.  The two passes are exposed as pure functions over an abstract
+   failing predicate so samplers (and tests) can reuse them. *)
 
-let shrink ~cfg ~mk kind0 (full : Schedule.t) =
-  let fails (prefix : Schedule.t) =
+module Shrink = struct
+  let prefix_search ~fails (full : int array) =
+    if Array.length full = 0 then full
+    else begin
+      let sub l = Array.sub full 0 l in
+      let lo = ref 0 and hi = ref (Array.length full) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if fails (sub mid) then hi := mid else lo := mid + 1
+      done;
+      (* failure depth need not be monotone in the prefix length; verify
+         the binary-search answer and fall back to the full list *)
+      if fails (sub !lo) then sub !lo else full
+    end
+
+  let splice_pass ~fails (a : int array) =
+    let cur = ref a in
+    let i = ref (Array.length a - 1) in
+    while !i >= 0 do
+      let p = !cur in
+      if !i < Array.length p then begin
+        let cand =
+          Array.append (Array.sub p 0 !i)
+            (Array.sub p (!i + 1) (Array.length p - !i - 1))
+        in
+        if fails cand then cur := cand
+      end;
+      decr i
+    done;
+    !cur
+
+  let splice ~fails a =
+    (* to a fixpoint: a pass that removes nothing proves the result is
+       minimal under single-element removal *)
+    let cur = ref a in
+    let again = ref true in
+    while !again do
+      let next = splice_pass ~fails !cur in
+      if Array.length next = Array.length !cur then again := false;
+      cur := next
+    done;
+    !cur
+
+  let minimize ~fails full = splice ~fails (prefix_search ~fails full)
+end
+
+let shrink_failure ?(config = default_config) ?fails mk kind0
+    (full : Schedule.t) =
+  let cfg = { config with sleep_sets = false } in
+  let default_fails (prefix : Schedule.t) =
     match run_forced ~config:cfg mk prefix ~strict:true with
     | _, Failed_run _, None -> true
     | _ -> false
   in
-  let sub a l = Array.sub a 0 l in
-  let lo = ref 0 and hi = ref (Array.length full) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if fails (sub full mid) then hi := mid else lo := mid + 1
-  done;
-  let prefix =
-    (* failure depth need not be monotone in the prefix length; verify the
-       binary-search answer and fall back to the full list *)
-    if fails (sub full !lo) then sub full !lo else full
-  in
-  let prefix = ref prefix in
-  (* greedy pass: drop single decisions (the rest of the schedule usually
-     diverges, but when it does not the counterexample gets shorter) *)
-  let i = ref (Array.length !prefix - 1) in
-  while !i >= 0 do
-    let cand =
-      Array.append (Array.sub !prefix 0 !i)
-        (Array.sub !prefix (!i + 1) (Array.length !prefix - !i - 1))
-    in
-    if fails cand then prefix := cand;
-    decr i
-  done;
-  match run_forced ~config:cfg mk !prefix ~strict:true with
-  | steps, Failed_run kind, None -> (kind, schedule_of steps)
-  | _ -> (kind0, full) (* cannot happen: [prefix] was just verified *)
+  let fails = match fails with Some f -> f | None -> default_fails in
+  if Array.length full = 0 then
+    { kind = kind0; schedule = full; first_schedule = full }
+  else
+    let minimal = Shrink.minimize ~fails full in
+    match run_forced ~config:cfg mk minimal ~strict:true with
+    | steps, Failed_run kind, None ->
+        { kind; schedule = schedule_of steps; first_schedule = full }
+    | steps, (Completed | Pruned | Cut), None ->
+        (* a custom [fails] (e.g. a sanitizer verdict) can hold on a run
+           that completes cleanly; keep the caller's kind *)
+        { kind = kind0; schedule = schedule_of steps; first_schedule = full }
+    | _ -> { kind = kind0; schedule = minimal; first_schedule = full }
 
 let make_failure ~cfg ~mk kind steps =
-  let first_schedule = schedule_of steps in
-  if Array.length first_schedule = 0 then
-    { kind; schedule = first_schedule; first_schedule }
-  else
-    let kind', schedule = shrink ~cfg ~mk kind first_schedule in
-    { kind = kind'; schedule; first_schedule }
+  shrink_failure ~config:cfg mk kind (schedule_of steps)
 
 (* ------------------------------------------------------------------ *)
 (* Systematic exploration (DPOR + sleep sets)                          *)
@@ -297,7 +353,8 @@ let run ?(config = default_config) mk =
   let prefix_len = ref 0 in
   let runs = ref 0 and total_steps = ref 0 in
   let max_depth = ref 0 and pruned = ref 0 in
-  let incomplete = ref false in
+  let cut = ref 0 in
+  let budget_stopped = ref false in
   let failure = ref None in
   let pick ctx =
     if ctx.pc_k < !prefix_len then begin
@@ -399,7 +456,7 @@ let run ?(config = default_config) mk =
     go (!len - 1)
   in
   let rec driver () =
-    if !runs >= cfg.max_runs then incomplete := true
+    if !runs >= cfg.max_runs then budget_stopped := true
     else begin
       incr runs;
       let steps, outcome = exec ~mk ~cfg ~pick () in
@@ -412,11 +469,27 @@ let run ?(config = default_config) mk =
       | Failed_run kind -> failure := Some (make_failure ~cfg ~mk kind steps)
       | Completed | Pruned | Cut ->
           if outcome = Pruned then incr pruned;
-          if outcome = Cut then incomplete := true;
+          if outcome = Cut then incr cut;
           if select () then driver ()
     end
   in
   driver ();
+  (* structured budget-exhaustion report: count the backtrack points the
+     race analysis demanded but the run budget never let us explore.  When
+     the budget stopped us, [select] had already marked one pending choice
+     done without running it (and with [max_runs = 0] nothing ran at all) —
+     either way that is one more unexplored frontier point. *)
+  let frontier =
+    Hashtbl.fold
+      (fun _ c acc -> acc + IntSet.cardinal (IntSet.diff c.c_backtrack c.c_done))
+      tbl 0
+    + (if !budget_stopped then 1 else 0)
+  in
+  let exhausted =
+    if frontier > 0 || !cut > 0 then
+      Some { ex_frontier = frontier; ex_cut_runs = !cut }
+    else None
+  in
   {
     failure = !failure;
     stats =
@@ -425,7 +498,108 @@ let run ?(config = default_config) mk =
         steps = !total_steps;
         max_depth = !max_depth;
         pruned = !pruned;
-        complete = (not !incomplete) && !failure = None;
+        complete = exhausted = None && !failure = None;
+        exhausted;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Parallel exploration (frontier batches across domains)              *)
+(* ------------------------------------------------------------------ *)
+
+(* The work-queue protocol lives in {!Frontier}; this driver owns the
+   budget, the statistics and the failure.  Each batch is executed with
+   [Frontier.parallel_map] — every worker replays its decision prefix
+   against a private engine built by [mk], seeding its sleep set from the
+   item's snapshot — and merged back *sequentially, in batch order*, so
+   the whole exploration (schedule set, counterexample, stats) is a pure
+   function of the program, independent of the domain count. *)
+
+let run_parallel ?(config = default_config) ?record ~domains mk =
+  if domains < 1 then invalid_arg "Explore.run_parallel: domains must be >= 1";
+  let cfg = config in
+  let fr = Frontier.create ~dpor:cfg.dpor in
+  let runs = ref 0 and total_steps = ref 0 in
+  let max_depth = ref 0 and pruned = ref 0 and cut = ref 0 in
+  let failure = ref None in
+  let exec_item it =
+    let prefix = Frontier.prefix it in
+    let plen = Array.length prefix in
+    let pick ctx =
+      if ctx.pc_k < plen then begin
+        (* siblings explored earlier go to sleep for this branch; a branch
+           whose own choice is already asleep is redundant *)
+        if cfg.sleep_sets then
+          List.iter
+            (fun (t, f) -> ctx.pc_sleep_add t f)
+            (Frontier.sleep_at it ctx.pc_k);
+        let c = prefix.(ctx.pc_k) in
+        if not (List.mem c ctx.pc_enabled) then
+          invalid_arg
+            "Explore: program is not deterministic (forced choice not \
+             enabled)";
+        if ctx.pc_sleeping c then raise Prune_run;
+        c
+      end
+      else default_pick ctx
+    in
+    exec ~mk ~cfg ~pick ()
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    let budget = cfg.max_runs - !runs in
+    if budget <= 0 || Frontier.pending fr = 0 || !failure <> None then
+      continue_ := false
+    else begin
+      let batch = Frontier.take_batch fr ~max:budget in
+      let results = Frontier.parallel_map ~domains exec_item batch in
+      Array.iter
+        (fun (steps, run_end) ->
+          (* merge in batch order; the first failure (in that order) wins
+             and later batch members are discarded, exactly as with one
+             domain *)
+          if !failure = None then begin
+            incr runs;
+            let n = List.length steps in
+            total_steps := !total_steps + n;
+            if n > !max_depth then max_depth := n;
+            (match record with Some f -> f (schedule_of steps) | None -> ());
+            Frontier.integrate fr
+              (Array.of_list
+                 (List.map
+                    (fun (s : step) ->
+                      {
+                        Frontier.fs_enabled = s.st_enabled;
+                        fs_chosen = s.st_chosen;
+                        fs_foot = s.st_foot;
+                      })
+                    steps));
+            match run_end with
+            | Failed_run kind ->
+                failure := Some (make_failure ~cfg ~mk kind steps)
+            | Pruned -> incr pruned
+            | Cut -> incr cut
+            | Completed -> ()
+          end)
+        results
+    end
+  done;
+  let frontier = Frontier.pending fr in
+  let exhausted =
+    if frontier > 0 || !cut > 0 then
+      Some { ex_frontier = frontier; ex_cut_runs = !cut }
+    else None
+  in
+  {
+    failure = !failure;
+    stats =
+      {
+        runs = !runs;
+        steps = !total_steps;
+        max_depth = !max_depth;
+        pruned = !pruned;
+        complete = exhausted = None && !failure = None;
+        exhausted;
       };
   }
 
@@ -437,7 +611,7 @@ let sample ?(config = default_config) ?(runs = 100) ~seed mk =
   let master = Rng.create seed in
   let total_steps = ref 0 and max_depth = ref 0 in
   let failure = ref None in
-  let done_runs = ref 0 in
+  let done_runs = ref 0 and cut = ref 0 in
   let cfg = { config with sleep_sets = false } in
   (try
      for i = 0 to runs - 1 do
@@ -455,7 +629,8 @@ let sample ?(config = default_config) ?(runs = 100) ~seed mk =
        | Failed_run kind ->
            failure := Some (make_failure ~cfg ~mk kind steps);
            raise Exit
-       | Completed | Pruned | Cut -> ()
+       | Cut -> incr cut
+       | Completed | Pruned -> ()
      done
    with Exit -> ());
   {
@@ -467,12 +642,21 @@ let sample ?(config = default_config) ?(runs = 100) ~seed mk =
         max_depth = !max_depth;
         pruned = 0;
         complete = false;
+        (* sampling never claims exhaustiveness; it has no frontier *)
+        exhausted = Some { ex_frontier = 0; ex_cut_runs = !cut };
       };
   }
 
 let pp_stats ppf s =
-  Format.fprintf ppf
-    "%d run%s (%d pruned), %d steps, deepest %d, %s" s.runs
+  Format.fprintf ppf "%d run%s (%d pruned), %d steps, deepest %d, %s" s.runs
     (if s.runs = 1 then "" else "s")
     s.pruned s.steps s.max_depth
-    (if s.complete then "exhaustive" else "not exhaustive")
+    (match (s.complete, s.exhausted) with
+    | true, _ -> "exhaustive"
+    | false, Some e when e.ex_frontier > 0 || e.ex_cut_runs > 0 ->
+        Printf.sprintf "not exhaustive (%d frontier point%s left, %d run%s cut)"
+          e.ex_frontier
+          (if e.ex_frontier = 1 then "" else "s")
+          e.ex_cut_runs
+          (if e.ex_cut_runs = 1 then "" else "s")
+    | false, _ -> "not exhaustive")

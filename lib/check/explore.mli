@@ -9,9 +9,14 @@
     {!run} enumerates interleavings depth-first, pruned with dynamic
     partial-order reduction (persistent/backtrack sets in the style of
     Flanagan–Godefroid, keyed on the objects each step touches) plus sleep
-    sets.  {!sample} random-walks instead, for state spaces too large to
-    exhaust.  Both check {!Invariant} at every decision point and shrink
-    any failing schedule to a minimal replayable counterexample. *)
+    sets.  {!run_parallel} performs the same reduction but distributes the
+    frontier of backtrack points across OCaml domains (see {!Frontier}),
+    with a deterministic batch-merge so results are independent of the
+    domain count.  {!sample} random-walks instead, for state spaces too
+    large to exhaust; {!Sample} (the sibling module) adds PCT priority
+    scheduling with a detection-probability bound.  All modes check
+    {!Invariant} at every decision point and shrink any failing schedule
+    to a minimal replayable counterexample. *)
 
 type failure_kind =
   | Deadlocked of string  (** the dispatcher found no runnable thread *)
@@ -28,12 +33,24 @@ type failure = {
   first_schedule : Schedule.t;  (** the schedule as first discovered *)
 }
 
+type exhaustion = {
+  ex_frontier : int;
+      (** backtrack points demanded by the race analysis but never
+          explored because the run budget ran out *)
+  ex_cut_runs : int;  (** runs truncated by the per-run step budget *)
+}
+(** Structured account of why an exploration was not exhaustive. *)
+
 type stats = {
   runs : int;  (** schedules executed (including pruned/shrinking ones) *)
   steps : int;  (** total scheduling decisions taken *)
   max_depth : int;  (** longest run, in decisions *)
   pruned : int;  (** runs cut short by sleep sets *)
   complete : bool;  (** state space exhausted (no failure, no budget cut) *)
+  exhausted : exhaustion option;
+      (** [Some _] iff a budget truncated exploration: how much frontier
+          was left and how many runs were cut.  Always [Some _] for
+          sampling modes, [None] for an exhaustive or failing run. *)
 }
 
 type result = { failure : failure option; stats : stats }
@@ -54,6 +71,27 @@ val run : ?config:config -> (unit -> Pthreads.Types.engine) -> result
     a failure is found, or the budget runs out.  [mk] is called once per
     run and must build a fresh, not-yet-started process each time. *)
 
+val run_parallel :
+  ?config:config ->
+  ?record:(Schedule.t -> unit) ->
+  domains:int ->
+  (unit -> Pthreads.Types.engine) ->
+  result
+(** [run_parallel ~domains mk] — DPOR exploration with the frontier of
+    backtrack points distributed over [domains] OCaml domains.  Each
+    worker replays a decision prefix against a private engine (no engine
+    state is shared), and completed runs are merged back in deterministic
+    batch order, so the explored schedule set, the counterexample and the
+    statistics are identical for every [domains] value — parallelism buys
+    wall-clock speed only.  [record] is called once per executed run, on
+    the coordinating domain, with the run's complete decision list.
+    [domains = 1] degenerates to batch-sequential exploration.  Raises
+    [Invalid_argument] if [domains < 1].
+
+    The traversal order differs from {!run}'s depth-first order, so on a
+    budget-truncated exploration the two drivers may cover different
+    subsets; on an unbounded budget both find a failure iff one exists. *)
+
 val sample :
   ?config:config ->
   ?runs:int ->
@@ -62,7 +100,74 @@ val sample :
   result
 (** Random-walk sampling: [runs] independent runs, each choosing uniformly
     among the ready threads with a stream forked from [seed].  Stops at the
-    first failure; [stats.complete] is always [false]. *)
+    first failure; [stats.complete] is always [false].  Prefer {!Sample},
+    which adds PCT scheduling, sanitizer integration and a report. *)
+
+(** {2 Sampler-facing primitives}
+
+    Building blocks used by {!Sample} and by direct tests: run one
+    schedule under a caller-supplied policy, force a recorded schedule,
+    and minimize a failing decision list. *)
+
+type outcome =
+  | Ok_run  (** ran to completion (or was pruned) without failing *)
+  | Failed of failure_kind
+  | Cut_run  (** exceeded the per-run step budget *)
+
+val run_once :
+  ?config:config ->
+  pick:(k:int -> enabled:int list -> prev:int option -> int) ->
+  (unit -> Pthreads.Types.engine) ->
+  Schedule.t * outcome
+(** One run under policy [pick] ([k] = decision index, [enabled] = ready
+    tids in creation order, [prev] = previously dispatched tid).  Returns
+    the complete decision list actually taken and the outcome.  Sleep sets
+    are disabled: a sampled run never prunes. *)
+
+val force :
+  ?config:config ->
+  strict:bool ->
+  (unit -> Pthreads.Types.engine) ->
+  Schedule.t ->
+  Schedule.t * outcome * int option
+(** Re-execute a recorded schedule.  With [~strict:true] the run is
+    abandoned at the first decision that is no longer enabled (returned as
+    [([||], Ok_run, Some k)]); with [~strict:false] the default policy
+    fills in and the first divergence index is reported.  The returned
+    schedule is the complete decision list of the forced run (the input
+    plus any default-policy tail). *)
+
+(** Pure shrinking passes over an abstract failing predicate.  [fails]
+    must be deterministic; it is typically [force ~strict:true] composed
+    with an outcome check. *)
+module Shrink : sig
+  val prefix_search : fails:(int array -> bool) -> int array -> int array
+  (** Shortest failing prefix by binary search.  Failure depth need not be
+      monotone in prefix length, so the answer is verified and the full
+      list returned when verification fails.  Requires [fails full]. *)
+
+  val splice : fails:(int array -> bool) -> int array -> int array
+  (** Greedy single-element removal to a fixpoint: the result still
+      satisfies [fails] and is 1-minimal (no single further removal
+      does). *)
+
+  val minimize : fails:(int array -> bool) -> int array -> int array
+  (** [splice] after [prefix_search]. *)
+end
+
+val shrink_failure :
+  ?config:config ->
+  ?fails:(Schedule.t -> bool) ->
+  (unit -> Pthreads.Types.engine) ->
+  failure_kind ->
+  Schedule.t ->
+  failure
+(** Shrink a failing decision list to a minimal counterexample and
+    re-record its complete schedule.  The default [fails] forces a prefix
+    strictly and checks that it fails {e somehow}; pass a custom [fails]
+    when the verdict lives outside the run outcome (e.g. a sanitizer
+    report).  The failure [kind] is re-read from the shrunk run when it
+    fails directly, else the supplied kind is kept. *)
 
 val replay :
   ?config:config ->

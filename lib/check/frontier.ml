@@ -1,0 +1,230 @@
+(* Work-sharing infrastructure for parallel DPOR.
+
+   The parallel driver in [Explore.run_parallel] proceeds in *batches*: it
+   drains the queue of frontier items (forced decision prefixes), executes
+   every item of the batch on a pool of OCaml domains — each worker replays
+   its prefix against a private engine built by the scenario's [mk], so no
+   engine state is shared and no engine-internal locking exists — and then
+   merges the resulting runs back into the tree here, sequentially, in
+   batch order.  All tree mutation happens in [integrate] on the
+   coordinating domain; workers only read the immutable item handed to
+   them.  Batch composition and merge order are therefore independent of
+   the domain count and of worker timing, which is what makes
+   [--domains 1/2/4] produce identical schedule sets, identical
+   counterexamples and identical statistics.
+
+   Compared to the sequential depth-first driver in [Explore.run], the
+   tree is materialized (a trie of nodes rather than one current path) and
+   a demanded backtrack point becomes a queued item the moment the race
+   analysis discovers it, carrying a snapshot of the sleep-set seeds its
+   replay needs.  Siblings whose first run has not been merged yet have no
+   recorded footprint and are simply not put to sleep — weaker pruning
+   than strict DFS order, never an unsound schedule skip. *)
+
+module IntSet = Set.Make (Int)
+
+type foot = int list
+(** a step's footprint: the object keys it touched, as in [Explore] *)
+
+type step = { fs_enabled : int list; fs_chosen : int; fs_foot : foot }
+
+type node = {
+  n_enabled : int list;  (** ready tids at this point, creation order *)
+  mutable n_backtrack : IntSet.t;  (** choices the race analysis demands *)
+  mutable n_done : IntSet.t;  (** choices executed {e or already queued} *)
+  n_foot : (int, foot) Hashtbl.t;  (** choice -> its step's footprint *)
+  n_rank : (int, int) Hashtbl.t;
+      (** choice -> exploration rank, assigned when first done-marked (in
+          deterministic merge order).  Sleep sets must be {e asymmetric}:
+          a branch may only sleep strictly lower-ranked siblings.
+          Otherwise two sibling subtrees can sleep each other — c's item
+          snapshots d, and items of d's subtree enqueued after c's merge
+          snapshot c — and a whole trace class is pruned from both. *)
+  mutable n_next_rank : int;
+  n_children : (int, node) Hashtbl.t;
+}
+
+type item = {
+  it_prefix : int array;  (** forced choices, root to branch point *)
+  it_sleep : (int * foot) list array;
+      (** per prefix depth: siblings (with footprints) to put to sleep
+          before taking the forced choice — the snapshot taken when the
+          item was enqueued *)
+}
+
+type t = {
+  dpor : bool;
+  mutable root : node option;
+  queue : item Queue.t;
+}
+
+let create ~dpor =
+  let t = { dpor; root = None; queue = Queue.create () } in
+  Queue.add { it_prefix = [||]; it_sleep = [||] } t.queue;
+  t
+
+let pending t = Queue.length t.queue
+
+let take_batch t ~max:m =
+  let n = min m (Queue.length t.queue) in
+  Array.init n (fun _ -> Queue.pop t.queue)
+
+let prefix it = it.it_prefix
+let sleep_at it k = it.it_sleep.(k)
+
+let new_node ~dpor enabled =
+  {
+    n_enabled = enabled;
+    n_backtrack = (if dpor then IntSet.empty else IntSet.of_list enabled);
+    n_done = IntSet.empty;
+    n_foot = Hashtbl.create 4;
+    n_rank = Hashtbl.create 4;
+    n_next_rank = 0;
+    n_children = Hashtbl.create 4;
+  }
+
+let mark_done node c =
+  if not (IntSet.mem c node.n_done) then begin
+    node.n_done <- IntSet.add c node.n_done;
+    Hashtbl.replace node.n_rank c node.n_next_rank;
+    node.n_next_rank <- node.n_next_rank + 1
+  end
+
+(* Sleep candidates for taking [c] at [node]: strictly lower-ranked
+   siblings whose footprints are on record.  Rank order is the frontier
+   analogue of DFS sibling order — it keeps the sleep relation asymmetric
+   (see [n_rank]), so every pruned run is covered by a live lower-ranked
+   subtree, by the usual well-founded descent.  A lower-ranked sibling
+   whose first run has not been merged yet has no footprint and is simply
+   skipped: weaker pruning, never an unsound schedule skip.  IntSet folds
+   in ascending order, so the snapshot is deterministic. *)
+let sleep_of node c =
+  let rc = try Hashtbl.find node.n_rank c with Not_found -> max_int in
+  List.rev
+    (IntSet.fold
+       (fun d acc ->
+         if d = c || Hashtbl.find node.n_rank d >= rc then acc
+         else
+           match Hashtbl.find_opt node.n_foot d with
+           | Some f -> (d, f) :: acc
+           | None -> acc)
+       node.n_done [])
+
+let integrate t (steps : step array) =
+  let len = Array.length steps in
+  if len > 0 then begin
+    (* 1. extend the tree along the run's path *)
+    let nodes = Array.make len (new_node ~dpor:t.dpor []) in
+    let parent = ref None in
+    Array.iteri
+      (fun k s ->
+        let node =
+          match !parent with
+          | None -> (
+              match t.root with
+              | Some r -> r
+              | None ->
+                  let r = new_node ~dpor:t.dpor s.fs_enabled in
+                  t.root <- Some r;
+                  r)
+          | Some (p, choice) -> (
+              match Hashtbl.find_opt p.n_children choice with
+              | Some n -> n
+              | None ->
+                  let n = new_node ~dpor:t.dpor s.fs_enabled in
+                  Hashtbl.replace p.n_children choice n;
+                  n)
+        in
+        if node.n_enabled <> s.fs_enabled then
+          invalid_arg
+            "Frontier: program is not deterministic (enabled sets differ \
+             on a shared prefix)";
+        (* the step under a fixed prefix is deterministic, so re-recording
+           the footprint on a later run through this node is idempotent *)
+        Hashtbl.replace node.n_foot s.fs_chosen s.fs_foot;
+        mark_done node s.fs_chosen;
+        nodes.(k) <- node;
+        parent := Some (node, s.fs_chosen))
+      steps;
+    (* 2. demand new branches.  A choice enters [n_done] the moment its
+       item is enqueued (the sequential driver does the same at [select]
+       time), so a point is enqueued exactly once. *)
+    let enqueue i c =
+      let node = nodes.(i) in
+      node.n_backtrack <- IntSet.add c node.n_backtrack;
+      if not (IntSet.mem c node.n_done) then begin
+        mark_done node c;
+        let pre =
+          Array.init (i + 1) (fun k ->
+              if k = i then c else steps.(k).fs_chosen)
+        in
+        let slp = Array.init (i + 1) (fun k -> sleep_of nodes.(k) pre.(k)) in
+        Queue.add { it_prefix = pre; it_sleep = slp } t.queue
+      end
+    in
+    if t.dpor then begin
+      (* Flanagan–Godefroid backtrack updates, the same analysis as the
+         sequential driver: for each step, the last earlier dependent step
+         by another thread is a race; demand the later thread at the
+         earlier point (or, if it was not enabled there, everything that
+         was). *)
+      let last : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      Array.iteri
+        (fun j (s : step) ->
+          let keys = Pthreads.Engine.key_thread s.fs_chosen :: s.fs_foot in
+          let race =
+            List.fold_left
+              (fun acc key ->
+                match Hashtbl.find_opt last key with
+                | Some i when steps.(i).fs_chosen <> s.fs_chosen -> (
+                    match acc with Some a when a >= i -> acc | _ -> Some i)
+                | _ -> acc)
+              None keys
+          in
+          (match race with
+          | Some i ->
+              if List.mem s.fs_chosen nodes.(i).n_enabled then
+                enqueue i s.fs_chosen
+              else List.iter (enqueue i) nodes.(i).n_enabled
+          | None -> ());
+          List.iter (fun key -> Hashtbl.replace last key j) keys)
+        steps
+    end
+    else
+      (* full enumeration: every sibling of every step is a branch *)
+      Array.iteri
+        (fun k (s : step) ->
+          List.iter
+            (fun c -> if c <> s.fs_chosen then enqueue k c)
+            s.fs_enabled)
+        steps
+  end
+
+let parallel_map ~domains f (xs : 'a array) =
+  let n = Array.length xs in
+  let out = Array.make n None in
+  if domains <= 1 || n <= 1 then
+    Array.iteri (fun i x -> out.(i) <- Some (f x)) xs
+  else begin
+    (* one shared cursor; distinct result slots, so no locking needed *)
+    let idx = Atomic.make 0 in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add idx 1 in
+        if i >= n then continue_ := false else out.(i) <- Some (f xs.(i))
+      done
+    in
+    let spawned = List.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
+    let main_exn = (try worker (); None with e -> Some e) in
+    (* join everything before re-raising, or failed workers leak *)
+    let worker_exns =
+      List.filter_map
+        (fun d -> try Domain.join d; None with e -> Some e)
+        spawned
+    in
+    match (main_exn, worker_exns) with
+    | Some e, _ | None, e :: _ -> raise e
+    | None, [] -> ()
+  end;
+  Array.map (function Some v -> v | None -> assert false) out

@@ -1,0 +1,62 @@
+(** Work-sharing infrastructure for parallel DPOR: the materialized
+    exploration tree, the queue of frontier items (forced decision
+    prefixes with sleep-set snapshots), and the domain fan-out primitive.
+
+    The protocol, driven by [Explore.run_parallel]: the coordinator drains
+    the queue into a batch, {!parallel_map} executes every item on a pool
+    of domains (each worker replays its prefix against a {e private}
+    engine, so nothing engine-internal is shared), and {!integrate} merges
+    the resulting runs back into the tree {e sequentially, in batch
+    order}.  Batch composition and merge order are independent of the
+    domain count, so the explored schedule set, the counterexample and the
+    statistics are identical for any [--domains] value. *)
+
+type foot = int list
+(** A step's footprint: the object keys it touched (see
+    [Pthreads.Engine.touch_rw]). *)
+
+type step = { fs_enabled : int list; fs_chosen : int; fs_foot : foot }
+(** One scheduling decision of an executed run, as recorded by
+    [Explore]. *)
+
+type t
+(** The exploration tree plus the pending-item queue. *)
+
+type item
+(** A frontier item: a decision prefix to replay, with the sleep-set
+    seeds snapshot taken when the item was enqueued. *)
+
+val create : dpor:bool -> t
+(** A fresh tree whose queue holds the single empty-prefix item.  With
+    [~dpor:false], {!integrate} demands {e every} sibling at every step
+    (full enumeration) instead of only race-demanded ones. *)
+
+val pending : t -> int
+(** Items enqueued but not yet executed — the frontier remaining when a
+    budget cuts exploration short. *)
+
+val take_batch : t -> max:int -> item array
+(** Dequeue up to [max] items, FIFO. *)
+
+val prefix : item -> int array
+(** The forced choices, root to branch point. *)
+
+val sleep_at : item -> int -> (int * foot) list
+(** [sleep_at it k] — the siblings (tid, footprint) to put to sleep
+    before taking the forced choice at depth [k < Array.length (prefix
+    it)]. *)
+
+val integrate : t -> step array -> unit
+(** Merge one executed run: extend the tree along its path, record
+    footprints, run the Flanagan–Godefroid race analysis, and enqueue
+    every newly demanded backtrack point (with its sleep snapshot).  Must
+    be called from one domain only, in a deterministic order.  Raises
+    [Invalid_argument] if the program is not deterministic (the enabled
+    set at a shared prefix differs between runs). *)
+
+val parallel_map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map ~domains f xs] applies [f] to every element, fanned out
+    over [min domains (Array.length xs)] domains ([domains <= 1] runs
+    inline).  Results keep their input order.  [f] must not share mutable
+    state across calls; exceptions are re-raised after all domains have
+    been joined. *)

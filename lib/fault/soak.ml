@@ -7,6 +7,8 @@ type config = {
   kinds : Plan.kinds;
   check_invariants : bool;
   sanitize : bool;
+  pct_depth : int option;
+  pct_runs : int;
 }
 
 let default_config =
@@ -16,6 +18,8 @@ let default_config =
     kinds = Plan.safe_kinds;
     check_invariants = true;
     sanitize = true;
+    pct_depth = None;
+    pct_runs = 64;
   }
 
 type failure = {
@@ -25,6 +29,7 @@ type failure = {
   f_plan : Plan.t;
   f_first_plan : Plan.t;
   f_san : Sanitize.Report.t option;
+  f_sched : Check.Schedule.t option;
 }
 
 type report = {
@@ -164,6 +169,7 @@ let soak ?(config = default_config) (scenarios : Check.Scenarios.t list) =
               f_san =
                 (if sanitize then san_of_plan ~check_invariants ~mk []
                  else None);
+              f_sched = None;
             }
       | None ->
           List.iter
@@ -193,8 +199,46 @@ let soak ?(config = default_config) (scenarios : Check.Scenarios.t list) =
                         (if sanitize then
                            san_of_plan ~check_invariants ~mk shrunk
                          else None);
+                      f_sched = None;
                     })
-            config.seeds)
+            config.seeds;
+          (* PCT mode: soak the schedule dimension too.  Fault plans
+             perturb the program at fault points; PCT perturbs the
+             scheduler itself, so the two probe independent bug classes.
+             A PCT finding carries a replayable schedule instead of a
+             plan. *)
+          (match config.pct_depth with
+          | None -> ()
+          | Some depth ->
+              List.iter
+                (fun seed ->
+                  let scfg =
+                    {
+                      Check.Sample.default_config with
+                      runs = config.pct_runs;
+                      sanitize;
+                    }
+                  in
+                  let r =
+                    Check.Sample.run ~config:scfg
+                      ~method_:(Check.Sample.Pct { depth })
+                      ~seed mk
+                  in
+                  runs := !runs + r.Check.Sample.s_runs;
+                  match r.Check.Sample.s_failure with
+                  | None -> ()
+                  | Some f ->
+                      record
+                        {
+                          f_scenario = s.Check.Scenarios.name;
+                          f_seed = seed;
+                          f_kind = f.E.kind;
+                          f_plan = [];
+                          f_first_plan = [];
+                          f_san = None;
+                          f_sched = Some f.E.schedule;
+                        })
+                config.seeds))
     scenarios;
   {
     r_scenarios = List.length scenarios;
@@ -219,11 +263,14 @@ let default_suite =
 let json_of_failure f =
   Printf.sprintf
     "{\"scenario\": %S, \"seed\": %d, \"kind\": %S, \"injections\": %d, \
-     \"san\": %S}"
+     \"san\": %S, \"sched_len\": %s}"
     f.f_scenario f.f_seed
     (E.failure_kind_to_string f.f_kind)
     (Plan.length f.f_plan)
     (match f.f_san with Some r -> Sanitize.Report.summary r | None -> "clean")
+    (match f.f_sched with
+    | Some s -> string_of_int (Check.Schedule.length s)
+    | None -> "null")
 
 let json_of_report r =
   Printf.sprintf
@@ -242,9 +289,12 @@ let pp_report ppf r =
       Format.fprintf ppf "%d failure(s):" (List.length fs);
       List.iter
         (fun f ->
-          Format.fprintf ppf "@   %s (seed %d): %s, %d injection(s)"
-            f.f_scenario f.f_seed
+          Format.fprintf ppf "@   %s (seed %d): %s, %s" f.f_scenario f.f_seed
             (E.failure_kind_to_string f.f_kind)
-            (Plan.length f.f_plan))
+            (match f.f_sched with
+            | Some s ->
+                Printf.sprintf "%d-step schedule" (Check.Schedule.length s)
+            | None ->
+                Printf.sprintf "%d injection(s)" (Plan.length f.f_plan)))
         fs);
   Format.fprintf ppf "@]"

@@ -18,11 +18,18 @@ type config = {
       (** run every execution under [Sanitize.Monitor]: races, lock-order
           cycles and held-at-exit leaks are reported alongside invariant
           failures, and failing plans carry a [.san]-able report *)
+  pct_depth : int option;
+      (** when [Some d], additionally soak the {e schedule} dimension:
+          [pct_runs] PCT runs ([Check.Sample], depth [d]) per seed per
+          scenario.  Fault plans perturb the program, PCT perturbs the
+          scheduler — independent bug classes.  [None] (default) keeps
+          the classic fault-only soak. *)
+  pct_runs : int;  (** PCT sampling budget per (scenario, seed) *)
 }
 
 val default_config : config
 (** Seeds 1–10, budget 6, {!Plan.safe_kinds}, invariants and sanitizer
-    on. *)
+    on; PCT off, 64 runs when enabled. *)
 
 type failure = {
   f_scenario : string;
@@ -33,6 +40,10 @@ type failure = {
   f_san : Sanitize.Report.t option;
       (** sanitizer findings of the shrunk run, when any — written next to
           the [.fault] artifact as a [.san] file by the demo/CI *)
+  f_sched : Check.Schedule.t option;
+      (** PCT-mode findings only: the shrunk decision list, replayable
+          with [Check.Replay] and serializable as a [.sched] artifact
+          (the plan fields are then empty) *)
 }
 
 type report = {

@@ -134,6 +134,192 @@ let test_sampling_finds_deadlock () =
   | _ -> Alcotest.fail "sampled counterexample did not replay"
 
 (* -------------------------------------------------------------------- *)
+(* Parallel DPOR (run_parallel): determinism across domain counts        *)
+(* -------------------------------------------------------------------- *)
+
+(* Canonical schedule set of one exploration: every executed run's
+   complete decision list, sorted — traversal order must not matter. *)
+let explored ~domains (s : S.t) =
+  let acc = ref [] in
+  let r = E.run_parallel ~domains ~record:(fun sc -> acc := sc :: !acc) s.S.make in
+  let set = List.sort compare (List.map Array.to_list !acc) in
+  (r, set)
+
+let kind_tag = function
+  | E.Deadlocked m -> "deadlock:" ^ m
+  | E.Killed s -> "signal:" ^ string_of_int s
+  | E.Invariant_violated m -> "invariant:" ^ m
+  | E.Main_raised m -> "raise:" ^ m
+  | E.Bad_exit n -> "exit:" ^ string_of_int n
+
+let test_parallel_deterministic () =
+  (* the full catalogue: schedule set, verdict and stats must be identical
+     for 1, 2 and 4 domains *)
+  List.iter
+    (fun (s : S.t) ->
+      let r1, set1 = explored ~domains:1 s in
+      let r2, set2 = explored ~domains:2 s in
+      let r4, set4 = explored ~domains:4 s in
+      check bool (s.S.name ^ ": schedule sets 1=2") true (set1 = set2);
+      check bool (s.S.name ^ ": schedule sets 1=4") true (set1 = set4);
+      check int (s.S.name ^ ": runs agree") r1.E.stats.runs r2.E.stats.runs;
+      check int (s.S.name ^ ": steps agree") r1.E.stats.steps r4.E.stats.steps;
+      let cx r =
+        match r.E.failure with
+        | Some f -> Some (Array.to_list f.schedule, kind_tag f.kind)
+        | None -> None
+      in
+      check bool (s.S.name ^ ": counterexample 1=2") true (cx r1 = cx r2);
+      check bool (s.S.name ^ ": counterexample 1=4") true (cx r1 = cx r4))
+    S.all
+
+let test_parallel_agrees_with_sequential () =
+  (* same verdicts as the depth-first driver on both halves of the
+     catalogue (the traversal differs, so only verdicts are comparable) *)
+  let f = found (E.run_parallel ~domains:2 S.deadlock_ab.make) in
+  (match f.kind with
+  | E.Deadlocked _ -> ()
+  | k -> Alcotest.failf "expected a deadlock, got %s" (E.failure_kind_to_string k));
+  let rep = Check.Replay.run S.deadlock_ab.make f.schedule in
+  (match rep.outcome with
+  | Some (E.Deadlocked _) ->
+      check bool "parallel counterexample replays" true (rep.diverged_at = None)
+  | _ -> Alcotest.fail "parallel counterexample did not replay");
+  let r = E.run_parallel ~domains:2 S.three_two.make in
+  safe "three-two (parallel)" r;
+  check bool "no exhaustion report on a complete run" true
+    (r.stats.exhausted = None);
+  check bool "parallel sleep sets prune too" true (r.stats.pruned > 0)
+
+let test_parallel_rejects_bad_domains () =
+  match E.run_parallel ~domains:0 S.micro_two.make with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "domains = 0 must be rejected"
+
+(* Differential soundness: all steps within a Mazurkiewicz trace class
+   commute, so a sound reduction must reach exactly the final states full
+   enumeration reaches.  This catches pruning bugs that verdict agreement
+   on the catalogue cannot — e.g. two sibling subtrees sleeping each
+   other, which silently drops a whole trace class from both. *)
+let test_parallel_covers_all_final_states () =
+  let finals : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* seeded 2-thread programs whose every write is non-commutative, so a
+     missed interleaving class shows up as a missing final state *)
+  let program seed =
+    let master = Vm.Rng.create seed in
+    let script =
+      Array.init 2 (fun _ ->
+          Array.init 2 (fun _ ->
+              ( Vm.Rng.int master 4,
+                Vm.Rng.int master 2,
+                Vm.Rng.int master 2,
+                1 + Vm.Rng.int master 7 )))
+    in
+    fun proc ->
+      let m =
+        [|
+          Mutex.create proc ~name:"m0" (); Mutex.create proc ~name:"m1" ();
+        |]
+      in
+      let v = [| ref 1; ref 1 |] in
+      let op tid (kind, mi, vi, k) =
+        match kind with
+        | 0 ->
+            Mutex.lock proc m.(mi);
+            E.touch proc vi;
+            v.(vi) := (!(v.(vi)) * 3) + k + tid;
+            Mutex.unlock proc m.(mi)
+        | 1 ->
+            E.touch proc vi;
+            v.(vi) := (!(v.(vi)) * 5) + k
+        | 2 ->
+            E.touch_read proc vi;
+            let x = !(v.(vi)) in
+            E.touch proc (1 - vi);
+            v.(1 - vi) := (!(v.(1 - vi)) * 7) + (x mod 11)
+        | _ ->
+            Mutex.lock proc m.(mi);
+            Mutex.unlock proc m.(mi)
+      in
+      let ts =
+        Array.to_list
+          (Array.mapi
+             (fun tid ops ->
+               Pthread.create proc (fun () ->
+                   Array.iter (op (tid + 1)) ops;
+                   0))
+             script)
+      in
+      List.iter (fun t -> ignore (Pthread.join proc t)) ts;
+      Hashtbl.replace finals (Hashtbl.hash (!(v.(0)), !(v.(1)))) ();
+      0
+  in
+  let collect mode mk =
+    Hashtbl.reset finals;
+    (* full enumeration of a few seeds tops 100k runs; give it room *)
+    let cfg = { E.default_config with max_runs = 500_000 } in
+    let r =
+      match mode with
+      | `Full -> E.run ~config:{ cfg with dpor = false; sleep_sets = false } mk
+      | `Seq -> E.run ~config:cfg mk
+      | `Par -> E.run_parallel ~config:cfg ~domains:2 mk
+    in
+    check bool "exploration completed" true r.E.stats.complete;
+    List.sort_uniq compare (Hashtbl.fold (fun k () acc -> k :: acc) finals [])
+  in
+  for seed = 1 to 15 do
+    let body = program seed in
+    let mk () = Pthread.make_proc body in
+    let full = collect `Full mk in
+    let seq = collect `Seq mk in
+    let par = collect `Par mk in
+    check bool
+      (Printf.sprintf "seed %d: sequential DPOR reaches all final states"
+         seed)
+      true (seq = full);
+    check bool
+      (Printf.sprintf "seed %d: parallel DPOR reaches all final states" seed)
+      true (par = full)
+  done
+
+(* Satellite fix: a truncated exploration reports what was left, instead
+   of just clearing [complete]. *)
+let test_budget_exhaustion_reported () =
+  let cfg = { E.default_config with max_runs = 2 } in
+  List.iter
+    (fun (what, (r : E.result)) ->
+      check bool (what ^ ": not complete") false r.stats.complete;
+      match r.stats.exhausted with
+      | None -> Alcotest.failf "%s: truncation must be reported" what
+      | Some e ->
+          check bool
+            (what ^ ": frontier remaining")
+            true (e.E.ex_frontier > 0))
+    [
+      ("sequential", E.run ~config:cfg S.three_two.make);
+      ("parallel", E.run_parallel ~config:cfg ~domains:2 S.three_two.make);
+    ];
+  (* a zero budget runs nothing and still reports the unexplored root *)
+  let r0 = E.run ~config:{ cfg with max_runs = 0 } S.micro_two.make in
+  check int "zero budget runs nothing" 0 r0.stats.runs;
+  check bool "zero budget is exhausted" true (r0.stats.exhausted <> None)
+
+let test_step_budget_cut_reported () =
+  let cfg = { E.default_config with max_steps = 3 } in
+  List.iter
+    (fun (what, (r : E.result)) ->
+      check bool (what ^ ": not complete") false r.stats.complete;
+      match r.stats.exhausted with
+      | None -> Alcotest.failf "%s: cut runs must be reported" what
+      | Some e ->
+          check bool (what ^ ": cut runs counted") true (e.E.ex_cut_runs > 0))
+    [
+      ("sequential", E.run ~config:cfg S.three_two.make);
+      ("parallel", E.run_parallel ~config:cfg ~domains:2 S.three_two.make);
+      ("sampling", E.sample ~config:cfg ~runs:5 ~seed:7 S.three_two.make);
+    ]
+
+(* -------------------------------------------------------------------- *)
 
 let schedule = Alcotest.testable Check.Schedule.pp Check.Schedule.equal
 
@@ -170,5 +356,14 @@ let suite =
         tc "DPOR beats full enumeration" test_dpor_reduction;
         tc "random sampling + replay" test_sampling_finds_deadlock;
         tc "schedule text roundtrip" test_schedule_roundtrip;
+        tc "parallel DPOR deterministic across domains"
+          test_parallel_deterministic;
+        tc "parallel agrees with sequential verdicts"
+          test_parallel_agrees_with_sequential;
+        tc "parallel rejects domains < 1" test_parallel_rejects_bad_domains;
+        tc "reduction reaches every final state (differential)"
+          test_parallel_covers_all_final_states;
+        tc "run budget exhaustion is structured" test_budget_exhaustion_reported;
+        tc "step budget cuts are counted" test_step_budget_cut_reported;
       ] );
   ]

@@ -46,7 +46,13 @@ let tc name f = Alcotest.test_case name `Quick f
    deliberate reseed is a visible one-line diff here, not an invisible
    change of [Random] self-initialization. *)
 let seeds =
-  [ ("fuzz", 0x5EED_F022); ("machine_fuzz", 0x5EED_ACE1); ("soak", 0x5EED_50AD) ]
+  [
+    ("fuzz", 0x5EED_F022);
+    ("machine_fuzz", 0x5EED_ACE1);
+    ("soak", 0x5EED_50AD);
+    ("sample", 0x5EED_09C7);
+    ("shrink", 0x5EED_5A1C);
+  ]
 
 let seed_of key =
   match List.assoc_opt key seeds with
