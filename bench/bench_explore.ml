@@ -62,9 +62,9 @@ type row = {
 }
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Vm.Real_clock.now_s () in
   let x = f () in
-  (x, Unix.gettimeofday () -. t0)
+  (x, Vm.Real_clock.now_s () -. t0)
 
 let explore ?config name mk =
   let result, secs = time (fun () -> E.run ?config mk) in

@@ -105,9 +105,9 @@ let check_dispatch_counts () =
             List.iter (fun t -> ignore (Pthread.join proc t)) ts;
             0)
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Vm.Real_clock.now_s () in
       Pthread.start eng;
-      let elapsed = Unix.gettimeofday () -. t0 in
+      let elapsed = Vm.Real_clock.now_s () -. t0 in
       let dispatches = Engine.dispatch_count eng in
       if dispatches <> want then
         checkf

@@ -846,9 +846,9 @@ let sched_latency n_threads =
   Engine.add_switch_hook eng (fun _ ->
       let d = !seen in
       seen := d + 1;
-      if d = !lo then t0 := Unix.gettimeofday ()
+      if d = !lo then t0 := Vm.Real_clock.now_s ()
       else if d = !hi then begin
-        t1 := Unix.gettimeofday ();
+        t1 := Vm.Real_clock.now_s ();
         rss_live := host_rss_bytes ()
       end);
   Pthread.start eng;
@@ -907,7 +907,7 @@ let timer_latency n =
     seed := ((!seed * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF;
     1 + (!seed mod span)
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Vm.Real_clock.now_s () in
   for i = 0 to n - 1 do
     ignore
       (K.arm_timer k ~after_ns:(next_delta ()) ~interval_ns:0
@@ -922,7 +922,7 @@ let timer_latency n =
       ignore (K.deliver_pending k : bool)
     done
   done;
-  let t1 = Unix.gettimeofday () in
+  let t1 = Vm.Real_clock.now_s () in
   {
     tr_timers = n;
     tr_ns_per_op = (t1 -. t0) /. float_of_int n *. 1e9;
@@ -994,8 +994,8 @@ let san_latency ~sanitize n_threads =
   Engine.add_switch_hook eng (fun _ ->
       let d = !seen in
       seen := d + 1;
-      if d = !lo then t0 := Unix.gettimeofday ()
-      else if d = !hi then t1 := Unix.gettimeofday ());
+      if d = !lo then t0 := Vm.Real_clock.now_s ()
+      else if d = !hi then t1 := Vm.Real_clock.now_s ());
   Pthread.start eng;
   (match mon with
   | Some m ->

@@ -52,7 +52,7 @@ let fig5 protocol bucket_us =
   in
   Pthread.start proc;
   print_string (Pthread.gantt proc ~bucket_ns:(bucket_us * 1000));
-  Format.printf "%a@." Engine.pp_stats (Pthread.stats proc)
+  Format.printf "%a@." pp_stats (Pthread.stats proc)
 
 let fig5_cmd =
   let protocol =
@@ -186,7 +186,7 @@ let pingpong quantum_us rounds =
         ignore (Pthread.join proc b);
         0)
   in
-  Format.printf "%a@." Engine.pp_stats stats
+  Format.printf "%a@." pp_stats stats
 
 let pingpong_cmd =
   let quantum =
@@ -219,11 +219,11 @@ let stats () =
         List.iter (fun t -> ignore (Pthread.join proc t)) ts;
         0)
   in
-  Format.printf "%a@." Engine.pp_stats stats;
+  Format.printf "%a@." pp_stats stats;
   Printf.printf "trap detail:\n";
   List.iter
     (fun (name, n) -> Printf.printf "  %-12s %d\n" name n)
-    stats.Engine.trap_detail
+    stats.trap_detail
 
 let stats_cmd =
   Cmd.v

@@ -69,5 +69,5 @@ let () =
         0)
   in
   Printf.printf "layering overhead: %d context switches, %.2f ms virtual time\n"
-    stats.Engine.switches
-    (float_of_int stats.Engine.virtual_ns /. 1e6)
+    stats.switches
+    (float_of_int stats.virtual_ns /. 1e6)

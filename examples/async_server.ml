@@ -85,11 +85,11 @@ let serve ~title ~io =
   let s =
     {
       served = !served;
-      virtual_ms = float_of_int run_stats.Engine.virtual_ns /. 1e6;
+      virtual_ms = float_of_int run_stats.virtual_ns /. 1e6;
     }
   in
   Printf.printf "%-28s served %d requests in %6.2f ms (%d switches)\n" title
-    s.served s.virtual_ms run_stats.Engine.switches;
+    s.served s.virtual_ms run_stats.switches;
   s
 
 let () =

@@ -1,0 +1,116 @@
+(* Flagship backend demo: one echo server, two kernels.
+
+   The handler, the clients and the traffic spike live in [Serving]
+   (bench/serving.ml) and are byte-for-byte identical on both backends:
+
+     echo_server --backend vm     simulated load, thousands of clients,
+                                  deterministic virtual time
+     echo_server --backend unix   the same code serving real loopback TCP
+                                  sockets through the select event loop
+     echo_server                  both, one after the other
+
+   [--json FILE] appends a "serving" table (throughput, p50/p99) to the
+   bench JSON object; [--trace FILE] exports the spike window of the run
+   as Perfetto/Chrome trace-event JSON (drop it on ui.perfetto.dev). *)
+
+let usage = "echo_server [--backend vm|unix|both] [--smoke] [--json FILE] [--trace FILE]"
+
+(* insert new key/value pairs before the JSON object's trailing brace; a
+   missing file starts a fresh object (same convention as bench_explore) *)
+let append_keys file keys =
+  let body =
+    if Sys.file_exists file then begin
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      String.trim s
+    end
+    else "{}"
+  in
+  let inner = String.trim (String.sub body 1 (String.length body - 2)) in
+  let sep = if inner = "" then "" else ",\n" in
+  let oc = open_out_bin file in
+  Printf.fprintf oc "{%s%s%s\n}\n" inner sep
+    (String.concat ",\n"
+       (List.map (fun (k, v) -> Printf.sprintf "  \"%s\": %s" k v) keys));
+  close_out oc
+
+let () =
+  let backend_arg = ref "both" in
+  let smoke = ref false in
+  let json_out = ref None in
+  let trace_out = ref None in
+  Arg.parse
+    [
+      ( "--backend",
+        Arg.Set_string backend_arg,
+        " vm | unix | both (default both)" );
+      ("--smoke", Arg.Set smoke, " small fleets, CI-budget sized");
+      ("--json", Arg.String (fun f -> json_out := Some f), " append a \"serving\" row table to this JSON file");
+      ("--trace", Arg.String (fun f -> trace_out := Some f), " export the spike window as a Perfetto trace");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  let smoke = !smoke in
+  let want_trace = !trace_out <> None in
+  let runs =
+    match !backend_arg with
+    | "vm" | "virtual" -> [ "vm" ]
+    | "unix" | "real" -> [ "unix" ]
+    | "both" -> [ "vm"; "unix" ]
+    | s ->
+        prerr_endline ("echo_server: unknown backend " ^ s);
+        Stdlib.exit 2
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let backend =
+          (* free-running on both backends, so the latency columns measure
+             the workload (heavy-tail service times + connection queueing)
+             and the two rows are comparable; pass a cost profile to
+             [Pthreads.vm_backend] to add simulated CPU cost on top *)
+          match name with
+          | "vm" -> Pthreads.vm_backend ~profile:Vm.Cost_model.free ()
+          | _ -> (
+              match Pthreads.backend_of_string name with
+              | Some b -> b
+              | None -> assert false)
+        in
+        let params =
+          if name = "vm" then Serving.vm_params ~smoke
+          else Serving.unix_params ~smoke
+        in
+        Format.printf "-- %s backend: %d clients + %d spike, %d B echoes --@."
+          name params.Serving.clients params.Serving.spike_clients
+          Serving.msg_len;
+        let row = Serving.run ~backend ~name ~trace:want_trace params in
+        Format.printf "%a@.@." Serving.pp_row row;
+        row)
+      runs
+  in
+  (match !trace_out with
+  | None -> ()
+  | Some file ->
+      (* prefer the deterministic virtual run's spike for the artifact *)
+      let row =
+        match List.find_opt (fun r -> r.Serving.sv_backend = "vm") rows with
+        | Some r -> r
+        | None -> List.hd rows
+      in
+      let oc = open_out file in
+      output_string oc (Serving.spike_trace_json row);
+      close_out oc;
+      Format.printf "spike trace (%s backend) written to %s@."
+        row.Serving.sv_backend file);
+  (match !json_out with
+  | None -> ()
+  | Some file ->
+      let table =
+        "[\n    "
+        ^ String.concat ",\n    " (List.map Serving.row_json rows)
+        ^ "\n  ]"
+      in
+      append_keys file [ ("serving", table) ];
+      Format.printf "appended serving rows to %s@." file)

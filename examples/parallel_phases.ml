@@ -63,5 +63,5 @@ let () =
         0)
   in
   Printf.printf "context switches: %d, virtual time %.2f ms\n"
-    stats.Engine.switches
-    (float_of_int stats.Engine.virtual_ns /. 1e6)
+    stats.switches
+    (float_of_int stats.virtual_ns /. 1e6)

@@ -105,8 +105,8 @@ let () =
           0)
     in
     Printf.printf "%-16s virtual time %.1f ms, %d context switches\n\n" name
-      (float_of_int stats.Engine.virtual_ns /. 1e6)
-      stats.Engine.switches
+      (float_of_int stats.virtual_ns /. 1e6)
+      stats.switches
   in
   run "condvars:" with_condvars;
   run "semaphores:" with_semaphores

@@ -47,4 +47,4 @@ let () =
   | Some (Types.Exited v) -> Printf.printf "main exited with %d\n" v
   | Some st -> Format.printf "main: %a@." Types.pp_exit_status st
   | None -> print_endline "main was reaped");
-  Format.printf "--- run statistics ---@.%a@." Engine.pp_stats stats
+  Format.printf "--- run statistics ---@.%a@." pp_stats stats

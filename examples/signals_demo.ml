@@ -89,5 +89,5 @@ let () =
   in
   Printf.printf
     "signals: %d posted, %d UNIX deliveries, %d thread handler runs, %d sigsetmask calls\n"
-    stats.Engine.signals_posted stats.Engine.signals_delivered_unix
-    stats.Engine.thread_handler_runs stats.Engine.sigsetmask_calls
+    stats.signals_posted stats.signals_delivered_unix
+    stats.thread_handler_runs stats.sigsetmask_calls

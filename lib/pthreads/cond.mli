@@ -46,3 +46,16 @@ val signal : engine -> cond -> unit
 val broadcast : engine -> cond -> unit
 
 val waiter_count : cond -> int
+
+(** Non-raising twins ([('a, Errno.t) result]; see {!Errno.Result}).
+    The {!wait_result} folds into the result: [Signaled] is [Ok ()],
+    [Interrupted] is [Error EINTR], [Timed_out] is [Error ETIMEDOUT]. *)
+module Result : sig
+  val wait : engine -> cond -> mutex -> (unit, Errno.t) result
+  val wait_until :
+    engine -> cond -> mutex -> deadline_ns:int -> (unit, Errno.t) result
+  val wait_for :
+    engine -> cond -> mutex -> timeout_ns:int -> (unit, Errno.t) result
+  val signal : engine -> cond -> (unit, Errno.t) result
+  val broadcast : engine -> cond -> (unit, Errno.t) result
+end

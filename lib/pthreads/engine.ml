@@ -708,6 +708,9 @@ let universal_handler eng ~signo ~code ~origin =
   end
 
 let poll_signals eng =
+  (* Import external events first (real fd readiness, forwarded host
+     signals); a no-op closure on the virtual backend. *)
+  eng.backend.Backend.pump ();
   Unix_kernel.check_events eng.vm;
   try
     while Unix_kernel.has_deliverable eng.vm do
@@ -1120,14 +1123,16 @@ let run_scheduler eng =
                 end
                 else
                   eng.stop_reason <- Some (Deadlock (describe_blocked eng))
-            | None -> (
-                match engine_next with
-                | Some t_ns ->
-                    Clock.advance_to (Unix_kernel.clock eng.vm) t_ns;
-                    wake_expired_sleepers eng;
-                    loop ()
-                | None ->
-                    eng.stop_reason <- Some (Deadlock (describe_blocked eng))))
+            | None ->
+                (* the backend sleeps until the next event: the virtual one
+                   advances the clock to the deadline (deadlock when there
+                   is none); the Unix one blocks in select and may wake on
+                   external events even without a deadline *)
+                if eng.backend.Backend.wait ~deadline_ns:engine_next then begin
+                  wake_expired_sleepers eng;
+                  loop ()
+                end
+                else eng.stop_reason <- Some (Deadlock (describe_blocked eng)))
       end
     end
   in
@@ -1217,8 +1222,13 @@ let inject_clock_jump eng ~ns =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let make ?clock cfg ~main =
-  let vm = Unix_kernel.create ?clock cfg.profile in
+let make ?clock ?backend cfg ~main =
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> Backend.virtual_ ?clock cfg.profile
+  in
+  let vm = backend.Backend.kernel in
   let heap = Heap.create vm ~use_pool:cfg.use_pool () in
   let trace_rec = Trace.create () in
   Trace.set_enabled trace_rec cfg.trace_enabled;
@@ -1229,6 +1239,7 @@ let make ?clock cfg ~main =
   let eng =
     {
       vm;
+      backend;
       heap;
       trace = trace_rec;
       cfg;
@@ -1270,6 +1281,7 @@ let make ?clock cfg ~main =
       fault_hook = None;
       n_faults_injected = 0;
       san_hook = None;
+      net_state = Ext_none;
     }
   in
   (* Library initialization: a universal handler for all maskable UNIX

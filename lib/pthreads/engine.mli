@@ -20,11 +20,15 @@ open Types
 
 (** {1 Construction and the scheduler} *)
 
-val make : ?clock:Vm.Clock.t -> config -> main:(unit -> int) -> engine
+val make :
+  ?clock:Vm.Clock.t -> ?backend:Vm.Backend.t -> config -> main:(unit -> int) -> engine
 (** Build a simulated process whose main thread (tid 0) will run [main].
     Installs the universal signal handler for all maskable signals and, for
     a round-robin policy, arms the time-slice interval timer.  [clock] lets
-    several processes of one [Machine] share a time line. *)
+    several processes of one [Machine] share a time line.  [backend]
+    selects the event source (default: the deterministic virtual backend,
+    [Vm.Backend.virtual_]); when given, [clock] is ignored — the backend
+    owns its kernel and clock. *)
 
 val run_scheduler : engine -> unit
 (** Run until every thread has terminated.

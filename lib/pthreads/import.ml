@@ -8,3 +8,6 @@ module Sigset = Vm.Sigset
 module Trace = Vm.Trace
 module Unix_kernel = Vm.Unix_kernel
 module Unix_process = Vm.Unix_process
+module Backend = Vm.Backend
+module Real_kernel = Vm.Real_kernel
+module Real_clock = Vm.Real_clock

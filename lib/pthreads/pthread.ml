@@ -24,8 +24,15 @@ let build_config ?(profile = Cost_model.sparc_ipx) ?(policy = Fifo)
     ceiling_mode;
   }
 
-let make_proc ?clock ?profile ?policy ?perverted ?seed ?use_pool ?trace
-    ?main_prio ?ceiling_mode f =
+let make_proc ?clock ?backend ?profile ?policy ?perverted ?seed ?use_pool
+    ?trace ?main_prio ?ceiling_mode f =
+  let profile =
+    (* a backend owns its kernel: default the config's profile to it so
+       cost accounting matches (free-running on the Unix backend) *)
+    match (profile, backend) with
+    | None, Some b -> Some (Unix_kernel.profile b.Backend.kernel)
+    | p, _ -> p
+  in
   let cfg =
     build_config ?profile ?policy ?perverted ?seed ?use_pool ?trace ?main_prio
       ?ceiling_mode ()
@@ -35,7 +42,7 @@ let make_proc ?clock ?profile ?policy ?perverted ?seed ?use_pool ?trace
   let main () =
     match !eng_ref with Some eng -> f eng | None -> assert false
   in
-  let eng = Engine.make ?clock cfg ~main in
+  let eng = Engine.make ?clock ?backend cfg ~main in
   eng_ref := Some eng;
   eng
 
@@ -303,3 +310,10 @@ let trace_events eng = Trace.events eng.trace
 let gantt eng ~bucket_ns = Trace.gantt eng.trace ~bucket_ns
 
 let thread_count eng = eng.live_count
+
+module Result = struct
+  let wrap f = try Ok (f ()) with Error (e, _) -> Stdlib.Error e
+  let join eng t = wrap (fun () -> join eng t)
+  let detach eng t = wrap (fun () -> detach eng t)
+  let suspend eng t = wrap (fun () -> suspend eng t)
+end

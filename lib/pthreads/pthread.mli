@@ -54,6 +54,7 @@ val run :
 
 val make_proc :
   ?clock:Vm.Clock.t ->
+  ?backend:Vm.Backend.t ->
   ?profile:Vm.Cost_model.profile ->
   ?policy:policy ->
   ?perverted:perverted ->
@@ -65,7 +66,10 @@ val make_proc :
   (proc -> int) ->
   proc
 (** Build the process without running it (for callers that need the handle
-    before/after the run, e.g. to read the trace). *)
+    before/after the run, e.g. to read the trace).  [backend] selects the
+    event source (default: deterministic virtual kernel); when given,
+    [clock] is ignored and [profile] defaults to the backend kernel's
+    profile. *)
 
 val start : proc -> unit
 (** Run a process built with {!make_proc} to completion. *)
@@ -167,3 +171,12 @@ val gantt : proc -> bucket_ns:int -> string
 
 val thread_count : proc -> int
 (** Threads not yet terminated. *)
+
+(** Non-raising twins ([('a, Errno.t) result]; see {!Errno.Result}):
+    [Error EDEADLK] for self-join, [Error EINVAL] for a detached target,
+    [Error ESRCH] for an unknown thread. *)
+module Result : sig
+  val join : proc -> t -> (exit_status, Errno.t) result
+  val detach : proc -> t -> (unit, Errno.t) result
+  val suspend : proc -> t -> (unit, Errno.t) result
+end

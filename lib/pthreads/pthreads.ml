@@ -1,0 +1,115 @@
+(* The curated library facade (the library's main module): everything user
+   code needs, re-exported in one place, plus [run ~backend] which owns
+   engine setup and backend teardown.  Internal kernel modules are still
+   re-exported for the checker/fault/sanitizer infrastructure but carry
+   [@@deprecated] so application code is steered to the facade; see the
+   aliases at the bottom. *)
+
+(* ------------------------------------------------------------------ *)
+(* The blessed API                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Types = Types
+module Errno = Errno
+module Attr = Attr
+module Pthread = Pthread
+module Mutex = Mutex
+module Cond = Cond
+module Net = Net
+module Signal_api = Signal_api
+module Cancel = Cancel
+module Cleanup = Cleanup
+module Tsd = Tsd
+module Jmp = Jmp
+module Machine = Machine
+module Shared = Shared
+module Flat = Flat
+module Debugger = Debugger
+module Validate = Validate
+module Import = Import
+module Costs = Costs
+
+type proc = Types.engine
+type backend = Vm.Backend.t
+
+(* ------------------------------------------------------------------ *)
+(* Backends                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let vm_backend ?clock ?(profile = Vm.Cost_model.sparc_ipx) () =
+  Vm.Backend.virtual_ ?clock profile
+
+let unix_backend ?forward_signals () = Vm.Real_kernel.create ?forward_signals ()
+
+let backend_of_string s =
+  match Vm.Backend.kind_of_string s with
+  | Some Vm.Backend.Virtual -> Some (vm_backend ())
+  | Some Vm.Backend.Unix_loop -> Some (unix_backend ())
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Statistics (re-declared so fields are reachable without [Engine])   *)
+(* ------------------------------------------------------------------ *)
+
+type stats = Engine.stats = {
+  virtual_ns : int;
+  switches : int;
+  kernel_traps : int;
+  trap_detail : (string * int) list;
+  sigsetmask_calls : int;
+  signals_posted : int;
+  signals_delivered_unix : int;
+  signals_lost : int;
+  thread_handler_runs : int;
+  threads_created : int;
+  heap_allocations : int;
+  faults_injected : int;
+  timers_armed : int;
+}
+
+let stats = Engine.stats
+let pp_stats = Engine.pp_stats
+let dispatch_count = Engine.dispatch_count
+
+(* ------------------------------------------------------------------ *)
+(* The entry point                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run ?backend ?profile ?policy ?perverted ?seed ?use_pool ?trace ?main_prio
+    ?ceiling_mode f =
+  let eng =
+    Pthread.make_proc ?backend ?profile ?policy ?perverted ?seed ?use_pool
+      ?trace ?main_prio ?ceiling_mode f
+  in
+  let finish () =
+    match backend with Some b -> b.Vm.Backend.shutdown () | None -> ()
+  in
+  Fun.protect ~finally:finish (fun () ->
+      Pthread.start eng;
+      let main_status =
+        match Engine.find_thread eng 0 with
+        | Some t -> t.Types.retval
+        | None -> None
+      in
+      (main_status, Engine.stats eng))
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated internal aliases (kernel infrastructure).  The checker,  *)
+(* fault and sanitizer layers opt out per component with               *)
+(* [-alert -deprecated] in their dune stanzas.                         *)
+(* ------------------------------------------------------------------ *)
+
+module Engine = Engine
+[@@deprecated
+  "Pthreads.Engine is the kernel-internal interface. Application code \
+   should use Pthreads.run / Pthreads.stats / Pthread; infrastructure \
+   (checkers, benchmarks) can silence this with -alert -deprecated."]
+
+module Tcb = Tcb
+[@@deprecated "kernel-internal thread control blocks; use Pthread."]
+
+module Wait_queue = Wait_queue
+[@@deprecated "kernel-internal waiter queues; use Mutex/Cond."]
+
+module Ready_queue = Ready_queue
+[@@deprecated "kernel-internal dispatcher structure; use Pthread."]

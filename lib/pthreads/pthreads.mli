@@ -1,0 +1,134 @@
+(** The Pthreads library, reproduced from "A Library Implementation of
+    POSIX Threads under UNIX" (Mueller, USENIX 1993) — curated facade.
+
+    Everything application code needs is re-exported here: thread
+    management ({!Pthread}), synchronization ({!Mutex}, {!Cond}), typed
+    errors ({!Errno}, with non-raising twins in each module's [Result]),
+    signals ({!Signal_api}), sockets over either backend ({!Net}), and
+    the {!run} entry point that owns engine setup and backend teardown:
+
+    {[
+      let status, stats =
+        Pthreads.run ~backend:(Pthreads.unix_backend ()) (fun proc -> ...)
+    ]}
+
+    Two backends drive the same API (see [Vm.Backend]): the deterministic
+    virtual kernel ({!vm_backend}, the default — required by the model
+    checker, sanitizer and fault layers) and the real Unix event loop
+    ({!unix_backend} — real sockets, host signals, host time).
+
+    The kernel-internal modules ([Engine], [Tcb], [Wait_queue],
+    [Ready_queue]) are still re-exported for the checker/fault/sanitizer
+    infrastructure but are deprecated for application use. *)
+
+(** {1 The blessed API} *)
+
+module Types = Types
+module Errno = Errno
+module Attr = Attr
+module Pthread = Pthread
+module Mutex = Mutex
+module Cond = Cond
+module Net = Net
+module Signal_api = Signal_api
+module Cancel = Cancel
+module Cleanup = Cleanup
+module Tsd = Tsd
+module Jmp = Jmp
+module Machine = Machine
+module Shared = Shared
+module Flat = Flat
+module Debugger = Debugger
+module Validate = Validate
+module Import = Import
+module Costs = Costs
+
+type proc = Types.engine
+(** One simulated process (= one engine). *)
+
+type backend = Vm.Backend.t
+
+(** {1 Backends} *)
+
+val vm_backend :
+  ?clock:Vm.Clock.t -> ?profile:Vm.Cost_model.profile -> unit -> backend
+(** The deterministic virtual backend (default profile: SPARC IPX).  This
+    is what {!run} uses when no backend is given. *)
+
+val unix_backend :
+  ?forward_signals:(int * Vm.Sigset.signo) list -> unit -> backend
+(** The real Unix event loop ([Vm.Real_kernel]): real loopback sockets,
+    forwarded host signals, host monotonic time.  {!run} shuts it down
+    (closing fds, restoring host handlers) when the process finishes. *)
+
+val backend_of_string : string -> backend option
+(** ["vm"]/["virtual"] or ["unix"]/["real"] — for [--backend] flags. *)
+
+(** {1 Statistics} *)
+
+(** [Engine.stats], re-declared so the fields are reachable through the
+    facade. *)
+type stats = Engine.stats = {
+  virtual_ns : int;
+  switches : int;
+  kernel_traps : int;
+  trap_detail : (string * int) list;
+  sigsetmask_calls : int;
+  signals_posted : int;
+  signals_delivered_unix : int;
+  signals_lost : int;
+  thread_handler_runs : int;
+  threads_created : int;
+  heap_allocations : int;
+  faults_injected : int;
+  timers_armed : int;
+}
+
+val stats : proc -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val dispatch_count : proc -> int
+(** Monotone count of thread resumptions. *)
+
+(** {1 Running a process} *)
+
+val run :
+  ?backend:backend ->
+  ?profile:Vm.Cost_model.profile ->
+  ?policy:Types.policy ->
+  ?perverted:Types.perverted ->
+  ?seed:int ->
+  ?use_pool:bool ->
+  ?trace:bool ->
+  ?main_prio:int ->
+  ?ceiling_mode:Types.ceiling_unlock_mode ->
+  (proc -> int) ->
+  Types.exit_status option * stats
+(** Run a process whose main thread executes the given function, on the
+    chosen backend (default: a fresh virtual backend).  Owns the whole
+    lifecycle: builds the engine, runs every thread to completion, and —
+    also on exceptional exit — shuts the backend down.  Returns main's
+    exit status ([None] if another thread joined-and-reaped main) and the
+    run statistics.
+    @raise Types.Process_stopped on deadlock or a fatal signal. *)
+
+(** {1 Deprecated kernel-internal modules}
+
+    Re-exported for the model checker, fault injector, sanitizer and
+    benchmarks, which reach into the kernel by design (those components
+    silence the alert with [-alert -deprecated] in their dune stanzas). *)
+
+module Engine = Engine
+[@@deprecated
+  "Pthreads.Engine is the kernel-internal interface. Application code \
+   should use Pthreads.run / Pthreads.stats / Pthread; infrastructure \
+   (checkers, benchmarks) can silence this with -alert -deprecated."]
+
+module Tcb = Tcb
+[@@deprecated "kernel-internal thread control blocks; use Pthread."]
+
+module Wait_queue = Wait_queue
+[@@deprecated "kernel-internal waiter queues; use Mutex/Cond."]
+
+module Ready_queue = Ready_queue
+[@@deprecated "kernel-internal dispatcher structure; use Pthread."]

@@ -325,8 +325,20 @@ type san_event =
       (** the current thread joined terminated thread [j_target] *)
   | San_exit  (** the current thread is terminating *)
 
+(** Open extension point for engine-scoped state owned by higher layers
+    (e.g. [Net]'s virtual loopback port registry) — keeps [types] free of
+    upward dependencies. *)
+type ext = ..
+
+type ext += Ext_none
+
 type engine = {
   vm : Unix_kernel.t;
+      (** The kernel state machine — always [backend.kernel]; kept as a
+          direct field because it is on every fast path. *)
+  backend : Backend.t;
+      (** Where events come from: the deterministic virtual backend or the
+          real Unix event loop.  See [Vm.Backend]. *)
   heap : Heap.t;
   trace : Trace.t;
   cfg : config;
@@ -397,6 +409,9 @@ type engine = {
           receives every synchronization event as it happens.  Must not
           block, dispatch, or touch engine scheduling state — it is a pure
           observer called from inside the kernel. *)
+  mutable net_state : ext;
+      (** [Net]'s per-engine state (virtual loopback registry), installed
+          lazily on first use; [Ext_none] otherwise. *)
 }
 
 (** The single scheduling effect: performed by a thread to return control to

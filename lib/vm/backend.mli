@@ -1,0 +1,121 @@
+(** Pluggable kernel backends.
+
+    The Pthreads engine consumes a narrow kernel surface — traps, the
+    process signal state, the timing wheel, asynchronous I/O completions,
+    [sbrk], and a clock.  {!S} names that surface explicitly; both backends
+    share the {!Unix_kernel} state machine that implements it (so BSD
+    signal semantics, timer-wheel behaviour, and all accounting are
+    identical by construction) and differ only in what {e feeds} it:
+
+    - the {b virtual} backend ({!virtual_}) feeds nothing: time advances
+      only when the scheduler decides, events come from simulated timers
+      and {!Unix_kernel.submit_io}.  Fully deterministic — this is the
+      backend required by [lib/check] (DPOR), [lib/sanitize] and
+      [lib/fault].
+    - the {b Unix} backend ([Vm.Real_kernel]) pumps real [Unix] events
+      into the same state machine: a [select] loop posts I/O completions
+      via {!Unix_kernel.post_io_completion}, forwarded host signals post
+      through {!Unix_kernel.post_signal}, and the clock is synchronized
+      from the host's monotonic time.  Not deterministic; it serves real
+      sockets.
+
+    The engine interacts with a backend through two seams:
+
+    - {!t.pump} runs at every checkpoint, before
+      {!Unix_kernel.check_events}, to import external events;
+    - {!t.wait} runs when every thread is blocked, to sleep until the next
+      event.  The virtual closure advances the clock to the deadline; the
+      Unix closure blocks in [select]. *)
+
+(** The kernel surface the engine consumes.  {!Unix_kernel} satisfies it
+    (checked by a conformance functor application in the implementation);
+    backends provide a [t] of that module plus the event pump around it. *)
+module type S = sig
+  type t
+
+  val profile : t -> Cost_model.profile
+  val clock : t -> Clock.t
+  val now : t -> int
+  val advance : t -> int -> unit
+  val insns : t -> int -> unit
+  val trap : t -> name:string -> ?extra_ns:int -> (unit -> 'a) -> 'a
+  val getpid : t -> int
+  val sbrk : t -> int -> unit
+  val sigaction : t -> Sigset.signo -> Unix_kernel.disposition -> unit
+  val sigsetmask : t -> Sigset.t -> Sigset.t
+  val proc_mask : t -> Sigset.t
+
+  val post_signal :
+    t -> Sigset.signo -> ?code:int -> origin:Unix_kernel.origin -> unit -> unit
+
+  val deliver_pending : t -> bool
+  val has_deliverable : t -> bool
+
+  val arm_timer :
+    t ->
+    after_ns:int ->
+    interval_ns:int ->
+    signo:Sigset.signo ->
+    origin:Unix_kernel.origin ->
+    int
+
+  val disarm_timer : t -> int -> unit
+  val submit_io : t -> latency_ns:int -> requester:int -> unit
+  val post_io_completion : t -> requester:int -> unit
+  val take_io_completion : t -> requester:int -> bool
+  val check_events : t -> unit
+  val next_event_time : t -> int option
+end
+
+type kind =
+  | Virtual  (** deterministic simulated kernel; virtual time *)
+  | Unix_loop  (** real [Unix] select loop; host monotonic time *)
+
+(** Network operations a backend may provide (the Unix backend does; the
+    virtual backend serves loopback traffic in-process, above this layer).
+    Handles are small ints; data calls return [None] when the operation
+    would block — the caller registers a watch and waits for SIGIO. *)
+type net_ops = {
+  net_listen : port:int -> backlog:int -> int;
+      (** Bind and listen on loopback; [port = 0] picks a free port. *)
+  net_port : int -> int;  (** Actual bound port of a listener. *)
+  net_connect : port:int -> int;  (** Connect to loopback [port]. *)
+  net_accept : int -> int option;  (** [None] = would block. *)
+  net_read : int -> bytes -> pos:int -> len:int -> int option;
+      (** [Some 0] = EOF; [None] = would block. *)
+  net_write : int -> bytes -> pos:int -> len:int -> int option;
+  net_watch : int -> [ `Read | `Write ] -> requester:int -> unit;
+      (** One-shot: post an I/O completion for [requester] (and the SIGIO
+          doorbell) when the handle becomes ready. *)
+  net_close : int -> unit;
+}
+
+type t = {
+  kind : kind;
+  kernel : Unix_kernel.t;
+      (** The shared signal/timer/completion state machine. *)
+  pump : unit -> unit;
+      (** Import external events (real fd readiness, forwarded host
+          signals) into [kernel].  Called at every checkpoint before
+          [check_events].  No-op on the virtual backend. *)
+  wait : deadline_ns:int option -> bool;
+      (** Sleep until the next event when all threads are blocked.
+          [deadline_ns] is the earliest known future event ([None] if no
+          timer or simulated I/O is outstanding).  Returns [true] if
+          progress is possible afterwards (the clock reached the deadline,
+          or an external event arrived); [false] means provable deadlock:
+          no deadline, and no external event can ever arrive. *)
+  net : net_ops option;  (** [Some] on backends with real sockets. *)
+  shutdown : unit -> unit;
+      (** Release OS resources (fds, host signal handlers).  Idempotent.
+          No-op on the virtual backend. *)
+}
+
+val virtual_ : ?clock:Clock.t -> Cost_model.profile -> t
+(** The deterministic virtual backend: a fresh {!Unix_kernel} with a no-op
+    pump, a [wait] that advances the virtual clock to the deadline (and
+    reports deadlock when there is none), no [net], and a no-op
+    [shutdown]. *)
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option

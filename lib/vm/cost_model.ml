@@ -48,6 +48,21 @@ let sparc_1plus =
     sbrk_ns = 100_000;
   }
 
+(* Free-running profile for real backends: the clock is driven by the host's
+   monotonic time, so simulated per-operation charges must not inflate it. *)
+let free =
+  {
+    name = "free-running";
+    insn_ns = 0;
+    kernel_trap_ns = 0;
+    window_flush_ns = 0;
+    window_underflow_ns = 0;
+    signal_deliver_ns = 0;
+    sigreturn_ns = 0;
+    process_switch_extra_ns = 0;
+    sbrk_ns = 0;
+  }
+
 let insns p n = p.insn_ns * n
 
 let pp ppf p = Format.fprintf ppf "%s (%d ns/insn)" p.name p.insn_ns

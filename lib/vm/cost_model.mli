@@ -47,3 +47,8 @@ val insns : profile -> int -> int
     instructions. *)
 
 val pp : Format.formatter -> profile -> unit
+
+val free : profile
+(** All-zero profile for free-running (real-time) backends: the clock is
+    synchronized from the host's monotonic time, so simulated charges must
+    not move it. *)

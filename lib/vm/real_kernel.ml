@@ -1,0 +1,223 @@
+type watch = { handle : int; dir : [ `Read | `Write ]; requester : int }
+
+type t = {
+  kernel : Unix_kernel.t;
+  fds : (int, Unix.file_descr) Hashtbl.t;
+  mutable next_handle : int;
+  mutable watches : watch list;
+  forwarded : int Queue.t;  (* simulated signos, enqueued by host handlers *)
+  mutable saved_handlers : (int * Sys.signal_behavior) list;
+  mutable last_poll_ns : int;
+  mutable closed : bool;
+}
+
+(* Polling real fds on every checkpoint would put a select(2) in every
+   library fast path; batching readiness at ~100 us matches the paper's
+   SIGIO-doorbell granularity and keeps pump cost off the hot path.  The
+   idle path ([wait]) always selects immediately, so wakeups from a fully
+   blocked process are not delayed by this. *)
+let poll_interval_ns = 100_000
+
+let sync_clock t =
+  Clock.advance_to (Unix_kernel.clock t.kernel) (Real_clock.now_ns ())
+
+let fd_of t handle =
+  match Hashtbl.find_opt t.fds handle with
+  | Some fd -> fd
+  | None -> invalid_arg "Real_kernel: closed or unknown handle"
+
+let register_fd t fd =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  Hashtbl.replace t.fds h fd;
+  h
+
+let drain_forwarded t =
+  while not (Queue.is_empty t.forwarded) do
+    let signo = Queue.pop t.forwarded in
+    Unix_kernel.post_signal t.kernel signo ~origin:External ()
+  done
+
+(* Run select over the current watches and post a completion for each ready
+   one.  Watches are one-shot: a fired watch is removed before its
+   completion is recorded, exactly like the simulated io_queue. *)
+let poll_watches t ~timeout =
+  if t.watches = [] then (
+    if timeout > 0. then (try ignore (Unix.select [] [] [] timeout) with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+  else
+    let live = List.filter (fun w -> Hashtbl.mem t.fds w.handle) t.watches in
+    t.watches <- live;
+    let rd =
+      List.filter_map
+        (fun w -> if w.dir = `Read then Some (fd_of t w.handle) else None)
+        live
+    and wr =
+      List.filter_map
+        (fun w -> if w.dir = `Write then Some (fd_of t w.handle) else None)
+        live
+    in
+    match Unix.select rd wr [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready_rd, ready_wr, _ ->
+        let is_ready w =
+          let fd = fd_of t w.handle in
+          match w.dir with
+          | `Read -> List.memq fd ready_rd
+          | `Write -> List.memq fd ready_wr
+        in
+        let fired, keep = List.partition is_ready live in
+        t.watches <- keep;
+        List.iter
+          (fun w -> Unix_kernel.post_io_completion t.kernel ~requester:w.requester)
+          fired
+
+let pump t () =
+  if not t.closed then begin
+    sync_clock t;
+    drain_forwarded t;
+    let now = Unix_kernel.now t.kernel in
+    if t.watches <> [] && now - t.last_poll_ns >= poll_interval_ns then begin
+      t.last_poll_ns <- now;
+      poll_watches t ~timeout:0.
+    end
+  end
+
+let wait t ~deadline_ns =
+  if t.closed then false
+  else begin
+    sync_clock t;
+    drain_forwarded t;
+    if Unix_kernel.has_deliverable t.kernel then true
+    else
+      let now = Unix_kernel.now t.kernel in
+      let can_wake_externally =
+        t.watches <> [] || t.saved_handlers <> []
+      in
+      match deadline_ns with
+      | None when not can_wake_externally -> false (* provable deadlock *)
+      | _ ->
+          let timeout =
+            match deadline_ns with
+            | Some d when d <= now -> 0.
+            | Some d -> float_of_int (d - now) /. 1e9
+            | None -> 0.2 (* re-check forwarded-signal queue periodically *)
+          in
+          poll_watches t ~timeout;
+          sync_clock t;
+          drain_forwarded t;
+          true
+  end
+
+let net_ops t =
+  let close_handle h =
+    match Hashtbl.find_opt t.fds h with
+    | None -> ()
+    | Some fd ->
+        Hashtbl.remove t.fds h;
+        t.watches <- List.filter (fun w -> w.handle <> h) t.watches;
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  {
+    Backend.net_listen =
+      (fun ~port ~backlog ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen fd backlog;
+        Unix.set_nonblock fd;
+        register_fd t fd);
+    net_port =
+      (fun h ->
+        match Unix.getsockname (fd_of t h) with
+        | Unix.ADDR_INET (_, port) -> port
+        | Unix.ADDR_UNIX _ -> invalid_arg "Real_kernel.net_port");
+    net_connect =
+      (fun ~port ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+         with e -> (try Unix.close fd with _ -> ()); raise e);
+        Unix.set_nonblock fd;
+        register_fd t fd);
+    net_accept =
+      (fun h ->
+        match Unix.accept (fd_of t h) with
+        | conn, _ ->
+            Unix.set_nonblock conn;
+            Some (register_fd t conn)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            None);
+    net_read =
+      (fun h buf ~pos ~len ->
+        match Unix.read (fd_of t h) buf pos len with
+        | n -> Some n
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            None
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            Some 0);
+    net_write =
+      (fun h buf ~pos ~len ->
+        match Unix.write (fd_of t h) buf pos len with
+        | n -> Some n
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            None
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            Some 0);
+    net_watch =
+      (fun h dir ~requester ->
+        ignore (fd_of t h);
+        t.watches <- { handle = h; dir; requester } :: t.watches);
+    net_close = close_handle;
+  }
+
+let default_forwards =
+  [
+    (Sys.sigusr1, Sigset.sigusr1);
+    (Sys.sigusr2, Sigset.sigusr2);
+    (Sys.sighup, Sigset.sighup);
+  ]
+
+let shutdown t () =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter
+      (fun (host, prev) -> try Sys.set_signal host prev with _ -> ())
+      t.saved_handlers;
+    t.saved_handlers <- [];
+    Hashtbl.iter (fun _ fd -> try Unix.close fd with _ -> ()) t.fds;
+    Hashtbl.reset t.fds;
+    t.watches <- []
+  end
+
+let create ?(profile = Cost_model.free) ?(forward_signals = default_forwards)
+    () =
+  let kernel = Unix_kernel.create profile in
+  let t =
+    {
+      kernel;
+      fds = Hashtbl.create 16;
+      next_handle = 1;
+      watches = [];
+      forwarded = Queue.create ();
+      saved_handlers = [];
+      last_poll_ns = 0;
+      closed = false;
+    }
+  in
+  sync_clock t;
+  List.iter
+    (fun (host, signo) ->
+      let prev =
+        Sys.signal host
+          (Sys.Signal_handle (fun _ -> Queue.push signo t.forwarded))
+      in
+      t.saved_handlers <- (host, prev) :: t.saved_handlers)
+    forward_signals;
+  {
+    Backend.kind = Backend.Unix_loop;
+    kernel;
+    pump = pump t;
+    wait = wait t;
+    net = Some (net_ops t);
+    shutdown = shutdown t;
+  }

@@ -1,0 +1,30 @@
+(** The real-Unix backend: actual file descriptors, host signals, host
+    monotonic time — pumped into the same {!Unix_kernel} state machine the
+    virtual backend uses.
+
+    - The kernel's {!Clock} is synchronized from {!Real_clock} at every
+      pump and wait, so timers armed on the shared timing wheel fire
+      against host monotonic time.
+    - A [select] loop posts fd readiness through
+      {!Unix_kernel.post_io_completion} (one-shot watches), inheriting
+      the BSD one-pending-slot SIGIO collapse of the virtual backend.
+    - Host signals listed in [forward_signals] are caught with
+      [Sys.set_signal] and re-posted into the simulated process signal
+      state as [origin External].
+    - Sockets are nonblocking loopback TCP, exposed as the
+      {!Backend.net_ops} small-int handles.
+
+    Nothing here is deterministic; the model checker, sanitizer and fault
+    layers require the virtual backend. *)
+
+val create :
+  ?profile:Cost_model.profile ->
+  ?forward_signals:(int * Sigset.signo) list ->
+  unit ->
+  Backend.t
+(** Build a Unix-loop backend.  [profile] defaults to {!Cost_model.free}
+    so simulated cost charges do not run ahead of host time.
+    [forward_signals] maps host signals (OCaml [Sys.sig*] numbers) to
+    simulated signal numbers; it defaults to SIGUSR1/SIGUSR2/SIGHUP.
+    Call [shutdown] on the result to close fds and restore host signal
+    handlers (idempotent). *)

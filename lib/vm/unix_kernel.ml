@@ -243,6 +243,16 @@ let check_events t =
       List.fold_left (fun acc io -> min acc io.complete_at) max_int waiting
   end
 
+(* An externally observed completion (the real backend's select loop) enters
+   the same record-then-doorbell path as the simulated queue above, so both
+   backends share the one-pending-slot collapse behaviour. *)
+let post_io_completion t ~requester =
+  let prev =
+    Option.value ~default:0 (Hashtbl.find_opt t.io_completions requester)
+  in
+  Hashtbl.replace t.io_completions requester (prev + 1);
+  post_signal t Sigset.sigio ~origin:(Io requester) ()
+
 let take_io_completion t ~requester =
   match Hashtbl.find_opt t.io_completions requester with
   | Some n when n > 0 ->

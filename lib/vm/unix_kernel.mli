@@ -167,11 +167,21 @@ val blocking_io_ns : t -> int
 (** Total virtual time this process has spent stalled in blocking kernel
     I/O. *)
 
+val post_io_completion : t -> requester:int -> unit
+(** Record an I/O completion for [requester] and post the SIGIO doorbell.
+    This is the entry point real backends use to feed externally observed
+    readiness (a [select] loop) into the same completion state the
+    simulated {!submit_io} queue uses — so both backends share the BSD
+    one-pending-slot collapse behaviour documented on
+    {!take_io_completion}. *)
+
 val take_io_completion : t -> requester:int -> bool
 (** Consume one recorded I/O completion for the thread, if any.  SIGIO is
-    only a doorbell: because BSD signals do not queue, concurrent
-    completions can collapse into a single signal, so consumers must poll
-    their completion state after any SIGIO ([aio_error]-style). *)
+    only a doorbell: because BSD signals do not queue (the kernel keeps one
+    pending slot per signal number), N concurrent completions can collapse
+    into a single SIGIO delivery, so consumers must poll their completion
+    state after any SIGIO ([aio_error]-style) — the completion {e counts}
+    recorded here never collapse, only the doorbell does. *)
 
 val check_events : t -> unit
 (** Post signals for any timers or I/O completions whose time has come.

@@ -37,4 +37,19 @@ if [ -n "$hits" ]; then
   fail=1
 fi
 
+# 4. Direct Unix.* calls are confined to lib/vm (the backends own the
+#    host interface: Real_kernel/Real_clock for the event loop and time,
+#    Unix_process for process plumbing).  Everything above the backend
+#    seam must go through the portable API — Pthreads.Net for sockets,
+#    Vm.Real_clock for wall time — so the same code runs on both
+#    backends.  Tests are exempt (they exercise host-signal forwarding
+#    deliberately).  The \b..[a-z] shape avoids matching Unix_kernel etc.
+hits=$(grep -rnE --include='*.ml' --include='*.mli' '\bUnix\.[a-z]' \
+  lib/ bench/ examples/ bin/ | grep -v '^lib/vm/')
+if [ -n "$hits" ]; then
+  printf '%s\n' "$hits" >&2
+  echo "lint: direct Unix.* call outside lib/vm — use Pthreads.Net / Vm.Real_clock (or add a backend op)" >&2
+  fail=1
+fi
+
 exit $fail
