@@ -13,7 +13,9 @@
    bench JSON object; [--trace FILE] exports the spike window of the run
    as Perfetto/Chrome trace-event JSON (drop it on ui.perfetto.dev). *)
 
-let usage = "echo_server [--backend vm|unix|both] [--smoke] [--json FILE] [--trace FILE]"
+let usage =
+  "echo_server [--backend vm|unix|both] [--smoke] [--json FILE] [--trace FILE] \
+   [--domains 1,2,4]"
 
 (* insert new key/value pairs before the JSON object's trailing brace; a
    missing file starts a fresh object (same convention as bench_explore) *)
@@ -41,6 +43,7 @@ let () =
   let smoke = ref false in
   let json_out = ref None in
   let trace_out = ref None in
+  let domains_arg = ref None in
   Arg.parse
     [
       ( "--backend",
@@ -49,6 +52,10 @@ let () =
       ("--smoke", Arg.Set smoke, " small fleets, CI-budget sized");
       ("--json", Arg.String (fun f -> json_out := Some f), " append a \"serving\" row table to this JSON file");
       ("--trace", Arg.String (fun f -> trace_out := Some f), " export the spike window as a Perfetto trace");
+      ( "--domains",
+        Arg.String (fun s -> domains_arg := Some s),
+        " comma list (e.g. 1,2,4): sharded sweep, one echo instance per \
+         shard on per-shard virtual kernels" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
@@ -104,6 +111,35 @@ let () =
       close_out oc;
       Format.printf "spike trace (%s backend) written to %s@."
         row.Serving.sv_backend file);
+  let par_rows =
+    match !domains_arg with
+    | None -> []
+    | Some spec ->
+        let domain_counts =
+          List.map
+            (fun s ->
+              match int_of_string_opt (String.trim s) with
+              | Some d when d >= 1 -> d
+              | _ ->
+                  prerr_endline ("echo_server: bad --domains entry " ^ s);
+                  Stdlib.exit 2)
+            (String.split_on_char ',' spec)
+        in
+        let params = Serving.vm_params ~smoke in
+        Format.printf
+          "-- sharded sweep: one echo instance per shard, %d clients + %d \
+           spike each --@."
+          params.Serving.clients params.Serving.spike_clients;
+        let rows = Serving.sweep_sharded ~domain_counts params in
+        List.iter (fun r -> Format.printf "%a@." Serving.pp_par_row r) rows;
+        (match rows with
+        | r :: _ when r.Serving.sp_cores < 2 ->
+            Format.printf
+              "(single-core host: shards time-slice one core, speedup <= 1 \
+               expected)@."
+        | _ -> ());
+        rows
+  in
   (match !json_out with
   | None -> ()
   | Some file ->
@@ -112,5 +148,18 @@ let () =
         ^ String.concat ",\n    " (List.map Serving.row_json rows)
         ^ "\n  ]"
       in
-      append_keys file [ ("serving", table) ];
+      let keys = [ ("serving", table) ] in
+      let keys =
+        if par_rows = [] then keys
+        else
+          keys
+          @ [
+              ( "serving_parallel",
+                "[\n    "
+                ^ String.concat ",\n    "
+                    (List.map Serving.par_row_json par_rows)
+                ^ "\n  ]" );
+            ]
+      in
+      append_keys file keys;
       Format.printf "appended serving rows to %s@." file)

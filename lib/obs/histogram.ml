@@ -30,6 +30,14 @@ let add h v =
 let count h = h.n
 let total h = h.sum
 let max_value h = h.max_v
+
+let merge_into dst src =
+  for b = 0 to n_buckets - 1 do
+    dst.counts.(b) <- dst.counts.(b) + src.counts.(b)
+  done;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum + src.sum;
+  if src.max_v > dst.max_v then dst.max_v <- src.max_v
 let mean h = if h.n = 0 then 0.0 else float_of_int h.sum /. float_of_int h.n
 
 let bounds b = if b = 0 then (0, 1) else (1 lsl (b - 1), 1 lsl b)

@@ -16,6 +16,11 @@ val add : t -> int -> unit
 val count : t -> int
 (** Samples recorded. *)
 
+val merge_into : t -> t -> unit
+(** [merge_into dst src] folds [src]'s samples into [dst] exactly (bucket
+    counts, count, total and max all add) — for aggregating per-domain
+    histograms after a parallel run.  [src] is unchanged. *)
+
 val total : t -> int
 (** Sum of all samples. *)
 

@@ -5,6 +5,7 @@ type t = {
   stack_bytes : int;
   name : string option;
   sched : Types.per_thread_sched option;
+  home : int option;
 }
 
 let default =
@@ -15,6 +16,7 @@ let default =
     stack_bytes = 16 * 1024;
     name = None;
     sched = None;
+    home = None;
   }
 
 let with_prio prio t =
@@ -32,3 +34,7 @@ let with_stack stack_bytes t =
 let with_name name t = { t with name = Some name }
 
 let with_sched sched t = { t with sched = Some sched }
+
+let with_home home t =
+  if home < 0 then invalid_arg "Attr.with_home: negative shard";
+  { t with home = Some home }

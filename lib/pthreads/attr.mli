@@ -14,6 +14,11 @@ type t = {
       (** per-thread scheduling policy: [Sched_fifo] exempts the thread
           from round-robin time slicing ([None] follows the process
           policy) *)
+  home : int option;
+      (** parallel mode ([Shard]): the shard the task is homed on, taken
+          modulo the pool size; [None] assigns round-robin.  Ignored by
+          plain [Pthread.create], which always creates on the calling
+          shard's engine *)
 }
 
 val default : t
@@ -29,3 +34,6 @@ val with_stack : int -> t -> t
 val with_name : string -> t -> t
 
 val with_sched : Types.per_thread_sched -> t -> t
+
+val with_home : int -> t -> t
+(** @raise Invalid_argument on a negative shard number. *)

@@ -572,15 +572,31 @@ and act_on eng t p =
       && (match p.p_origin with Unix_kernel.Io _ -> true | _ -> false)
     then begin
       (* I/O completions are level-triggered: concurrent completions can
-         share one (non-queuing) SIGIO, so every thread sigwaiting for
-         SIGIO is woken to re-check its own completion state. *)
+         share one (non-queuing) SIGIO, so a woken waiter re-checks its own
+         completion state.  The kernel records which requester each
+         completion belongs to, so the doorbell wakes exactly the
+         sigwaiting threads that have a completion to collect (in tid
+         order, as the all-threads scan this replaces did) — with hundreds
+         of net waiters parked in sigwait, waking the whole herd per
+         doorbell was O(waiters) dispatches per completion batch.  A
+         doorbell with no completed sigwaiter still falls back to the full
+         scan, so plain sigwait(SIGIO) users keep the old wakeup. *)
       let woke_any = ref false in
-      iter_threads eng (fun w ->
-          match w.state with
-          | Blocked (On_sigwait set) when Sigset.mem set s ->
-              woke_any := true;
-              sigwait_deliver eng w s
-          | _ -> ());
+      let wake_waiter w =
+        match w.state with
+        | Blocked (On_sigwait set) when Sigset.mem set s ->
+            woke_any := true;
+            sigwait_deliver eng w s
+        | _ -> ()
+      in
+      List.iter
+        (fun tid ->
+          match find_thread eng tid with
+          | Some w -> wake_waiter w
+          | None -> ())
+        (Unix_kernel.completion_requesters eng.vm);
+      if not !woke_any then
+        iter_threads eng wake_waiter;
       if not !woke_any then
         match eng.actions.(s) with
         | Sig_handler { h_mask; h_fn } ->
@@ -1282,6 +1298,7 @@ let make ?clock ?backend cfg ~main =
       n_faults_injected = 0;
       san_hook = None;
       net_state = Ext_none;
+      shard_state = Ext_none;
     }
   in
   (* Library initialization: a universal handler for all maskable UNIX

@@ -23,6 +23,8 @@ module Tsd = Tsd
 module Jmp = Jmp
 module Machine = Machine
 module Shared = Shared
+module Shard = Shard
+module Qlock = Qlock
 module Flat = Flat
 module Debugger = Debugger
 module Validate = Validate
@@ -75,8 +77,8 @@ let dispatch_count = Engine.dispatch_count
 (* The entry point                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run ?backend ?profile ?policy ?perverted ?seed ?use_pool ?trace ?main_prio
-    ?ceiling_mode f =
+let run_single ?backend ?profile ?policy ?perverted ?seed ?use_pool ?trace
+    ?main_prio ?ceiling_mode f =
   let eng =
     Pthread.make_proc ?backend ?profile ?policy ?perverted ?seed ?use_pool
       ?trace ?main_prio ?ceiling_mode f
@@ -92,6 +94,35 @@ let run ?backend ?profile ?policy ?perverted ?seed ?use_pool ?trace ?main_prio
         | None -> None
       in
       (main_status, Engine.stats eng))
+
+let run ?backend ?backend_for ?domains ?profile ?policy ?perverted ?seed
+    ?use_pool ?trace ?main_prio ?ceiling_mode f =
+  match domains with
+  | None | Some 1 ->
+      (* the default: the deterministic single-domain engine, bit-identical
+         with and without [~domains:1] *)
+      run_single ?backend ?profile ?policy ?perverted ?seed ?use_pool ?trace
+        ?main_prio ?ceiling_mode f
+  | Some n when n >= 2 ->
+      (match backend with
+      | Some _ ->
+          invalid_arg
+            "Pthreads.run: a backend cannot be shared between domains; pass \
+             ~backend_for (one backend per shard) with ~domains"
+      | None -> ());
+      (match perverted with
+      | Some _ ->
+          invalid_arg
+            "Pthreads.run: perverted scheduling is a determinism test mode; \
+             it requires the single-domain engine"
+      | None -> ());
+      let o =
+        Shard.run_parallel ~domains:n ?backend_for ?profile ?policy ?seed
+          ?use_pool ?trace ?main_prio ?ceiling_mode f
+      in
+      (Some o.Shard.status, o.Shard.stats)
+  | Some n ->
+      invalid_arg ("Pthreads.run: domains must be >= 1, got " ^ string_of_int n)
 
 (* ------------------------------------------------------------------ *)
 (* Deprecated internal aliases (kernel infrastructure).  The checker,  *)

@@ -37,6 +37,8 @@ module Tsd = Tsd
 module Jmp = Jmp
 module Machine = Machine
 module Shared = Shared
+module Shard = Shard
+module Qlock = Qlock
 module Flat = Flat
 module Debugger = Debugger
 module Validate = Validate
@@ -94,6 +96,8 @@ val dispatch_count : proc -> int
 
 val run :
   ?backend:backend ->
+  ?backend_for:(int -> backend) ->
+  ?domains:int ->
   ?profile:Vm.Cost_model.profile ->
   ?policy:Types.policy ->
   ?perverted:Types.perverted ->
@@ -110,6 +114,15 @@ val run :
     also on exceptional exit — shuts the backend down.  Returns main's
     exit status ([None] if another thread joined-and-reaped main) and the
     run statistics.
+
+    [~domains:n] with [n >= 2] selects parallel mode: [n] scheduler
+    shards on [n] OCaml domains (see {!Shard}), the function running as
+    the root task on shard 0 and the returned stats summed over shards.
+    Because a backend owns OS resources, parallel mode takes a factory
+    [~backend_for:(fun shard -> ...)] instead of [~backend] (default: a
+    fresh virtual backend per shard); [~perverted] is rejected there.
+    [~domains:1] (or omitting it) is the deterministic single-domain
+    engine, bit-identical either way.
     @raise Types.Process_stopped on deadlock or a fatal signal. *)
 
 (** {1 Deprecated kernel-internal modules}

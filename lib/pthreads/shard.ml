@@ -1,0 +1,623 @@
+open Import
+open Types
+
+(* Per-domain scheduler shards.
+
+   Parallel mode keeps the paper's kernel intact instead of threading
+   locks through it: every shard is a complete single-threaded engine —
+   its own ready bitmap, waiter queues, timing wheel, tid table and
+   kernel flag — pumped by one OCaml 5 domain.  Nothing inside an engine
+   is ever touched by another domain.  The only cross-domain state is
+
+   - one qlock-guarded message inbox per shard (spawns homed there,
+     wakeups of threads parked there, fanned-out signal posts),
+   - the qlock carried by every cross-shard [handle], and
+   - a few atomic counters (in-flight tasks, steal statistics).
+
+   Each shard's main thread (tid 0) runs the {e service loop}: it drains
+   the inbox, turns [Spawn] messages into ordinary green threads via
+   [Pthread.create], performs [Wake]/[Post] requests inside its own
+   kernel, and parks [Blocked (On_shared _)] when idle.  The shard's
+   backend is wrapped so that the checkpoint pump unparks the service
+   thread when messages are queued, and the idle [wait] never declares
+   deadlock while the pool is live — more work can always arrive from
+   another shard.
+
+   Work migrates only by stealing, and only work that has not started:
+   an idle shard with no ready threads takes up to half of the [Spawn]
+   messages queued at a busy shard.  A spawned closure is inert until
+   the service loop creates its thread, so migration never moves a TCB,
+   a wait-queue entry or a timer between engines.
+
+   What this buys: the deterministic single-domain engine is untouched
+   (parallel mode is a layer above it, selected by [run_parallel]), and
+   per-shard kernel flags fall out by construction.  What it costs: the
+   shards' clocks tick independently (virtual clocks drift apart), and
+   the vm backend's deadlock proof does not extend across shards — a
+   cross-shard await cycle hangs rather than raising [Process_stopped]. *)
+
+(* ------------------------------------------------------------------ *)
+(* Handles                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type handle = {
+  h_lock : Qlock.t;
+  mutable h_value : exit_status option;  (* guarded by h_lock *)
+  mutable h_waiters : (int * int) list;
+      (* (home shard, tid) of parked awaiters, newest first; guarded by
+         h_lock *)
+}
+
+let make_handle () =
+  { h_lock = Qlock.create ~name:"shard:handle" (); h_value = None; h_waiters = [] }
+
+let poll h = Qlock.with_lock h.h_lock (fun () -> h.h_value)
+
+(* ------------------------------------------------------------------ *)
+(* Shards and the pool                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type task = {
+  mutable t_home : int;  (* current home shard; rewritten by a steal *)
+  t_attr : Attr.t option;
+  t_run : engine -> int;
+  t_handle : handle;
+}
+
+type message =
+  | Spawn of task
+  | Wake of int  (* tid of a thread parked awaiting on this shard *)
+  | Post of Sigset.signo  (* fanned-out process-level signal *)
+  | Stop  (* unpark: the pool has drained (or failed); check the flag *)
+
+type shard = {
+  s_index : int;
+  s_lock : Qlock.t;
+  s_inbox : message Queue.t;  (* guarded by s_lock *)
+  s_msgs : int Atomic.t;  (* queued messages: lock-free emptiness probe *)
+  s_spawns : int Atomic.t;  (* queued [Spawn]s: lock-free steal probe *)
+  mutable s_engine : engine option;
+      (* written by the shard's own domain before its scheduler starts;
+         only ever read from that domain (and, after the joins, by the
+         aggregation code) *)
+  s_steals : int Atomic.t;  (* tasks this shard stole from others *)
+  s_remote_wakes : int Atomic.t;  (* Wake messages this shard sent *)
+  s_tasks : int Atomic.t;  (* tasks whose thread was created here *)
+}
+
+type pool = {
+  p_shards : shard array;
+  p_in_flight : int Atomic.t;  (* tasks spawned and not yet completed *)
+  p_finished : bool Atomic.t;
+  p_next_home : int Atomic.t;  (* round-robin home assignment *)
+  p_error : exn option Atomic.t;  (* first shard failure, re-raised *)
+}
+
+type Types.ext += Shard_of of shard * pool
+
+let context eng =
+  match eng.shard_state with Shard_of (s, p) -> Some (s, p) | _ -> None
+
+let shard_index eng =
+  match context eng with Some (s, _) -> s.s_index | None -> 0
+
+let domain_count eng =
+  match context eng with
+  | Some (_, p) -> Array.length p.p_shards
+  | None -> 1
+
+let steal_count eng =
+  match context eng with
+  | Some (_, p) ->
+      Array.fold_left (fun n s -> n + Atomic.get s.s_steals) 0 p.p_shards
+  | None -> 0
+
+let make_pool n =
+  {
+    p_shards =
+      Array.init n (fun i ->
+          {
+            s_index = i;
+            s_lock = Qlock.create ~name:(Printf.sprintf "shard%d:inbox" i) ();
+            s_inbox = Queue.create ();
+            s_msgs = Atomic.make 0;
+            s_spawns = Atomic.make 0;
+            s_engine = None;
+            s_steals = Atomic.make 0;
+            s_remote_wakes = Atomic.make 0;
+            s_tasks = Atomic.make 0;
+          });
+    p_in_flight = Atomic.make 0;
+    p_finished = Atomic.make false;
+    p_next_home = Atomic.make 0;
+    p_error = Atomic.make None;
+  }
+
+let push_msg shard msg =
+  Qlock.with_lock shard.s_lock (fun () ->
+      Queue.push msg shard.s_inbox;
+      Atomic.incr shard.s_msgs;
+      match msg with Spawn _ -> Atomic.incr shard.s_spawns | _ -> ())
+
+let drain_inbox shard =
+  if Atomic.get shard.s_msgs = 0 then []
+  else
+    Qlock.with_lock shard.s_lock (fun () ->
+        let out = ref [] in
+        while not (Queue.is_empty shard.s_inbox) do
+          let m = Queue.pop shard.s_inbox in
+          Atomic.decr shard.s_msgs;
+          (match m with Spawn _ -> Atomic.decr shard.s_spawns | _ -> ());
+          out := m :: !out
+        done;
+        List.rev !out)
+
+let broadcast_stop pool = Array.iter (fun s -> push_msg s Stop) pool.p_shards
+
+(* Fail the whole pool: remember the first error, then drain every shard
+   so parked service threads wake up, notice the flag and exit. *)
+let fail_pool pool e =
+  ignore (Atomic.compare_and_set pool.p_error None (Some e) : bool);
+  Atomic.set pool.p_finished true;
+  broadcast_stop pool
+
+(* ------------------------------------------------------------------ *)
+(* Parking and waking                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let inbox_reason = "shard:inbox"
+let await_reason = "shard:await"
+
+(* Unpark the service thread (tid 0) if it is parked on its inbox.
+   Called from the pump/wait seams of the shard's own domain — the same
+   context the signal-delivery path unblocks sigwaiters from. *)
+let unpark_service shard =
+  match shard.s_engine with
+  | None -> ()
+  | Some eng -> (
+      match Engine.find_thread eng 0 with
+      | Some t -> (
+          match t.state with
+          | Blocked (On_shared r) when String.equal r inbox_reason ->
+              Engine.unblock eng t Wake_normal
+          | _ -> ())
+      | None -> ())
+
+(* Wake a thread of [proc]'s own engine parked in [await].  Caller is a
+   green thread outside the kernel. *)
+let wake_local proc tid =
+  Engine.enter_kernel proc;
+  (match Engine.find_thread proc tid with
+  | Some t -> (
+      match t.state with
+      | Blocked (On_shared r) when String.equal r await_reason ->
+          Engine.unblock proc t Wake_normal
+      | _ -> () (* duplicate wake of an already-running awaiter: drop *))
+  | None -> ());
+  Engine.leave_kernel proc;
+  Engine.drain_fake_calls proc
+
+(* ------------------------------------------------------------------ *)
+(* Handles: fulfil and await                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fulfill proc h status =
+  let waiters =
+    Qlock.with_lock h.h_lock (fun () ->
+        h.h_value <- Some status;
+        let ws = h.h_waiters in
+        h.h_waiters <- [];
+        ws)
+  in
+  match waiters with
+  | [] -> ()
+  | ws -> (
+      match context proc with
+      | None ->
+          (* single-domain: every awaiter lives on this engine *)
+          List.iter (fun (_, tid) -> wake_local proc tid) (List.rev ws)
+      | Some (shard, pool) ->
+          List.iter
+            (fun (six, tid) ->
+              if six = shard.s_index then wake_local proc tid
+              else begin
+                Atomic.incr shard.s_remote_wakes;
+                push_msg pool.p_shards.(six) (Wake tid)
+              end)
+            (List.rev ws))
+
+let await proc h =
+  let six = shard_index proc in
+  let rec get () =
+    Engine.checkpoint proc;
+    Engine.enter_kernel proc;
+    let self = Engine.current proc in
+    let ready =
+      (* registration happens inside the kernel, so the service thread
+         cannot process a [Wake] for us until after [block] below: the
+         park/wake handshake cannot lose a wakeup *)
+      Qlock.with_lock h.h_lock (fun () ->
+          match h.h_value with
+          | Some _ as v -> v
+          | None ->
+              h.h_waiters <- (six, self.tid) :: h.h_waiters;
+              None)
+    in
+    match ready with
+    | Some v ->
+        Engine.leave_kernel proc;
+        Engine.drain_fake_calls proc;
+        v
+    | None ->
+        self.state <- Blocked (On_shared await_reason);
+        let (_ : wake) = Engine.block proc in
+        Engine.drain_fake_calls proc;
+        get ()
+  in
+  get ()
+
+(* ------------------------------------------------------------------ *)
+(* Tasks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Completion of the last in-flight task drains the pool. *)
+let task_done pool =
+  if Atomic.fetch_and_add pool.p_in_flight (-1) = 1 then begin
+    Atomic.set pool.p_finished true;
+    broadcast_stop pool
+  end
+
+(* Turn a task into an ordinary green thread on [proc]'s engine. *)
+let start_task pool shard proc task =
+  task.t_home <- shard.s_index;
+  Atomic.incr shard.s_tasks;
+  let body () =
+    let status =
+      try Exited (task.t_run proc) with
+      | Thread_exit_exn st -> st
+      | e -> Failed e
+    in
+    fulfill proc task.t_handle status;
+    task_done pool;
+    (* hand the non-normal outcomes back to the thread machinery so the
+       TCB records them exactly as for a plain thread *)
+    match status with
+    | Exited c -> c
+    | Canceled -> raise (Thread_exit_exn Canceled)
+    | Failed e -> raise e
+  in
+  ignore (Pthread.create proc ?attr:task.t_attr body : int)
+
+let spawn ?attr ?home proc f =
+  let h = make_handle () in
+  (match context proc with
+  | None ->
+      (* single-domain mode: degenerate to a local thread so programs
+         written against [spawn]/[await] also run under [Pthreads.run]
+         without [~domains] (and under the checker, which requires it) *)
+      let body () =
+        let status =
+          try Exited (f proc) with
+          | Thread_exit_exn st -> st
+          | e -> Failed e
+        in
+        fulfill proc h status;
+        match status with
+        | Exited c -> c
+        | Canceled -> raise (Thread_exit_exn Canceled)
+        | Failed e -> raise e
+      in
+      ignore (Pthread.create proc ?attr body : int)
+  | Some (_, pool) ->
+      if Atomic.get pool.p_finished then
+        invalid_arg "Shard.spawn: the pool has already drained";
+      let n = Array.length pool.p_shards in
+      let home =
+        match (home, attr) with
+        | Some i, _ -> i
+        | None, Some a when a.Attr.home <> None -> Option.get a.Attr.home
+        | None, _ -> Atomic.fetch_and_add pool.p_next_home 1
+      in
+      let home = ((home mod n) + n) mod n in
+      Atomic.incr pool.p_in_flight;
+      push_msg pool.p_shards.(home)
+        (Spawn { t_home = home; t_attr = attr; t_run = f; t_handle = h }));
+  h
+
+(* ------------------------------------------------------------------ *)
+(* Stealing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Cheap probe used by the idle seam: is there anything worth stealing? *)
+let stealable pool shard =
+  let n = Array.length pool.p_shards in
+  let found = ref false in
+  for k = 1 to n - 1 do
+    if
+      (not !found)
+      && Atomic.get pool.p_shards.((shard.s_index + k) mod n).s_spawns > 0
+    then found := true
+  done;
+  !found
+
+(* Take up to half (rounding up) of a victim's queued [Spawn]s, oldest
+   first — the victim keeps the newest, which it is closest to running.
+   Non-spawn messages are shard-targeted and never move. *)
+let steal_from thief victim =
+  if Atomic.get victim.s_spawns = 0 then []
+  else
+    Qlock.with_lock victim.s_lock (fun () ->
+        let keep = Queue.create () and spawns = ref [] in
+        while not (Queue.is_empty victim.s_inbox) do
+          match Queue.pop victim.s_inbox with
+          | Spawn t -> spawns := t :: !spawns
+          | m -> Queue.push m keep
+        done;
+        let spawns = List.rev !spawns in
+        let total = List.length spawns in
+        let take = (total + 1) / 2 in
+        let taken, kept =
+          List.filteri (fun i _ -> i < take) spawns,
+          List.filteri (fun i _ -> i >= take) spawns
+        in
+        Queue.transfer keep victim.s_inbox;
+        List.iter (fun t -> Queue.push (Spawn t) victim.s_inbox) kept;
+        Atomic.set victim.s_spawns (List.length kept);
+        (* s_msgs no longer counts the taken spawns *)
+        ignore (Atomic.fetch_and_add victim.s_msgs (-take) : int);
+        Atomic.incr thief.s_steals;
+        taken)
+
+let try_steal pool thief =
+  let n = Array.length pool.p_shards in
+  let rec go k =
+    if k >= n then []
+    else begin
+      let victim = pool.p_shards.((thief.s_index + k) mod n) in
+      match steal_from thief victim with [] -> go (k + 1) | ts -> ts
+    end
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* The service loop                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Steal only when this shard is otherwise idle: if another local thread
+   is ready, run it rather than import more work. *)
+let others_ready proc =
+  let self = Engine.current proc in
+  Engine.fold_threads proc
+    (fun acc t ->
+      acc || ((not (t == self)) && match t.state with Ready -> true | _ -> false))
+    false
+
+let handle_msg pool shard proc = function
+  | Spawn task -> start_task pool shard proc task
+  | Wake tid -> wake_local proc tid
+  | Post signo -> Engine.post_external proc signo ()
+  | Stop -> ()
+
+let park pool proc shard =
+  Engine.checkpoint proc;
+  Engine.enter_kernel proc;
+  (* recheck under the kernel flag — if a message slipped in since the
+     drain, skip the park (the pump would unpark us anyway; this just
+     saves the dispatch) *)
+  if Atomic.get shard.s_msgs = 0 && not (Atomic.get pool.p_finished) then begin
+    let self = Engine.current proc in
+    self.state <- Blocked (On_shared inbox_reason);
+    let (_ : wake) = Engine.block proc in
+    Engine.drain_fake_calls proc
+  end
+  else begin
+    Engine.leave_kernel proc;
+    Engine.drain_fake_calls proc
+  end
+
+let rec service pool shard proc =
+  match drain_inbox shard with
+  | [] ->
+      if Atomic.get pool.p_finished then ()
+      else begin
+        (match if others_ready proc then [] else try_steal pool shard with
+        | [] -> park pool proc shard
+        | stolen -> List.iter (start_task pool shard proc) stolen);
+        service pool shard proc
+      end
+  | msgs ->
+      List.iter (handle_msg pool shard proc) msgs;
+      service pool shard proc
+
+(* ------------------------------------------------------------------ *)
+(* The backend seams                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* How far an idle shard lets its backend sleep (or its virtual clock
+   advance) before re-probing the inbox and the steal counters. *)
+let poll_quantum_ns = 100_000
+
+let wrap_backend pool shard (inner : Backend.t) =
+  let pump () =
+    inner.Backend.pump ();
+    if Atomic.get shard.s_msgs > 0 || Atomic.get pool.p_finished then
+      unpark_service shard
+  in
+  let wait ~deadline_ns =
+    if Atomic.get shard.s_msgs > 0 then begin
+      unpark_service shard;
+      true
+    end
+    else if Atomic.get pool.p_finished then
+      (* the pool has drained: only local stragglers remain, so the
+         backend's own semantics (including the vm deadlock proof) apply *)
+      inner.Backend.wait ~deadline_ns
+    else if stealable pool shard then begin
+      unpark_service shard;
+      true
+    end
+    else begin
+      (* idle but the pool is live: work can still arrive from another
+         shard, so never report deadlock — sleep at most a quantum and
+         re-probe.  On the vm backend this advances the shard's private
+         clock; shard clocks drift apart by design. *)
+      let quantum = Unix_kernel.now inner.Backend.kernel + poll_quantum_ns in
+      let d =
+        match deadline_ns with Some d -> min d quantum | None -> quantum
+      in
+      ignore (inner.Backend.wait ~deadline_ns:(Some d) : bool);
+      (* the virtual wait is a clock jump, not a host sleep: without a
+         nap an idle shard polls its inbox at full host speed, starving
+         the busy shards on an oversubscribed machine *)
+      (match inner.Backend.kind with
+      | Backend.Virtual -> Vm.Real_clock.nap ()
+      | Backend.Unix_loop -> ());
+      true
+    end
+  in
+  { inner with Backend.pump; wait }
+
+(* ------------------------------------------------------------------ *)
+(* Running a pool                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  status : exit_status;  (* how the root task ended *)
+  stats : Engine.stats;  (* summed over shards *)
+  shard_stats : Engine.stats array;
+  dispatches : int array;  (* per-shard thread resumptions *)
+  tasks : int array;  (* per-shard tasks started (incl. stolen) *)
+  steals : int;
+  remote_wakes : int;
+}
+
+let merge_trap_detail details =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun (k, n) ->
+         Hashtbl.replace tbl k (n + Option.value ~default:0 (Hashtbl.find_opt tbl k))))
+    details;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let sum_stats (arr : Engine.stats array) =
+  let z = arr.(0) in
+  let acc =
+    Array.fold_left
+      (fun (a : Engine.stats) (b : Engine.stats) ->
+        Engine.
+          {
+            virtual_ns = a.virtual_ns + b.virtual_ns;
+            switches = a.switches + b.switches;
+            kernel_traps = a.kernel_traps + b.kernel_traps;
+            trap_detail = [];
+            sigsetmask_calls = a.sigsetmask_calls + b.sigsetmask_calls;
+            signals_posted = a.signals_posted + b.signals_posted;
+            signals_delivered_unix =
+              a.signals_delivered_unix + b.signals_delivered_unix;
+            signals_lost = a.signals_lost + b.signals_lost;
+            thread_handler_runs = a.thread_handler_runs + b.thread_handler_runs;
+            threads_created = a.threads_created + b.threads_created;
+            heap_allocations = a.heap_allocations + b.heap_allocations;
+            faults_injected = a.faults_injected + b.faults_injected;
+            timers_armed = a.timers_armed + b.timers_armed;
+          })
+      z
+      (Array.sub arr 1 (Array.length arr - 1))
+  in
+  {
+    acc with
+    Engine.trap_detail =
+      merge_trap_detail (Array.to_list (Array.map (fun s -> s.Engine.trap_detail) arr));
+  }
+
+let run_parallel ~domains ?backend_for ?profile ?policy ?seed ?use_pool ?trace
+    ?main_prio ?ceiling_mode f =
+  if domains < 2 then
+    invalid_arg "Shard.run_parallel: need at least 2 domains (use Pthreads.run)";
+  let backend_for =
+    match backend_for with
+    | Some bf -> bf
+    | None -> fun _ -> Backend.virtual_ Cost_model.sparc_ipx
+  in
+  let pool = make_pool domains in
+  let root = make_handle () in
+  Atomic.set pool.p_in_flight 1;
+  push_msg pool.p_shards.(0)
+    (Spawn
+       {
+         t_home = 0;
+         t_attr = Some (Attr.with_name "root" Attr.default);
+         t_run = f;
+         t_handle = root;
+       });
+  let shard_main i () =
+    let shard = pool.p_shards.(i) in
+    let inner = backend_for i in
+    let backend = wrap_backend pool shard inner in
+    let eng =
+      Pthread.make_proc ~backend ?profile ?policy ?seed ?use_pool ?trace
+        ?main_prio ?ceiling_mode (fun proc ->
+          (* The service thread is pure infrastructure and spends its
+             life parked on the inbox.  Process-level signal delivery
+             scans threads in creation order — tid 0 first — and
+             "delivering" a handler to a parked thread only strands a
+             fake frame there until the next unpark.  Block everything
+             on the service thread so external signals (including
+             [post_all] fan-outs) are steered at application threads,
+             or stay process-pending while the shard has none. *)
+          ignore
+            (Signal_api.set_mask proc `Block Sigset.all_maskable : Sigset.t);
+          service pool shard proc;
+          0)
+    in
+    shard.s_engine <- Some eng;
+    eng.shard_state <- Shard_of (shard, pool);
+    Fun.protect
+      ~finally:(fun () -> backend.Backend.shutdown ())
+      (fun () -> try Pthread.start eng with e -> fail_pool pool e)
+  in
+  let others =
+    Array.init (domains - 1) (fun k -> Domain.spawn (shard_main (k + 1)))
+  in
+  shard_main 0 ();
+  Array.iter Domain.join others;
+  (match Atomic.get pool.p_error with Some e -> raise e | None -> ());
+  let engines =
+    Array.map
+      (fun s -> match s.s_engine with Some e -> e | None -> assert false)
+      pool.p_shards
+  in
+  let status =
+    match poll root with
+    | Some st -> st
+    | None -> assert false (* the pool drains only after the root task *)
+  in
+  let shard_stats = Array.map Engine.stats engines in
+  {
+    status;
+    stats = sum_stats shard_stats;
+    shard_stats;
+    dispatches = Array.map Engine.dispatch_count engines;
+    tasks = Array.map (fun s -> Atomic.get s.s_tasks) pool.p_shards;
+    steals =
+      Array.fold_left (fun n s -> n + Atomic.get s.s_steals) 0 pool.p_shards;
+    remote_wakes =
+      Array.fold_left
+        (fun n s -> n + Atomic.get s.s_remote_wakes)
+        0 pool.p_shards;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard signals                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let post_all proc signo =
+  match context proc with
+  | None -> Engine.post_external proc signo ()
+  | Some (shard, pool) ->
+      Array.iter
+        (fun s ->
+          if s == shard then Engine.post_external proc signo ()
+          else push_msg s (Post signo))
+        pool.p_shards

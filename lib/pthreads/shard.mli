@@ -1,0 +1,88 @@
+(** Per-domain scheduler shards: the multi-core mode.
+
+    A pool of [N] shards is [N] complete single-threaded engines — each
+    with its own ready structure, waiter queues, timing wheel, tid table
+    and kernel flag — pumped by [N] OCaml 5 domains.  Engines are never
+    touched across domains; the only shared state is a {!Qlock}-guarded
+    message inbox per shard, the qlock inside every {!handle}, and a few
+    atomic counters.  Each shard's main thread runs a service loop that
+    turns incoming spawn messages into ordinary green threads and parks
+    when idle.
+
+    Threads are homed on a shard at {!spawn} (round-robin, an explicit
+    [~home], or [Attr.with_home]) and migrate only by work stealing: an
+    idle shard takes up to half of a busy shard's {e not-yet-started}
+    spawn messages — a closure that has not run is the only thing that
+    can move between engines without moving scheduler state.
+
+    The deterministic single-domain engine is untouched by all of this:
+    parallel mode is a layer above it, entered only through
+    {!run_parallel} (or [Pthreads.run ~domains]).  Limitations, by
+    design: shard virtual clocks drift independently, and the virtual
+    backend's deadlock proof does not extend across shards (a
+    cross-shard await cycle hangs instead of raising). *)
+
+type handle
+(** The cross-shard future of a spawned task's exit status. *)
+
+type outcome = {
+  status : Types.exit_status;  (** how the root task ended *)
+  stats : Engine.stats;  (** summed over all shards *)
+  shard_stats : Engine.stats array;
+  dispatches : int array;  (** per-shard thread resumptions *)
+  tasks : int array;  (** per-shard tasks started (stolen ones count) *)
+  steals : int;  (** tasks that migrated via stealing *)
+  remote_wakes : int;  (** cross-shard wakeups routed through inboxes *)
+}
+
+val run_parallel :
+  domains:int ->
+  ?backend_for:(int -> Vm.Backend.t) ->
+  ?profile:Vm.Cost_model.profile ->
+  ?policy:Types.policy ->
+  ?seed:int ->
+  ?use_pool:bool ->
+  ?trace:bool ->
+  ?main_prio:int ->
+  ?ceiling_mode:Types.ceiling_unlock_mode ->
+  (Types.engine -> int) ->
+  outcome
+(** Run the function as the root task of a pool of [domains] shards
+    (homed on shard 0) and block until every task and every thread they
+    created has finished.  [backend_for i] builds shard [i]'s backend —
+    backends hold OS resources and must not be shared, hence a factory
+    (default: a fresh virtual backend per shard).  The first shard
+    failure ([Process_stopped], an escaped exception) drains the pool
+    and is re-raised here.
+    @raise Invalid_argument if [domains < 2]. *)
+
+val spawn :
+  ?attr:Attr.t -> ?home:int -> Types.engine -> (Types.engine -> int) -> handle
+(** Create a task on the shard chosen by [~home], [attr]'s
+    [Attr.with_home] hint, or round-robin ([home] is taken modulo the
+    pool size).  The task body receives the engine of whichever shard
+    runs it.  In single-domain mode ([Pthreads.run] without [~domains])
+    this degenerates to a local thread, so the same program runs under
+    the model checker. *)
+
+val await : Types.engine -> handle -> Types.exit_status
+(** Block the calling thread until the task completes.  Safe from any
+    shard; cross-shard completion is routed through the waiter's home
+    inbox. *)
+
+val poll : handle -> Types.exit_status option
+(** Non-blocking completion probe. *)
+
+val post_all : Types.engine -> Vm.Sigset.signo -> unit
+(** Post a process-level signal on every shard (locally directly, to the
+    others via their inboxes) — the parallel analogue of
+    [Signal_api]'s process-level kill. *)
+
+val shard_index : Types.engine -> int
+(** The calling engine's shard number; 0 in single-domain mode. *)
+
+val domain_count : Types.engine -> int
+(** Shards in the pool; 1 in single-domain mode. *)
+
+val steal_count : Types.engine -> int
+(** Tasks stolen so far across the pool; 0 in single-domain mode. *)

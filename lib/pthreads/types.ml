@@ -412,6 +412,9 @@ type engine = {
   mutable net_state : ext;
       (** [Net]'s per-engine state (virtual loopback registry), installed
           lazily on first use; [Ext_none] otherwise. *)
+  mutable shard_state : ext;
+      (** [Shard]'s per-engine state in parallel mode (the shard this
+          engine pumps and its pool); [Ext_none] in single-domain mode. *)
 }
 
 (** The single scheduling effect: performed by a thread to return control to

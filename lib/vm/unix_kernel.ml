@@ -23,6 +23,7 @@ type t = {
   dispositions : disposition array;  (* indexed by signo *)
   mutable mask : Sigset.t;
   pending_set : pending_info option array;  (* BSD: one slot per signo *)
+  mutable n_pending : int;  (* occupied [pending_set] slots *)
   (* All interval timers live in a hierarchical timing wheel: O(1)
      amortized arm/disarm/advance, so a million timed waits do not turn
      every checkpoint into a linear scan.  The payload is what expiry
@@ -56,6 +57,7 @@ let create ?clock prof =
     dispositions = Array.make (Sigset.max_signo + 1) Default;
     mask = Sigset.empty;
     pending_set = Array.make (Sigset.max_signo + 1) None;
+    n_pending = 0;
     timers = Timer_wheel.create ();
     io_queue = [];
     io_next = max_int;
@@ -135,7 +137,9 @@ let post_signal t signo ?(code = 0) ~origin () =
   t.n_posted <- t.n_posted + 1;
   match t.pending_set.(signo) with
   | Some _ -> t.n_lost <- t.n_lost + 1 (* BSD: not queued, dropped *)
-  | None -> t.pending_set.(signo) <- Some { code; origin }
+  | None ->
+      t.pending_set.(signo) <- Some { code; origin };
+      t.n_pending <- t.n_pending + 1
 
 let kill t signo ?code ~origin () =
   trap t ~name:"kill" (fun () -> post_signal t signo ?code ~origin ())
@@ -150,19 +154,26 @@ let pending t =
 let first_deliverable t =
   (* Scan pending slots for an unmasked signal whose disposition is not
      Ignore (Ignored pending signals are simply discarded, like the
-     kernel's issig()). *)
-  let found = ref None in
-  let signo = ref 1 in
-  while !found = None && !signo <= Sigset.max_signo do
-    (match t.pending_set.(!signo) with
-    | Some info when not (Sigset.mem t.mask !signo) -> (
-        match t.dispositions.(!signo) with
-        | Ignore -> t.pending_set.(!signo) <- None
-        | Default | Catch _ -> found := Some (!signo, info))
-    | Some _ | None -> ());
-    incr signo
-  done;
-  !found
+     kernel's issig()).  The scan is skipped entirely when no slot is
+     occupied — [has_deliverable] runs at every checkpoint, so the
+     nothing-pending case must be O(1). *)
+  if t.n_pending = 0 then None
+  else begin
+    let found = ref None in
+    let signo = ref 1 in
+    while !found = None && !signo <= Sigset.max_signo do
+      (match t.pending_set.(!signo) with
+      | Some info when not (Sigset.mem t.mask !signo) -> (
+          match t.dispositions.(!signo) with
+          | Ignore ->
+              t.pending_set.(!signo) <- None;
+              t.n_pending <- t.n_pending - 1
+          | Default | Catch _ -> found := Some (!signo, info))
+      | Some _ | None -> ());
+      incr signo
+    done;
+    !found
+  end
 
 let has_deliverable t = first_deliverable t <> None
 
@@ -171,6 +182,7 @@ let deliver_pending t =
   | None -> false
   | Some (signo, info) -> (
       t.pending_set.(signo) <- None;
+      t.n_pending <- t.n_pending - 1;
       match t.dispositions.(signo) with
       | Ignore -> assert false (* filtered by first_deliverable *)
       | Default -> raise (Process_killed signo)
@@ -260,6 +272,11 @@ let take_io_completion t ~requester =
       else Hashtbl.replace t.io_completions requester (n - 1);
       true
   | Some _ | None -> false
+
+let completion_requesters t =
+  Hashtbl.fold (fun tid n acc -> if n > 0 then tid :: acc else acc)
+    t.io_completions []
+  |> List.sort compare
 
 (* The wheel reports a bucket deadline — a lower bound that becomes exact
    once the nearest timer has cascaded to level 0.  Callers that advance

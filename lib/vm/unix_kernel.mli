@@ -183,6 +183,12 @@ val take_io_completion : t -> requester:int -> bool
     state after any SIGIO ([aio_error]-style) — the completion {e counts}
     recorded here never collapse, only the doorbell does. *)
 
+val completion_requesters : t -> int list
+(** Requester tids with at least one unconsumed completion, in ascending
+    tid order (the same creation order an all-threads scan would visit).
+    Lets SIGIO delivery wake exactly the sigwaiting threads that have a
+    completion to collect instead of every SIGIO sigwaiter. *)
+
 val check_events : t -> unit
 (** Post signals for any timers or I/O completions whose time has come.
     Called by the library at every checkpoint. *)
